@@ -1,0 +1,38 @@
+"""Benchmark-session reporting: collect per-figure tables, show them in the
+terminal summary (pytest captures in-test prints), and persist them under
+``benchmarks/results/``."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, str]] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Record a named result table: ``report(title, text)``."""
+
+    def _record(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in title)
+        with open(os.path.join(_RESULTS_DIR, f"{safe}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper-figure reproduction tables")
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"── {title} " + "─" * max(0, 66 - len(title)))
+        for line in text.split("\n"):
+            terminalreporter.write_line(line)

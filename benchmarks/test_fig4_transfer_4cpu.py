@@ -1,0 +1,36 @@
+"""Figure 4 — transfer learning on the 4-CPU platform.
+
+READYS agents trained on Cholesky T ∈ {4, 6, 8} are applied zero-shot to
+T = 10 and T = 12 and compared against HEFT and MCT across σ.  Expected
+shape: models trained on T ∈ {6, 8} lose only a few percent to HEFT at σ=0
+and win for σ ≳ 0.2; the T=4 model transfers noticeably worse; vs-MCT
+improvements stay positive.
+"""
+
+import pytest
+
+from repro.platforms import Platform
+from repro.utils.tables import format_table
+
+from benchmarks._harness import SWEEP_HEADERS, get_trained_agent, sigma_sweep_rows
+
+PLATFORM = Platform(4, 0)
+TRAIN_TILES = (4, 6, 8)
+TEST_TILES = (10, 12)
+TRANSFER_SIGMAS = (0.0, 0.2, 0.4)
+
+
+@pytest.mark.parametrize("train_tiles", TRAIN_TILES)
+@pytest.mark.parametrize("test_tiles", TEST_TILES)
+def test_fig4_transfer(benchmark, report, train_tiles, test_tiles):
+    def run_cell():
+        agent = get_trained_agent("cholesky", train_tiles, PLATFORM, seed=0)
+        return sigma_sweep_rows(
+            agent, "cholesky", test_tiles, PLATFORM,
+            sigmas=TRANSFER_SIGMAS, seeds=3,
+        )
+
+    rows = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    table = format_table(SWEEP_HEADERS, rows, floatfmt=".3f")
+    report(f"fig4_train_T{train_tiles}_test_T{test_tiles}_4CPU", table)
+    assert all(row[3] > 0 for row in rows)

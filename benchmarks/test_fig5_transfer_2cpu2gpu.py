@@ -1,0 +1,34 @@
+"""Figure 5 — transfer learning on the 2 CPU + 2 GPU platform.
+
+Same protocol as Fig. 4 (train on Cholesky T ∈ {4, 6, 8}, test on T = 10/12
+across σ) on the heterogeneous platform.  The trained agents are shared with
+the Fig. 3 harness through the session cache.
+"""
+
+import pytest
+
+from repro.platforms import Platform
+from repro.utils.tables import format_table
+
+from benchmarks._harness import SWEEP_HEADERS, get_trained_agent, sigma_sweep_rows
+
+PLATFORM = Platform(2, 2)
+TRAIN_TILES = (4, 6, 8)
+TEST_TILES = (10, 12)
+TRANSFER_SIGMAS = (0.0, 0.2, 0.4)
+
+
+@pytest.mark.parametrize("train_tiles", TRAIN_TILES)
+@pytest.mark.parametrize("test_tiles", TEST_TILES)
+def test_fig5_transfer(benchmark, report, train_tiles, test_tiles):
+    def run_cell():
+        agent = get_trained_agent("cholesky", train_tiles, PLATFORM, seed=0)
+        return sigma_sweep_rows(
+            agent, "cholesky", test_tiles, PLATFORM,
+            sigmas=TRANSFER_SIGMAS, seeds=3,
+        )
+
+    rows = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    table = format_table(SWEEP_HEADERS, rows, floatfmt=".3f")
+    report(f"fig5_train_T{train_tiles}_test_T{test_tiles}_2CPU2GPU", table)
+    assert all(row[3] > 0 for row in rows)

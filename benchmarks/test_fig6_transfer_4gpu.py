@@ -1,0 +1,34 @@
+"""Figure 6 — transfer learning on the 4-GPU platform.
+
+Same protocol as Figs. 4/5 on the all-GPU platform.  The paper notes the
+largest READYS gains over MCT here: with homogeneous fast processors,
+prioritising the critical path is what matters, which MCT ignores.
+"""
+
+import pytest
+
+from repro.platforms import Platform
+from repro.utils.tables import format_table
+
+from benchmarks._harness import SWEEP_HEADERS, get_trained_agent, sigma_sweep_rows
+
+PLATFORM = Platform(0, 4)
+TRAIN_TILES = (4, 6, 8)
+TEST_TILES = (10, 12)
+TRANSFER_SIGMAS = (0.0, 0.2, 0.4)
+
+
+@pytest.mark.parametrize("train_tiles", TRAIN_TILES)
+@pytest.mark.parametrize("test_tiles", TEST_TILES)
+def test_fig6_transfer(benchmark, report, train_tiles, test_tiles):
+    def run_cell():
+        agent = get_trained_agent("cholesky", train_tiles, PLATFORM, seed=0)
+        return sigma_sweep_rows(
+            agent, "cholesky", test_tiles, PLATFORM,
+            sigmas=TRANSFER_SIGMAS, seeds=3,
+        )
+
+    rows = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    table = format_table(SWEEP_HEADERS, rows, floatfmt=".3f")
+    report(f"fig6_train_T{train_tiles}_test_T{test_tiles}_4GPU", table)
+    assert all(row[3] > 0 for row in rows)

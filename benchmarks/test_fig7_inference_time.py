@@ -1,0 +1,62 @@
+"""Figure 7 — mean per-decision inference time vs window size (99% CI).
+
+Measures the wall-clock cost of one scheduling decision (state extraction is
+excluded — the timer wraps only the agent forward pass) over Cholesky DAGs
+of growing size.  The paper's conclusion to reproduce: the overhead grows
+with the number of tasks in the window but stays in the millisecond range,
+far below tiled-kernel durations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.profiling import inference_timing, timing_by_window_size
+from repro.graphs import CHOLESKY_DURATIONS, cholesky_dag
+from repro.platforms import NoNoise, Platform
+from repro.rl.trainer import default_agent
+from repro.sim.env import SchedulingEnv
+from repro.utils.tables import format_table
+
+TILE_SIZES = (4, 6, 8, 10)
+
+
+def test_fig7_inference_time(benchmark, report):
+    platform = Platform(2, 2)
+
+    def run_measure():
+        samples = []
+        agent = None
+        for tiles in TILE_SIZES:
+            env = SchedulingEnv(
+                cholesky_dag(tiles), platform, CHOLESKY_DURATIONS, NoNoise(),
+                window=2, rng=0,
+            )
+            if agent is None:
+                agent = default_agent(env, rng=0)
+            samples.extend(inference_timing(agent, env, episodes=2, rng=0))
+        return samples
+
+    samples = benchmark.pedantic(run_measure, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{r['window_lo']:.0f}-{r['window_hi']:.0f}",
+            r["count"],
+            r["mean_s"] * 1e3,
+            r["ci_lower_s"] * 1e3,
+            r["ci_upper_s"] * 1e3,
+        ]
+        for r in timing_by_window_size(samples, num_bins=6, confidence=0.99)
+    ]
+    table = format_table(
+        ["window tasks", "n", "mean ms", "ci99 low", "ci99 high"],
+        rows, floatfmt=".3f",
+    )
+    report("fig7_inference_time", table)
+
+    times = np.array([t for _, t in samples])
+    assert times.mean() < 0.05, "mean decision must stay in the ms range"
+    # monotone trend check: biggest windows cost more than smallest
+    sizes = np.array([s for s, _ in samples])
+    small = times[sizes <= np.quantile(sizes, 0.2)].mean()
+    large = times[sizes >= np.quantile(sizes, 0.8)].mean()
+    assert large > small, "inference time should grow with window size"

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the hot paths (statistical, real pytest-benchmark runs).
+
+Unlike the figure harnesses (one pedantic round each), these measure the
+library's primitive costs with proper repetition: DAG generation, HEFT
+planning, one simulator episode, one state extraction, one agent forward
+pass, and one A2C update.  Useful as a performance-regression net.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CHOLESKY_DURATIONS, cholesky_dag
+from repro.platforms import NoNoise, Platform
+from repro.rl.a2c import A2CConfig
+from repro.rl.trainer import ReadysTrainer, default_agent
+from repro.schedulers import heft_schedule, run_mct
+from repro.sim.engine import Simulation
+from repro.sim.env import SchedulingEnv
+from repro.sim.state import StateBuilder
+
+PLATFORM = Platform(2, 2)
+
+
+def test_perf_cholesky_generation(benchmark):
+    graph = benchmark(cholesky_dag, 10)
+    assert graph.num_tasks == 220
+
+
+def test_perf_heft_planning_t10(benchmark):
+    graph = cholesky_dag(10)
+    schedule = benchmark(heft_schedule, graph, PLATFORM, CHOLESKY_DURATIONS)
+    assert schedule.makespan > 0
+
+
+def test_perf_mct_episode_t8(benchmark):
+    graph = cholesky_dag(8)
+
+    def run():
+        sim = Simulation(graph, PLATFORM, CHOLESKY_DURATIONS, NoNoise(), rng=0)
+        return run_mct(sim)
+
+    assert benchmark(run) > 0
+
+
+def test_perf_state_extraction(benchmark):
+    graph = cholesky_dag(8)
+    sim = Simulation(graph, PLATFORM, CHOLESKY_DURATIONS, NoNoise(), rng=0)
+    builder = StateBuilder(CHOLESKY_DURATIONS, window=2)
+    obs = benchmark(builder.build, sim, 0, True)
+    assert obs.num_nodes >= 1
+
+
+def test_perf_agent_forward(benchmark):
+    env = SchedulingEnv(
+        cholesky_dag(8), PLATFORM, CHOLESKY_DURATIONS, NoNoise(), window=2, rng=0
+    )
+    agent = default_agent(env, rng=0)
+    obs = env.reset()
+    probs = benchmark(agent.action_distribution, obs)
+    assert probs.sum() == pytest.approx(1.0)
+
+
+def test_perf_a2c_update(benchmark):
+    env = SchedulingEnv(
+        cholesky_dag(4), PLATFORM, CHOLESKY_DURATIONS, NoNoise(), window=2, rng=0
+    )
+    trainer = ReadysTrainer(env, config=A2CConfig(unroll_length=20), rng=0)
+    transitions, bootstrap = trainer._collect_unroll()
+
+    def update():
+        return trainer.updater.update(transitions, bootstrap)
+
+    stats = benchmark.pedantic(update, rounds=5, iterations=1)
+    assert np.isfinite(stats.policy_loss)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Survey every baseline scheduler across the three factorization kernels.
+
+No learning involved — this exercises the scheduling substrate alone:
+HEFT (static), MCT, greedy-EFT, critical-path rank priority, Min-Min,
+Max-Min, and random, on Cholesky / LU / QR DAGs, with and without duration
+noise.  Useful for understanding the heterogeneity structure the RL agent
+has to learn (GEMM-like kernels belong on GPUs, panel kernels on CPUs).
+
+Run:  python examples/compare_heuristics.py [--tiles 6] [--sigma 0.3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import GaussianNoise, NoNoise, Platform, make_dag, duration_table_for
+from repro.eval.compare import evaluate_baseline
+from repro.schedulers import RUNNERS
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiles", type=int, default=6)
+    parser.add_argument("--sigma", type=float, default=0.3)
+    parser.add_argument("--cpus", type=int, default=2)
+    parser.add_argument("--gpus", type=int, default=2)
+    parser.add_argument("--seeds", type=int, default=5)
+    args = parser.parse_args()
+
+    platform = Platform(args.cpus, args.gpus)
+    schedulers = sorted(RUNNERS)
+
+    for sigma in (0.0, args.sigma):
+        noise = GaussianNoise(sigma) if sigma > 0 else NoNoise()
+        print(f"\n=== platform {platform.name}, T={args.tiles}, σ={sigma} ===")
+        rows = []
+        for kernel in ("cholesky", "lu", "qr"):
+            graph = make_dag(kernel, args.tiles)
+            durations = duration_table_for(kernel)
+            cells = [kernel]
+            for name in schedulers:
+                mks = evaluate_baseline(
+                    name, graph, platform, durations, noise,
+                    seeds=args.seeds, seed=0,
+                )
+                cells.append(float(np.mean(mks)))
+            rows.append(cells)
+        print(format_table(["kernel"] + schedulers, rows, floatfmt=".1f"))
+
+    print(
+        "\nReading: HEFT should lead at σ=0 (it plans with full knowledge);"
+        "\nunder noise the dynamic schedulers (mct, rank-priority) close the"
+        "\ngap or overtake it, which is the effect READYS exploits (Fig. 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

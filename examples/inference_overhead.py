@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scheduling-decision overhead of the READYS agent (paper §V-G, Fig. 7).
+
+Dynamic scheduling decisions happen at runtime, so the per-decision forward
+pass must be much cheaper than a typical task (tens of milliseconds).  This
+example measures wall-clock inference time per decision as a function of the
+number of tasks in the observation window, with 99% confidence intervals.
+
+Run:  python examples/inference_overhead.py [--tiles 4 6 8 10]
+"""
+
+import argparse
+
+from repro import CHOLESKY_DURATIONS, NoNoise, Platform, SchedulingEnv, cholesky_dag
+from repro.eval.profiling import inference_timing, timing_by_window_size
+from repro.rl.trainer import default_agent
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiles", type=int, nargs="+", default=[4, 6, 8, 10])
+    parser.add_argument("--episodes", type=int, default=2)
+    parser.add_argument("--window", type=int, default=2)
+    args = parser.parse_args()
+
+    platform = Platform(2, 2)
+    samples = []
+    agent = None
+    for tiles in args.tiles:
+        env = SchedulingEnv(
+            cholesky_dag(tiles), platform, CHOLESKY_DURATIONS, NoNoise(),
+            window=args.window, rng=0,
+        )
+        if agent is None:
+            agent = default_agent(env, rng=0)
+        samples.extend(inference_timing(agent, env, episodes=args.episodes, rng=0))
+
+    rows = []
+    for row in timing_by_window_size(samples, num_bins=6, confidence=0.99):
+        rows.append([
+            f"{row['window_lo']:.0f}–{row['window_hi']:.0f}",
+            row["count"],
+            row["mean_s"] * 1e3,
+            row["ci_lower_s"] * 1e3,
+            row["ci_upper_s"] * 1e3,
+        ])
+    print(f"{len(samples)} decisions over Cholesky T ∈ {args.tiles}\n")
+    print(format_table(
+        ["tasks in window", "n", "mean (ms)", "99% CI low", "99% CI high"],
+        rows, floatfmt=".3f",
+    ))
+    print(
+        "\nReading: inference grows with window size but stays in the"
+        "\nmillisecond range — negligible against tiled-kernel durations"
+        "\n(tens of ms), matching the paper's Fig. 7 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Imitation warm-start: clone an MCT-style expert, then fine-tune with A2C.
+
+The paper points out (§VI) that the cost of training from scratch is the
+main obstacle to deploying learned schedulers.  This example quantifies a
+standard remedy: before any RL, the actor is behaviour-cloned on a few
+hundred decisions of a heuristic expert replayed through the environment,
+then A2C fine-tunes from that prior.  Compare the evaluation makespans after
+the same number of A2C updates with and without the warm start.
+
+Run:  python examples/warm_start.py [--tiles 4] [--updates 300]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    CHOLESKY_DURATIONS,
+    GaussianNoise,
+    Platform,
+    SchedulingEnv,
+    cholesky_dag,
+    heft_makespan,
+)
+from repro.rl.a2c import A2CConfig
+from repro.rl.imitation import warm_start
+from repro.rl.trainer import ReadysTrainer, default_agent, evaluate_agent
+from repro.utils.tables import format_table
+
+
+def train_and_eval(env_seed, agent, updates, args):
+    env = SchedulingEnv(
+        cholesky_dag(args.tiles), Platform(2, 2), CHOLESKY_DURATIONS,
+        GaussianNoise(0.2), window=2, rng=env_seed,
+    )
+    trainer = ReadysTrainer(env, agent=agent,
+                            config=A2CConfig(entropy_coef=1e-2), rng=env_seed)
+    trainer.train_updates(updates)
+    eval_env = SchedulingEnv(
+        cholesky_dag(args.tiles), Platform(2, 2), CHOLESKY_DURATIONS,
+        GaussianNoise(0.2), window=2, rng=env_seed + 999,
+    )
+    return float(np.mean(evaluate_agent(agent, eval_env, episodes=5, rng=0)))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiles", type=int, default=4)
+    parser.add_argument("--updates", type=int, default=300)
+    parser.add_argument("--clone-steps", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    platform = Platform(2, 2)
+    graph = cholesky_dag(args.tiles)
+    heft = heft_makespan(graph, platform, CHOLESKY_DURATIONS)
+
+    base_env = SchedulingEnv(
+        graph, platform, CHOLESKY_DURATIONS, GaussianNoise(0.2),
+        window=2, rng=args.seed,
+    )
+
+    # cold: straight A2C
+    cold_agent = default_agent(base_env, rng=args.seed)
+    cold_zero = float(np.mean(evaluate_agent(cold_agent, base_env, episodes=3, rng=1)))
+    cold = train_and_eval(args.seed, cold_agent, args.updates, args)
+
+    # warm: behaviour-clone first, then the same A2C budget
+    warm_agent = default_agent(base_env, rng=args.seed)
+    clone_env = SchedulingEnv(
+        graph, platform, CHOLESKY_DURATIONS, GaussianNoise(0.2),
+        window=2, rng=args.seed + 1,
+    )
+    stats = warm_start(clone_env, warm_agent, num_steps=args.clone_steps,
+                       epochs=6, rng=args.seed)
+    warm_zero = float(np.mean(evaluate_agent(warm_agent, base_env, episodes=3, rng=1)))
+    warm = train_and_eval(args.seed, warm_agent, args.updates, args)
+
+    print(f"instance {graph.name}, HEFT plan {heft:.1f} ms; "
+          f"cloning accuracy {stats.final_accuracy:.0%}\n")
+    rows = [
+        ["cold (A2C only)", cold_zero, cold, heft / cold],
+        ["warm (clone + A2C)", warm_zero, warm, heft / warm],
+    ]
+    print(format_table(
+        ["variant", "before A2C", f"after {args.updates} updates", "vs HEFT"],
+        rows, floatfmt=".3f",
+    ))
+    print(
+        "\nReading: the warm-started agent begins near heuristic quality"
+        "\ninstead of random, so the same A2C budget lands closer to (or"
+        "\nbeyond) HEFT."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP-660 editable installs; on fully
+offline machines without it, ``python setup.py develop`` (or adding
+``src/`` to a ``.pth`` file) installs the package equivalently.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

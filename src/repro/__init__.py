@@ -1,0 +1,129 @@
+"""READYS reproduction — RL-based dynamic DAG scheduling on heterogeneous platforms.
+
+Reproduces Grinsztajn, Beaumont, Jeannot & Preux, *READYS: A Reinforcement
+Learning Based Strategy for Heterogeneous Dynamic Scheduling* (IEEE CLUSTER
+2021) as a self-contained Python library: task-graph generators (tiled
+Cholesky/LU/QR), a discrete-event simulator of heterogeneous CPU+GPU nodes
+with stochastic task durations, HEFT/MCT and further baseline schedulers, and
+the READYS agent itself — a from-scratch NumPy GCN trained with A2C.
+
+Quickstart::
+
+    from repro import (
+        cholesky_dag, Platform, CHOLESKY_DURATIONS, GaussianNoise,
+        SchedulingEnv, ReadysTrainer, evaluate_agent,
+    )
+
+    env = SchedulingEnv(cholesky_dag(4), Platform(2, 2), CHOLESKY_DURATIONS,
+                        GaussianNoise(0.2), window=2, rng=0)
+    trainer = ReadysTrainer(env, rng=0)
+    trainer.train_episodes(100)
+    print(evaluate_agent(trainer.agent, env, episodes=5, rng=1))
+"""
+
+__version__ = "1.0.0"
+
+from repro.graphs import (
+    TaskGraph,
+    cholesky_dag,
+    lu_dag,
+    qr_dag,
+    layered_dag,
+    erdos_dag,
+    chain_dag,
+    fork_join_dag,
+    make_dag,
+    DurationTable,
+    duration_table_for,
+    CHOLESKY_DURATIONS,
+    LU_DURATIONS,
+    QR_DURATIONS,
+)
+from repro.platforms import (
+    CPU,
+    GPU,
+    Platform,
+    Processor,
+    NoiseModel,
+    NoNoise,
+    GaussianNoise,
+    LognormalNoise,
+    UniformNoise,
+    GammaNoise,
+    make_noise,
+)
+from repro.sim import Simulation, SchedulingEnv, Observation
+from repro.schedulers import (
+    heft_schedule,
+    heft_makespan,
+    run_heft,
+    run_mct,
+    make_runner,
+    RUNNERS,
+)
+from repro.rl import (
+    ReadysAgent,
+    AgentConfig,
+    A2CConfig,
+    ReadysTrainer,
+    evaluate_agent,
+    save_agent,
+    load_agent,
+    transfer_evaluate,
+)
+from repro.eval import compare_methods, improvement_over, inference_timing
+
+__all__ = [
+    "__version__",
+    # graphs
+    "TaskGraph",
+    "cholesky_dag",
+    "lu_dag",
+    "qr_dag",
+    "layered_dag",
+    "erdos_dag",
+    "chain_dag",
+    "fork_join_dag",
+    "make_dag",
+    "DurationTable",
+    "duration_table_for",
+    "CHOLESKY_DURATIONS",
+    "LU_DURATIONS",
+    "QR_DURATIONS",
+    # platforms
+    "CPU",
+    "GPU",
+    "Platform",
+    "Processor",
+    "NoiseModel",
+    "NoNoise",
+    "GaussianNoise",
+    "LognormalNoise",
+    "UniformNoise",
+    "GammaNoise",
+    "make_noise",
+    # simulation
+    "Simulation",
+    "SchedulingEnv",
+    "Observation",
+    # schedulers
+    "heft_schedule",
+    "heft_makespan",
+    "run_heft",
+    "run_mct",
+    "make_runner",
+    "RUNNERS",
+    # RL
+    "ReadysAgent",
+    "AgentConfig",
+    "A2CConfig",
+    "ReadysTrainer",
+    "evaluate_agent",
+    "save_agent",
+    "load_agent",
+    "transfer_evaluate",
+    # eval
+    "compare_methods",
+    "improvement_over",
+    "inference_timing",
+]

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``   — run baseline schedulers (and optionally a checkpointed agent)
+                on one (kernel, T, platform, σ) cell and print the table;
+``train``     — train a READYS agent and optionally checkpoint it;
+``evaluate``  — evaluate a checkpointed agent against the baselines;
+``info``      — print the problem instance (task counts, HEFT makespan, …).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.eval.compare import compare_methods
+from repro.graphs import duration_table_for, make_dag
+from repro.platforms import Platform, make_noise
+from repro.rl.a2c import A2CConfig
+from repro.rl.trainer import ReadysTrainer, evaluate_agent
+from repro.rl.transfer import load_agent, save_agent
+from repro.schedulers import RUNNERS, heft_makespan
+from repro.sim.env import SchedulingEnv
+from repro.utils.tables import format_table
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", default="cholesky", choices=["cholesky", "lu", "qr"])
+    parser.add_argument("--tiles", type=int, default=4, help="T, tiles per dimension")
+    parser.add_argument("--cpus", type=int, default=2)
+    parser.add_argument("--gpus", type=int, default=2)
+    parser.add_argument("--sigma", type=float, default=0.0, help="relative noise level")
+    parser.add_argument(
+        "--noise", default="gaussian",
+        choices=["gaussian", "lognormal", "uniform", "gamma", "none"],
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _instance(args):
+    graph = make_dag(args.kernel, args.tiles)
+    platform = Platform(args.cpus, args.gpus)
+    durations = duration_table_for(args.kernel)
+    noise = make_noise(args.noise if args.sigma > 0 else "none", args.sigma)
+    return graph, platform, durations, noise
+
+
+def cmd_info(args) -> int:
+    graph, platform, durations, _ = _instance(args)
+    rows = [
+        ["tasks", graph.num_tasks],
+        ["edges", graph.num_edges],
+        ["depth", graph.longest_path_length()],
+        ["platform", platform.name],
+        ["HEFT makespan (σ=0)", heft_makespan(graph, platform, durations)],
+    ]
+    for i, name in enumerate(durations.kernel_names):
+        rows.append(
+            [f"{name} cpu/gpu (ms)",
+             f"{durations.table[i, 0]:g} / {durations.table[i, 1]:g}"]
+        )
+    print(format_table(["property", "value"], rows, floatfmt=".2f"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph, platform, durations, noise = _instance(args)
+    agent = load_agent(args.agent) if args.agent else None
+    result = compare_methods(
+        graph, platform, durations, noise,
+        baselines=tuple(args.baselines), agent=agent,
+        window=args.window, seeds=args.runs, seed=args.seed,
+    )
+    rows = []
+    for method in result.methods():
+        rows.append([method, result.mean(method), min(result.makespans[method])])
+    print(f"instance: {graph.name} on {platform.name}, sigma={args.sigma}")
+    print(format_table(["scheduler", "mean makespan", "best"], rows, floatfmt=".2f"))
+    if agent is not None:
+        for base in args.baselines:
+            ratio = result.improvement(base, "readys")
+            print(f"improvement over {base}: {ratio:.3f}x")
+    return 0
+
+
+def cmd_train(args) -> int:
+    graph, platform, durations, noise = _instance(args)
+    env = SchedulingEnv(
+        graph, platform, durations, noise, window=args.window, rng=args.seed,
+        reward_mode=args.reward_mode, sparse_state=args.sparse_state,
+    )
+    config = A2CConfig(entropy_coef=args.entropy, learning_rate=args.lr)
+    trainer = ReadysTrainer(env, config=config, rng=args.seed)
+    trainer.train_updates(args.updates)
+    ms = trainer.result.episode_makespans
+    print(
+        f"trained {args.updates} updates / {len(ms)} episodes; "
+        f"last-10 mean makespan {np.mean(ms[-10:]):.2f}, "
+        f"HEFT {heft_makespan(graph, platform, durations):.2f}"
+    )
+    if args.out:
+        save_agent(trainer.agent, args.out, kernel=args.kernel, tiles=str(args.tiles))
+        print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    graph, platform, durations, noise = _instance(args)
+    agent = load_agent(args.agent)
+    env = SchedulingEnv(
+        graph, platform, durations, noise, window=args.window, rng=args.seed
+    )
+    mks = evaluate_agent(agent, env, episodes=args.runs, rng=args.seed)
+    heft = heft_makespan(graph, platform, durations)
+    print(
+        f"readys mean {np.mean(mks):.2f} over {len(mks)} episodes "
+        f"(HEFT σ=0 plan: {heft:.2f}, ratio {heft / np.mean(mks):.3f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="READYS reproduction: RL-based dynamic DAG scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a problem instance")
+    _add_instance_args(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_cmp = sub.add_parser("compare", help="compare schedulers on one instance")
+    _add_instance_args(p_cmp)
+    p_cmp.add_argument("--baselines", nargs="+", default=["heft", "mct"],
+                       choices=sorted(RUNNERS))
+    p_cmp.add_argument("--agent", default=None, help="checkpoint (.npz) to include")
+    p_cmp.add_argument("--runs", type=int, default=5)
+    p_cmp.add_argument("--window", type=int, default=2)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_train = sub.add_parser("train", help="train a READYS agent")
+    _add_instance_args(p_train)
+    p_train.add_argument("--updates", type=int, default=600)
+    p_train.add_argument("--window", type=int, default=2)
+    p_train.add_argument("--lr", type=float, default=1e-2)
+    p_train.add_argument("--entropy", type=float, default=1e-2)
+    p_train.add_argument("--reward-mode", default="dense",
+                         choices=["dense", "terminal"],
+                         help="dense = telescoped shaping (default); "
+                              "terminal = the paper's eq. 1 exactly")
+    p_train.add_argument("--sparse-state", action="store_true",
+                         help="CSR window adjacency (large instances)")
+    p_train.add_argument("--out", default=None, help="checkpoint output path")
+    p_train.set_defaults(func=cmd_train)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a trained agent")
+    _add_instance_args(p_eval)
+    p_eval.add_argument("--agent", required=True)
+    p_eval.add_argument("--runs", type=int, default=5)
+    p_eval.add_argument("--window", type=int, default=2)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Evaluation harness: scheduler comparisons, metrics, inference profiling."""
+
+from repro.eval.metrics import (
+    improvement_over,
+    summarize,
+    mean_confidence_interval,
+    SummaryStats,
+)
+from repro.eval.compare import (
+    evaluate_baseline,
+    evaluate_readys,
+    compare_methods,
+    ComparisonResult,
+)
+from repro.eval.profiling import inference_timing, timing_by_window_size
+from repro.eval.schedule_analysis import (
+    ScheduleStats,
+    analyze_schedule,
+    ascii_gantt,
+    placement_table,
+)
+from repro.eval.stats import (
+    PairedComparison,
+    paired_bootstrap,
+    win_rate,
+    relative_speedup_distribution,
+)
+from repro.eval.report import collect_results, generate_report, write_report
+
+__all__ = [
+    "improvement_over",
+    "summarize",
+    "mean_confidence_interval",
+    "SummaryStats",
+    "evaluate_baseline",
+    "evaluate_readys",
+    "compare_methods",
+    "ComparisonResult",
+    "inference_timing",
+    "timing_by_window_size",
+    "ScheduleStats",
+    "analyze_schedule",
+    "ascii_gantt",
+    "placement_table",
+    "PairedComparison",
+    "paired_bootstrap",
+    "win_rate",
+    "relative_speedup_distribution",
+    "collect_results",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,74 @@
+"""Per-decision inference-time measurement (paper Fig. 7).
+
+The paper reports the wall-clock time of one scheduling decision (one agent
+forward pass) as a function of the number of tasks in the window, with 99%
+confidence intervals — the scheduling overhead must stay well below typical
+task durations (tens of milliseconds) for the approach to be practical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.eval.metrics import mean_confidence_interval
+from repro.rl.agent import ReadysAgent
+from repro.sim.env import SchedulingEnv
+from repro.utils.seeding import SeedLike, as_generator
+from repro.utils.timing import Timer
+
+
+def inference_timing(
+    agent: ReadysAgent,
+    env: SchedulingEnv,
+    episodes: int = 3,
+    rng: SeedLike = None,
+) -> List[Tuple[int, float]]:
+    """Collect (window size, seconds) samples over full episodes.
+
+    Each sample times exactly one forward pass (action selection) and records
+    the number of tasks in the window at that decision.
+    """
+    rng = as_generator(rng)
+    samples: List[Tuple[int, float]] = []
+    for _ in range(episodes):
+        obs = env.reset()
+        done = False
+        while not done:
+            timer = Timer()
+            with timer:
+                action = agent.sample_action(obs, rng)
+            samples.append((obs.num_nodes, timer.total))
+            obs, _r, done, _info = env.step(action)
+    return samples
+
+
+def timing_by_window_size(
+    samples: List[Tuple[int, float]],
+    num_bins: int = 6,
+    confidence: float = 0.99,
+) -> List[Dict[str, float]]:
+    """Bin samples by window size; mean + CI per bin (the Fig. 7 series)."""
+    if not samples:
+        raise ValueError("no timing samples")
+    sizes = np.array([s for s, _ in samples], dtype=np.float64)
+    times = np.array([t for _, t in samples], dtype=np.float64)
+    edges = np.linspace(sizes.min(), sizes.max() + 1e-9, num_bins + 1)
+    rows: List[Dict[str, float]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (sizes >= lo) & (sizes < hi)
+        if not mask.any():
+            continue
+        mean, lower, upper = mean_confidence_interval(times[mask], confidence)
+        rows.append(
+            {
+                "window_lo": float(lo),
+                "window_hi": float(hi),
+                "count": int(mask.sum()),
+                "mean_s": mean,
+                "ci_lower_s": lower,
+                "ci_upper_s": upper,
+            }
+        )
+    return rows

@@ -1,0 +1,100 @@
+"""Post-mortem analysis of executed schedules.
+
+Takes the trace of a completed :class:`~repro.sim.engine.Simulation` and
+computes the quantities one inspects when debugging a scheduler: processor
+utilisation, per-(kernel, resource-type) placement counts, time lost to
+idling, and an ASCII Gantt chart.  Used by the examples and handy when
+diagnosing *why* a policy's makespan moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.sim.engine import ScheduledTask, Simulation
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate statistics of one executed schedule."""
+
+    makespan: float
+    total_busy: float
+    """summed busy time across processors"""
+    utilization: np.ndarray
+    """per-processor busy fraction of the makespan"""
+    placement: Dict[Tuple[str, str], int]
+    """(kernel name, resource type name) → task count"""
+    idle_time: np.ndarray
+    """per-processor idle time within [0, makespan]"""
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(self.utilization.mean())
+
+
+def analyze_schedule(sim: Simulation) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for a completed simulation."""
+    if not sim.done:
+        raise RuntimeError("analyze_schedule requires a completed simulation")
+    p = sim.platform.num_processors
+    makespan = sim.makespan
+    busy = np.zeros(p)
+    placement: Dict[Tuple[str, str], int] = {}
+    for entry in sim.trace:
+        busy[entry.proc] += entry.duration
+        key = (
+            sim.graph.type_names[sim.graph.task_types[entry.task]],
+            sim.platform.processors[entry.proc].type_name,
+        )
+        placement[key] = placement.get(key, 0) + 1
+    utilization = busy / makespan if makespan > 0 else np.zeros(p)
+    return ScheduleStats(
+        makespan=makespan,
+        total_busy=float(busy.sum()),
+        utilization=utilization,
+        placement=placement,
+        idle_time=makespan - busy,
+    )
+
+
+def placement_table(stats: ScheduleStats) -> List[List[object]]:
+    """Rows ``[kernel, resource, count]`` sorted for stable reporting."""
+    return [
+        [kernel, resource, count]
+        for (kernel, resource), count in sorted(stats.placement.items())
+    ]
+
+
+def ascii_gantt(sim: Simulation, width: int = 78) -> str:
+    """Render the executed schedule as a fixed-width ASCII Gantt chart.
+
+    One row per processor; each task paints its interval with the first
+    letter of its kernel name.  Dots are idle time.  Intended for eyeballing
+    small schedules in a terminal, not for publication plots.
+    """
+    if not sim.done:
+        raise RuntimeError("ascii_gantt requires a completed simulation")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    makespan = sim.makespan
+    scale = (width - 1) / makespan if makespan > 0 else 0.0
+    lines = []
+    by_proc: Dict[int, List[ScheduledTask]] = {}
+    for entry in sim.trace:
+        by_proc.setdefault(entry.proc, []).append(entry)
+    for proc in range(sim.platform.num_processors):
+        row = ["."] * width
+        for entry in sorted(by_proc.get(proc, []), key=lambda e: e.start):
+            lo = int(entry.start * scale)
+            hi = max(lo + 1, int(entry.finish * scale))
+            letter = sim.graph.type_names[sim.graph.task_types[entry.task]][0]
+            for i in range(lo, min(hi, width)):
+                row[i] = letter
+        label = f"{sim.platform.processors[proc].type_name}{proc}"
+        lines.append(f"{label:>5} |{''.join(row)}|")
+    lines.append(f"{'':>5}  0{'':{width - 10}}{makespan:9.1f}")
+    return "\n".join(lines)

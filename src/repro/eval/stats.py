@@ -1,0 +1,92 @@
+"""Statistical comparison of schedulers: paired bootstrap and win rates.
+
+When two schedulers run on the same noisy instances (same seeds), their
+makespans are *paired* samples; a paired test is far more sensitive than
+comparing means.  The benchmark tables report means (as the paper does); the
+helpers here exist for anyone extending the study who needs significance
+statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired bootstrap comparison of two schedulers."""
+
+    mean_difference: float
+    """mean(a - b); negative means scheduler a is faster"""
+    ci_lower: float
+    ci_upper: float
+    win_rate: float
+    """fraction of pairs where a < b"""
+    significant: bool
+    """True when the CI excludes 0"""
+
+
+def paired_bootstrap(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 10_000,
+    rng: SeedLike = 0,
+) -> PairedComparison:
+    """Bootstrap CI of the mean paired difference ``a - b``.
+
+    ``a`` and ``b`` must be makespans of the same instances under the same
+    seeds (pairing is positional).
+    """
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("a and b must be equal-length, non-empty samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = as_generator(rng)
+    diff = a - b
+    n = diff.size
+    idx = rng.integers(0, n, size=(num_resamples, n))
+    means = diff[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return PairedComparison(
+        mean_difference=float(diff.mean()),
+        ci_lower=float(lo),
+        ci_upper=float(hi),
+        win_rate=float((diff < 0).mean()),
+        significant=bool(lo > 0 or hi < 0),
+    )
+
+
+def win_rate(a: Sequence[float], b: Sequence[float]) -> float:
+    """Fraction of paired instances where scheduler ``a`` is strictly faster."""
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("a and b must be equal-length, non-empty samples")
+    return float((a < b).mean())
+
+
+def relative_speedup_distribution(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[float, float, float]:
+    """(median, p25, p75) of the paired ratio ``b / a`` (>1 ⇒ a faster)."""
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("a and b must be equal-length, non-empty samples")
+    if (a <= 0).any():
+        raise ValueError("makespans must be positive")
+    ratio = b / a
+    return (
+        float(np.median(ratio)),
+        float(np.quantile(ratio, 0.25)),
+        float(np.quantile(ratio, 0.75)),
+    )

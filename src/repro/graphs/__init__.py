@@ -1,0 +1,74 @@
+"""Task graphs: core DAG structure, tiled linear-algebra generators, features.
+
+The paper evaluates on DAGs of tiled CHOLESKY, LU and QR factorizations
+(§V-A); each generator reproduces the classical kernel dependency structure
+and the task counts the paper quotes (e.g. Cholesky T=4 → 20 tasks, T=8 →
+120 tasks).  Random DAG families are provided for property-based testing and
+generalisation studies.
+"""
+
+from repro.graphs.taskgraph import TaskGraph
+from repro.graphs.cholesky import cholesky_dag, CHOLESKY_KERNELS
+from repro.graphs.lu import lu_dag, LU_KERNELS
+from repro.graphs.qr import qr_dag, QR_KERNELS
+from repro.graphs.random_dag import layered_dag, erdos_dag, chain_dag, fork_join_dag
+from repro.graphs.mixture import size_mixture, random_structure_mixture
+from repro.graphs.features import (
+    descendant_type_fractions,
+    node_features,
+    NUM_STATIC_FEATURES,
+)
+from repro.graphs.durations import (
+    DurationTable,
+    duration_table_for,
+    CHOLESKY_DURATIONS,
+    LU_DURATIONS,
+    QR_DURATIONS,
+)
+
+KERNEL_FAMILIES = {
+    "cholesky": cholesky_dag,
+    "lu": lu_dag,
+    "qr": qr_dag,
+}
+
+
+def make_dag(family: str, tiles: int) -> TaskGraph:
+    """Build the tiled-factorization DAG for ``family`` with ``tiles`` tiles.
+
+    ``family`` is one of ``"cholesky"``, ``"lu"``, ``"qr"``.
+    """
+    try:
+        builder = KERNEL_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown DAG family {family!r}; options: {sorted(KERNEL_FAMILIES)}"
+        ) from None
+    return builder(tiles)
+
+
+__all__ = [
+    "TaskGraph",
+    "cholesky_dag",
+    "lu_dag",
+    "qr_dag",
+    "layered_dag",
+    "erdos_dag",
+    "chain_dag",
+    "fork_join_dag",
+    "size_mixture",
+    "random_structure_mixture",
+    "make_dag",
+    "KERNEL_FAMILIES",
+    "CHOLESKY_KERNELS",
+    "LU_KERNELS",
+    "QR_KERNELS",
+    "descendant_type_fractions",
+    "node_features",
+    "NUM_STATIC_FEATURES",
+    "DurationTable",
+    "duration_table_for",
+    "CHOLESKY_DURATIONS",
+    "LU_DURATIONS",
+    "QR_DURATIONS",
+]

@@ -1,0 +1,80 @@
+"""Tiled Cholesky factorization DAG (right-looking variant).
+
+The classical task decomposition of the tiled Cholesky factorization of a
+T×T-tile SPD matrix [Agullo et al. 2016; Buttari et al. 2009] uses four
+kernels:
+
+* ``POTRF(k)``      — Cholesky of diagonal tile (k,k);
+* ``TRSM(i,k)``     — triangular solve of tile (i,k), i>k;
+* ``SYRK(i,k)``     — symmetric rank-k update of diagonal tile (i,i) by
+  column k, i>k;
+* ``GEMM(i,j,k)``   — update of tile (i,j) by column k, i>j>k.
+
+Task counts (verified against the numbers quoted in the paper §V-F):
+``T`` POTRF, ``T(T-1)/2`` TRSM, ``T(T-1)/2`` SYRK, ``T(T-1)(T-2)/6`` GEMM —
+e.g. T=4 → 20 tasks, T=6 → 56, T=8 → 120, T=10 → 220, T=12 → 364.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.taskgraph import TaskGraph
+
+CHOLESKY_KERNELS = ("POTRF", "TRSM", "SYRK", "GEMM")
+POTRF, TRSM, SYRK, GEMM = range(4)
+
+
+def cholesky_task_count(tiles: int) -> int:
+    """Closed-form number of tasks for a T-tile Cholesky DAG."""
+    t = tiles
+    return t + t * (t - 1) + t * (t - 1) * (t - 2) // 6
+
+
+def cholesky_dag(tiles: int) -> TaskGraph:
+    """Build the tiled Cholesky DAG for a ``tiles`` × ``tiles`` tile matrix.
+
+    Dependencies follow the data flow of the right-looking algorithm; updates
+    to a given tile across steps are serialised (the usual sequential-task-
+    flow semantics of StarPU/PaRSEC on which the paper relies).
+    """
+    if tiles < 1:
+        raise ValueError(f"tiles must be >= 1, got {tiles}")
+    t = tiles
+    ids: Dict[Tuple, int] = {}
+    types: List[int] = []
+    edges: List[Tuple[int, int]] = []
+
+    def task(key: Tuple, kernel: int) -> int:
+        ids[key] = len(types)
+        types.append(kernel)
+        return ids[key]
+
+    for k in range(t):
+        potrf = task(("POTRF", k), POTRF)
+        if k > 0:
+            # A[k][k] accumulated all rank-k updates of earlier columns.
+            edges.append((ids[("SYRK", k, k - 1)], potrf))
+        for i in range(k + 1, t):
+            trsm = task(("TRSM", i, k), TRSM)
+            edges.append((potrf, trsm))
+            if k > 0:
+                edges.append((ids[("GEMM", i, k, k - 1)], trsm))
+        for i in range(k + 1, t):
+            syrk = task(("SYRK", i, k), SYRK)
+            edges.append((ids[("TRSM", i, k)], syrk))
+            if k > 0:
+                edges.append((ids[("SYRK", i, k - 1)], syrk))
+        for i in range(k + 2, t):
+            for j in range(k + 1, i):
+                gemm = task(("GEMM", i, j, k), GEMM)
+                edges.append((ids[("TRSM", i, k)], gemm))
+                edges.append((ids[("TRSM", j, k)], gemm))
+                if k > 0:
+                    edges.append((ids[("GEMM", i, j, k - 1)], gemm))
+
+    graph = TaskGraph(
+        len(types), edges, types, CHOLESKY_KERNELS, name=f"cholesky_T{t}"
+    )
+    assert graph.num_tasks == cholesky_task_count(t)
+    return graph

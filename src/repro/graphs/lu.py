@@ -1,0 +1,69 @@
+"""Tiled LU factorization DAG (right-looking, no pivoting across tiles).
+
+Kernels of the tiled LU factorization [Agullo et al. 2011, "LU factorization
+for accelerator-based systems"]:
+
+* ``GETRF(k)``      — LU of diagonal tile (k,k);
+* ``TRSM_L(i,k)``   — solve for tile (i,k) of L, i>k (column panel);
+* ``TRSM_U(k,j)``   — solve for tile (k,j) of U, j>k (row panel);
+* ``GEMM(i,j,k)``   — trailing-matrix update of tile (i,j), i,j>k.
+
+Task counts: ``T`` GETRF, ``T(T-1)/2`` of each TRSM flavour, and
+``T(T-1)(2T-1)/6`` GEMM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.taskgraph import TaskGraph
+
+LU_KERNELS = ("GETRF", "TRSM_L", "TRSM_U", "GEMM")
+GETRF, TRSM_L, TRSM_U, LU_GEMM = range(4)
+
+
+def lu_task_count(tiles: int) -> int:
+    """Closed-form number of tasks for a T-tile LU DAG."""
+    t = tiles
+    return t + t * (t - 1) + (t - 1) * t * (2 * t - 1) // 6
+
+
+def lu_dag(tiles: int) -> TaskGraph:
+    """Build the tiled LU DAG for a ``tiles`` × ``tiles`` tile matrix."""
+    if tiles < 1:
+        raise ValueError(f"tiles must be >= 1, got {tiles}")
+    t = tiles
+    ids: Dict[Tuple, int] = {}
+    types: List[int] = []
+    edges: List[Tuple[int, int]] = []
+
+    def task(key: Tuple, kernel: int) -> int:
+        ids[key] = len(types)
+        types.append(kernel)
+        return ids[key]
+
+    for k in range(t):
+        getrf = task(("GETRF", k), GETRF)
+        if k > 0:
+            edges.append((ids[("GEMM", k, k, k - 1)], getrf))
+        for j in range(k + 1, t):
+            trsm_u = task(("TRSM_U", k, j), TRSM_U)
+            edges.append((getrf, trsm_u))
+            if k > 0:
+                edges.append((ids[("GEMM", k, j, k - 1)], trsm_u))
+        for i in range(k + 1, t):
+            trsm_l = task(("TRSM_L", i, k), TRSM_L)
+            edges.append((getrf, trsm_l))
+            if k > 0:
+                edges.append((ids[("GEMM", i, k, k - 1)], trsm_l))
+        for i in range(k + 1, t):
+            for j in range(k + 1, t):
+                gemm = task(("GEMM", i, j, k), LU_GEMM)
+                edges.append((ids[("TRSM_L", i, k)], gemm))
+                edges.append((ids[("TRSM_U", k, j)], gemm))
+                if k > 0:
+                    edges.append((ids[("GEMM", i, j, k - 1)], gemm))
+
+    graph = TaskGraph(len(types), edges, types, LU_KERNELS, name=f"lu_T{t}")
+    assert graph.num_tasks == lu_task_count(t)
+    return graph

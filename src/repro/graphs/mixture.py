@@ -1,0 +1,93 @@
+"""Episode-level instance mixtures for generalisation training.
+
+The paper trains one agent per (kernel, T) instance and transfers it
+zero-shot (§V-F); its future-work section asks for broader generalisation.
+These factories plug into :class:`repro.sim.env.SchedulingEnv`'s
+``graph_factory`` hook to sample a *different* instance every episode —
+mixing problem sizes (and, for the random families, structures) so a single
+agent trains against a distribution of DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.lu import lu_dag
+from repro.graphs.qr import qr_dag
+from repro.graphs.random_dag import erdos_dag, layered_dag
+from repro.graphs.taskgraph import TaskGraph
+
+# direct builder map (the package-level make_dag would be a circular import)
+_FAMILIES = {"cholesky": cholesky_dag, "lu": lu_dag, "qr": qr_dag}
+
+GraphFactory = Callable[[np.random.Generator], TaskGraph]
+
+
+def size_mixture(
+    family: str, tile_choices: Sequence[int], weights: Optional[Sequence[float]] = None
+) -> GraphFactory:
+    """Factory sampling a tiled-factorization DAG with a random size T.
+
+    Instances are built once per size and cached (they are immutable), so
+    per-episode sampling costs one categorical draw.
+
+    Example::
+
+        env = SchedulingEnv(size_mixture("cholesky", [4, 6, 8]), platform, ...)
+    """
+    if family not in _FAMILIES:
+        raise KeyError(
+            f"unknown DAG family {family!r}; options: {sorted(_FAMILIES)}"
+        )
+    builder = _FAMILIES[family]
+    tile_choices = list(tile_choices)
+    if not tile_choices:
+        raise ValueError("tile_choices must be non-empty")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(tile_choices),):
+            raise ValueError("weights must match tile_choices")
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("weights must be nonnegative and sum > 0")
+        weights = weights / weights.sum()
+    cache: Dict[int, TaskGraph] = {}
+
+    def factory(rng: np.random.Generator) -> TaskGraph:
+        tiles = int(rng.choice(tile_choices, p=weights))
+        if tiles not in cache:
+            cache[tiles] = builder(tiles)
+        return cache[tiles]
+
+    return factory
+
+
+def random_structure_mixture(
+    min_nodes: int = 10,
+    max_nodes: int = 40,
+    num_types: int = 4,
+) -> GraphFactory:
+    """Factory sampling a fresh random DAG (layered or Erdős) per episode.
+
+    Exercises the agent on structures the factorization kernels never
+    produce; mainly used for robustness tests.
+    """
+    if not 1 <= min_nodes <= max_nodes:
+        raise ValueError("need 1 <= min_nodes <= max_nodes")
+
+    def factory(rng: np.random.Generator) -> TaskGraph:
+        n = int(rng.integers(min_nodes, max_nodes + 1))
+        if rng.random() < 0.5:
+            width = int(rng.integers(2, max(3, n // 3)))
+            layers = max(2, n // width)
+            return layered_dag(
+                layers, width, density=float(rng.uniform(0.2, 0.7)),
+                num_types=num_types, rng=rng,
+            )
+        return erdos_dag(
+            n, p=float(rng.uniform(0.1, 0.35)), num_types=num_types, rng=rng
+        )
+
+    return factory

@@ -1,0 +1,77 @@
+"""Tiled QR factorization DAG (flat-tree / Buttari et al. variant).
+
+Kernels of the tiled QR factorization [Agullo et al. 2011, "QR factorization
+on a multicore node enhanced with multiple GPU accelerators"]:
+
+* ``GEQRT(k)``      — QR of diagonal tile (k,k);
+* ``UNMQR(k,j)``    — apply Qᵀ of GEQRT(k) to tile (k,j), j>k;
+* ``TSQRT(i,k)``    — QR of [R(k,k); A(i,k)] (triangle-on-square), i>k,
+  serialised along i (flat reduction tree);
+* ``TSMQR(i,j,k)``  — apply Qᵀ of TSQRT(i,k) to tiles (k,j),(i,j), j>k.
+
+Task counts: ``T`` GEQRT, ``T(T-1)/2`` UNMQR, ``T(T-1)/2`` TSQRT, and
+``T(T-1)(2T-1)/6`` TSMQR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.taskgraph import TaskGraph
+
+QR_KERNELS = ("GEQRT", "UNMQR", "TSQRT", "TSMQR")
+GEQRT, UNMQR, TSQRT, TSMQR = range(4)
+
+
+def qr_task_count(tiles: int) -> int:
+    """Closed-form number of tasks for a T-tile QR DAG."""
+    t = tiles
+    return t + t * (t - 1) + (t - 1) * t * (2 * t - 1) // 6
+
+
+def qr_dag(tiles: int) -> TaskGraph:
+    """Build the tiled QR DAG for a ``tiles`` × ``tiles`` tile matrix."""
+    if tiles < 1:
+        raise ValueError(f"tiles must be >= 1, got {tiles}")
+    t = tiles
+    ids: Dict[Tuple, int] = {}
+    types: List[int] = []
+    edges: List[Tuple[int, int]] = []
+
+    def task(key: Tuple, kernel: int) -> int:
+        ids[key] = len(types)
+        types.append(kernel)
+        return ids[key]
+
+    for k in range(t):
+        geqrt = task(("GEQRT", k), GEQRT)
+        if k > 0:
+            edges.append((ids[("TSMQR", k, k, k - 1)], geqrt))
+        for j in range(k + 1, t):
+            unmqr = task(("UNMQR", k, j), UNMQR)
+            edges.append((geqrt, unmqr))
+            if k > 0:
+                edges.append((ids[("TSMQR", k, j, k - 1)], unmqr))
+        for i in range(k + 1, t):
+            tsqrt = task(("TSQRT", i, k), TSQRT)
+            # serialised on the R(k,k) tile (flat tree)
+            if i == k + 1:
+                edges.append((geqrt, tsqrt))
+            else:
+                edges.append((ids[("TSQRT", i - 1, k)], tsqrt))
+            if k > 0:
+                edges.append((ids[("TSMQR", i, k, k - 1)], tsqrt))
+            for j in range(k + 1, t):
+                tsmqr = task(("TSMQR", i, j, k), TSMQR)
+                edges.append((ids[("TSQRT", i, k)], tsmqr))
+                # row-k tile (k,j) serialised along i within step k
+                if i == k + 1:
+                    edges.append((ids[("UNMQR", k, j)], tsmqr))
+                else:
+                    edges.append((ids[("TSMQR", i - 1, j, k)], tsmqr))
+                if k > 0:
+                    edges.append((ids[("TSMQR", i, j, k - 1)], tsmqr))
+
+    graph = TaskGraph(len(types), edges, types, QR_KERNELS, name=f"qr_T{t}")
+    assert graph.num_tasks == qr_task_count(t)
+    return graph

@@ -1,0 +1,114 @@
+"""Synthetic DAG families for property-based tests and generalisation studies.
+
+These are not part of the paper's evaluation but exercise the same code paths
+(simulator, schedulers, windowed state extraction) on shapes the factorization
+DAGs never produce (wide fork-joins, sparse random structures, pure chains).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graphs.taskgraph import TaskGraph
+from repro.utils.seeding import SeedLike, as_generator
+
+GENERIC_KERNELS = ("K0", "K1", "K2", "K3")
+
+
+def _random_types(n: int, num_types: int, rng: np.random.Generator) -> np.ndarray:
+    if not 1 <= num_types <= len(GENERIC_KERNELS):
+        raise ValueError(
+            f"num_types must be in [1, {len(GENERIC_KERNELS)}], got {num_types}"
+        )
+    return rng.integers(0, num_types, size=n)
+
+
+def layered_dag(
+    num_layers: int,
+    width: int,
+    density: float = 0.5,
+    num_types: int = 4,
+    rng: SeedLike = None,
+) -> TaskGraph:
+    """Layered DAG: edges only go from layer ℓ to layer ℓ+1.
+
+    Every node in layer ℓ+1 keeps at least one predecessor so the graph has a
+    single connected "wavefront" shape similar to dense factorizations.
+    """
+    if num_layers < 1 or width < 1:
+        raise ValueError("num_layers and width must be >= 1")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = as_generator(rng)
+    n = num_layers * width
+    edges: List[Tuple[int, int]] = []
+    for layer in range(num_layers - 1):
+        lo, hi = layer * width, (layer + 1) * width
+        for v in range(hi, hi + width):
+            mask = rng.random(width) < density
+            if not mask.any():
+                mask[rng.integers(0, width)] = True
+            for u in np.flatnonzero(mask):
+                edges.append((lo + int(u), v))
+    types = _random_types(n, num_types, rng)
+    return TaskGraph(
+        n, edges, types, GENERIC_KERNELS, name=f"layered_{num_layers}x{width}"
+    )
+
+
+def erdos_dag(
+    n: int, p: float = 0.2, num_types: int = 4, rng: SeedLike = None
+) -> TaskGraph:
+    """Erdős–Rényi DAG: each pair (i, j) with i<j is an edge w.p. ``p``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = as_generator(rng)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    edges = [(int(u), int(v)) for u, v in zip(*np.nonzero(upper))]
+    types = _random_types(n, num_types, rng)
+    return TaskGraph(n, edges, types, GENERIC_KERNELS, name=f"erdos_{n}_{p}")
+
+
+def chain_dag(n: int, num_types: int = 1, rng: SeedLike = None) -> TaskGraph:
+    """Pure sequential chain — worst case for parallel schedulers."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = as_generator(rng)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    types = _random_types(n, num_types, rng)
+    return TaskGraph(n, edges, types, GENERIC_KERNELS, name=f"chain_{n}")
+
+
+def fork_join_dag(
+    width: int, stages: int = 1, num_types: int = 4, rng: SeedLike = None
+) -> TaskGraph:
+    """Repeated fork-join: source → ``width`` parallel tasks → sink, ×stages.
+
+    Embarrassingly parallel inside each stage — best case for schedulers,
+    and a sharp test for the ∅ (idle) action never being needed.
+    """
+    if width < 1 or stages < 1:
+        raise ValueError("width and stages must be >= 1")
+    rng = as_generator(rng)
+    edges: List[Tuple[int, int]] = []
+    node = 0
+    prev_join = None
+    for _ in range(stages):
+        fork = node if prev_join is None else prev_join
+        if prev_join is None:
+            node += 1
+        middles = list(range(node, node + width))
+        node += width
+        join = node
+        node += 1
+        for m in middles:
+            edges.append((fork, m))
+            edges.append((m, join))
+        prev_join = join
+    n = node
+    types = _random_types(n, num_types, rng)
+    return TaskGraph(n, edges, types, GENERIC_KERNELS, name=f"forkjoin_{width}x{stages}")

@@ -1,0 +1,116 @@
+"""Functional ops composed from :class:`~repro.nn.tensor.Tensor` primitives.
+
+These are the building blocks of the READYS heads: numerically stable
+softmax/log-softmax over action scores, pooling over node embeddings
+(mean-pool for the critic, max-pool for the ∅-action score, paper Fig. 2),
+and the scalar losses used by A2C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectified linear unit."""
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    return x.sigmoid()
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``.
+
+    The max-shift uses a detached maximum, so gradients flow exactly as for
+    the unshifted expression.
+    """
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    out = (x - shift).exp().sum(axis=axis, keepdims=True).log() + shift
+    if not keepdims:
+        out = out.reshape(_dropped_axis_shape(x.shape, axis))
+    return out
+
+
+def _dropped_axis_shape(shape, axis):
+    axis = axis % len(shape)
+    return tuple(s for i, s in enumerate(shape) if i != axis)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (stable via max shift)."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable via max shift)."""
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def entropy(logits: Tensor, axis: int = -1) -> Tensor:
+    """Shannon entropy of the categorical distribution given by ``logits``.
+
+    Computed as ``-(softmax(l) * log_softmax(l)).sum()``; used as the
+    exploration bonus β·H(π(s)) in the A2C policy loss (paper §IV-A).
+    """
+    logp = log_softmax(logits, axis=axis)
+    p = logp.exp()
+    return -(p * logp).sum(axis=axis)
+
+
+def mean_pool(node_embeddings: Tensor) -> Tensor:
+    """Mean over the node axis (rows) — critic pooling in Fig. 2."""
+    return node_embeddings.mean(axis=0)
+
+
+def max_pool(node_embeddings: Tensor) -> Tensor:
+    """Max over the node axis (rows) — ∅-score pooling in Fig. 2."""
+    return node_embeddings.max(axis=0)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error; the critic's Bellman-error loss."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber (smooth-L1) loss, an optional robust critic loss."""
+    diff = (prediction - target).abs()
+    d = np.asarray(diff.data)
+    quad_mask = Tensor((d <= delta).astype(np.float64))
+    lin_mask = Tensor((d > delta).astype(np.float64))
+    quadratic = diff * diff * 0.5
+    linear = diff * delta - 0.5 * delta * delta
+    return (quadratic * quad_mask + linear * lin_mask).mean()
+
+
+def masked_log_softmax(
+    x: Tensor, mask: Optional[np.ndarray] = None, axis: int = -1
+) -> Tensor:
+    """Log-softmax where entries with ``mask == False`` get probability 0.
+
+    The mask is applied by adding a large negative constant to masked logits
+    *before* normalisation, so gradients for masked entries vanish.  Used for
+    invalid actions (e.g. the ∅ action when idling would deadlock).
+    """
+    if mask is None:
+        return log_softmax(x, axis=axis)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != x.shape:
+        raise ValueError(f"mask shape {mask.shape} != logits shape {x.shape}")
+    if not mask.any():
+        raise ValueError("mask must keep at least one entry")
+    penalty = Tensor(np.where(mask, 0.0, -1e9))
+    return log_softmax(x + penalty, axis=axis)

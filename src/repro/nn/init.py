@@ -1,0 +1,62 @@
+"""Weight initialisers (Glorot/Xavier and Kaiming/He schemes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, as_generator
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: SeedLike = None, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform init — default for tanh/linear layers."""
+    rng = as_generator(rng)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(
+    fan_in: int, fan_out: int, rng: SeedLike = None, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier normal init."""
+    rng = as_generator(rng)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """He uniform init — default for ReLU layers (GCN stack uses ReLU)."""
+    rng = as_generator(rng)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def kaiming_normal(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """He normal init."""
+    rng = as_generator(rng)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+_SCHEMES = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "kaiming_uniform": kaiming_uniform,
+    "kaiming_normal": kaiming_normal,
+}
+
+
+def get_scheme(name: str):
+    """Look up an initialiser by name (raises ``KeyError`` with options)."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown init scheme {name!r}; options: {sorted(_SCHEMES)}"
+        ) from None

@@ -1,0 +1,57 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives.
+
+Used by the transfer-learning experiments (paper §V-F): an agent trained on
+Cholesky T=6 is checkpointed and re-loaded to schedule T=10/12 DAGs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+_META_PREFIX = "__meta__"
+
+
+def save_state_dict(module: Module, path: str, **metadata: str) -> None:
+    """Write ``module.state_dict()`` (plus string metadata) to ``path``.
+
+    Metadata values are stored as 0-d string arrays under ``__meta__<key>``
+    keys; useful for recording the training configuration alongside weights.
+    """
+    state = module.state_dict()
+    for key in state:
+        if key.startswith(_META_PREFIX):
+            raise ValueError(f"parameter name collides with metadata prefix: {key}")
+    payload: Dict[str, np.ndarray] = dict(state)
+    for key, value in metadata.items():
+        payload[f"{_META_PREFIX}{key}"] = np.asarray(str(value))
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_state_dict(module: Module, path: str) -> Dict[str, str]:
+    """Load weights saved by :func:`save_state_dict` into ``module``.
+
+    Returns the stored metadata dict.  Shape/key mismatches raise, matching
+    :meth:`Module.load_state_dict` semantics.
+    """
+    if not path.endswith(".npz"):
+        # np.savez appends .npz automatically; accept both spellings.
+        candidate = path + ".npz"
+        if os.path.exists(candidate) and not os.path.exists(path):
+            path = candidate
+    with np.load(path, allow_pickle=False) as archive:
+        state = {}
+        metadata = {}
+        for key in archive.files:
+            if key.startswith(_META_PREFIX):
+                metadata[key[len(_META_PREFIX):]] = str(archive[key])
+            else:
+                state[key] = archive[key]
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,82 @@
+"""Sparse-adjacency support for the GCN (large-window scaling).
+
+The windowed sub-DAG of a decision has m ≤ n nodes; the dense normalised
+adjacency costs O(m²) memory and O(m²·h) per GCN layer.  Factorization DAGs
+are sparse (average degree ≈ 3–4), so a CSR adjacency drops the layer cost
+to O(nnz·h).  For the paper's sizes (m ≈ 45 on average) dense is fine; for
+T ≳ 12 windows grow into the hundreds and sparse wins — measured in
+``benchmarks/test_ablation_sparse.py``.
+
+The sparse matrix is an episode constant (never differentiated); only the
+dense feature operand carries gradients, with ``∂(A·H)/∂H = Aᵀ·g``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.nn.tensor import Tensor
+
+AdjacencyLike = Union[np.ndarray, sp.spmatrix]
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """``matrix @ x`` where ``matrix`` is a constant scipy sparse matrix.
+
+    Gradient flows to ``x`` only: ``grad_x = matrixᵀ @ grad_out``.
+    """
+    if matrix.shape[1] != x.shape[0]:
+        raise ValueError(
+            f"shape mismatch: {matrix.shape} @ {x.shape}"
+        )
+    csr = matrix.tocsr()
+    out_data = csr @ x.data
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(csr.T @ np.asarray(g))
+
+    return x._make(np.asarray(out_data), (x,), backward)
+
+
+def gcn_normalize_adjacency_sparse(adjacency: AdjacencyLike) -> sp.csr_matrix:
+    """Sparse ``D̃^{-1/2} Ã D̃^{-1/2}`` with symmetrisation and self-loops.
+
+    Accepts a dense 0/1 matrix or any scipy sparse matrix; returns CSR.
+    Matches :func:`repro.nn.layers.gcn_normalize_adjacency` numerically.
+    """
+    if sp.issparse(adjacency):
+        a = adjacency.tocsr().astype(np.float64)
+    else:
+        arr = np.asarray(adjacency, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {arr.shape}")
+        a = sp.csr_matrix(arr)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {a.shape}")
+    n = a.shape[0]
+    sym = a + a.T
+    sym.data = np.ones_like(sym.data)  # binarise
+    a_tilde = (sym + sp.identity(n, format="csr")).tocsr()
+    a_tilde.data = np.minimum(a_tilde.data, 1.0)
+    deg = np.asarray(a_tilde.sum(axis=1)).ravel()
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    d_half = sp.diags(inv_sqrt)
+    return (d_half @ a_tilde @ d_half).tocsr()
+
+
+def edges_to_sparse_adjacency(
+    edges: np.ndarray, num_nodes: int
+) -> sp.csr_matrix:
+    """CSR 0/1 adjacency from an (e, 2) edge array (u→v rows)."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        return sp.csr_matrix((num_nodes, num_nodes))
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must have shape (e, 2), got {edges.shape}")
+    data = np.ones(len(edges))
+    return sp.csr_matrix(
+        (data, (edges[:, 0], edges[:, 1])), shape=(num_nodes, num_nodes)
+    )

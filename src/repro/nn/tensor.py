@@ -1,0 +1,480 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This is the substrate that replaces ``torch.Tensor`` for the READYS agent.
+Design notes (per the hpc-parallel guides: vectorise, avoid copies):
+
+* every op records a backward closure over the *parent* tensors; gradients
+  are accumulated in ``.grad`` (a plain ndarray) during :meth:`Tensor.backward`
+  via a topological sweep;
+* broadcasting is supported everywhere through :func:`_unbroadcast`, which
+  sums gradients over broadcast axes;
+* a global ``no_grad`` switch disables graph recording for inference paths
+  (the simulator's per-decision forward pass, paper Fig. 7 measures this).
+
+Only the operations required by the agent and its tests are implemented, but
+each is implemented completely (forward + backward + broadcasting).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether autograd graph recording is currently active."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were added or broadcast to reach ``grad.shape``.
+
+    Inverse of NumPy broadcasting for gradient accumulation: if the forward op
+    broadcast an operand of ``shape`` up to ``grad.shape``, the operand's
+    gradient is the sum of ``grad`` over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes that were prepended by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes where the original dimension was 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    return arr
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; stored as ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        *,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the scalar payload of a 1-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    @staticmethod
+    def _raise_item() -> float:
+        raise ValueError("item() requires a tensor with exactly one element")
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy; treat as read-only)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A view of this tensor cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _lift(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(g, self.shape))
+            other._accumulate(_unbroadcast(g, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(-g)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(g, self.shape))
+            other._accumulate(_unbroadcast(-g, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._lift(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(g * other.data, self.shape))
+            other._accumulate(_unbroadcast(g * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(g / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-g * self.data / (other.data**2), other.shape)
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._lift(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        if self.ndim not in (1, 2) or other.ndim not in (1, 2):
+            raise ValueError("matmul supports 1-D and 2-D operands only")
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:  # dot product, g scalar
+                self._accumulate(g * b)
+                other._accumulate(g * a)
+            elif a.ndim == 2 and b.ndim == 2:
+                self._accumulate(g @ b.T)
+                other._accumulate(a.T @ g)
+            elif a.ndim == 1:  # (k,) @ (k, n) -> (n,)
+                self._accumulate(g @ b.T)
+                other._accumulate(np.outer(a, g))
+            else:  # (m, k) @ (k,) -> (m,)
+                self._accumulate(np.outer(g, b))
+                other._accumulate(a.T @ g)
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # elementwise non-linearities
+    # ------------------------------------------------------------------ #
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * sign)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+
+    def sum(
+        self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False
+    ) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.ndim for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            self._accumulate(np.broadcast_to(grad, self.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(
+        self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False
+    ) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax % self.ndim]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.asarray(g)
+            out_full = out_data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+                out_full = np.expand_dims(out_data, axis)
+            # Split gradient equally among ties (matches subgradient choice).
+            mask = self.data == out_full
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(np.where(mask, grad / counts, 0.0))
+
+        return self._make(out_data, (self,), backward)
+
+    def min(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------ #
+    # shape ops
+    # ------------------------------------------------------------------ #
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(np.asarray(g).reshape(original))
+
+        return self._make(out_data, (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def transpose(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(np.asarray(g).T)
+
+        return self._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            self._accumulate(grad)
+
+        return self._make(np.array(out_data, copy=True), (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g: np.ndarray) -> None:
+            g = np.asarray(g)
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(lo, hi)
+                t._accumulate(g[tuple(sl)])
+
+        ref = tensors[0]
+        return ref._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(g: np.ndarray) -> None:
+            g = np.asarray(g)
+            for i, t in enumerate(tensors):
+                t._accumulate(np.take(g, i, axis=axis))
+
+        ref = tensors[0]
+        return ref._make(out_data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to 1 for scalar outputs (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.broadcast_to(_as_array(grad), self.shape)
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: Tensor) -> None:
+            stack = [(node, iter(node._parents))]
+            visited.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and parent.requires_grad:
+                        visited.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    topo.append(current)
+                    stack.pop()
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)

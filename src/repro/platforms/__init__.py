@@ -1,0 +1,47 @@
+"""Heterogeneous platform model: processors, platforms, duration noise."""
+
+from repro.platforms.resources import (
+    CPU,
+    GPU,
+    NUM_RESOURCE_TYPES,
+    RESOURCE_TYPE_NAMES,
+    Processor,
+    Platform,
+)
+from repro.platforms.comm import (
+    CommunicationModel,
+    NoComm,
+    UniformComm,
+    TypePairComm,
+)
+from repro.platforms.noise import (
+    NoiseModel,
+    NoNoise,
+    GaussianNoise,
+    LognormalNoise,
+    UniformNoise,
+    GammaNoise,
+    PerResourceNoise,
+    make_noise,
+)
+
+__all__ = [
+    "CPU",
+    "GPU",
+    "NUM_RESOURCE_TYPES",
+    "RESOURCE_TYPE_NAMES",
+    "Processor",
+    "Platform",
+    "CommunicationModel",
+    "NoComm",
+    "UniformComm",
+    "TypePairComm",
+    "NoiseModel",
+    "NoNoise",
+    "GaussianNoise",
+    "LognormalNoise",
+    "UniformNoise",
+    "GammaNoise",
+    "PerResourceNoise",
+    "make_noise",
+]

@@ -1,0 +1,52 @@
+"""READYS: the GCN + A2C reinforcement-learning scheduler (paper §IV)."""
+
+from repro.rl.agent import ReadysAgent, AgentConfig
+from repro.rl.a2c import A2CConfig, A2CUpdater, Transition
+from repro.rl.trainer import ReadysTrainer, TrainResult, evaluate_agent
+from repro.rl.transfer import save_agent, load_agent, transfer_evaluate
+from repro.rl.ppo import PPOConfig, PPOTrainer, PPOTransition, compute_gae
+from repro.rl.callbacks import (
+    Callback,
+    EvalCallback,
+    EarlyStopping,
+    train_with_callbacks,
+)
+from repro.rl.imitation import (
+    mct_expert,
+    collect_expert_decisions,
+    behaviour_clone,
+    warm_start,
+)
+from repro.rl.plan_extraction import extract_static_schedule, adaptivity_gap
+from repro.rl.multi_seed import train_multi_seed, MultiSeedResult, SeedResult
+
+__all__ = [
+    "ReadysAgent",
+    "AgentConfig",
+    "A2CConfig",
+    "A2CUpdater",
+    "Transition",
+    "ReadysTrainer",
+    "TrainResult",
+    "evaluate_agent",
+    "save_agent",
+    "load_agent",
+    "transfer_evaluate",
+    "PPOConfig",
+    "PPOTrainer",
+    "PPOTransition",
+    "compute_gae",
+    "Callback",
+    "EvalCallback",
+    "EarlyStopping",
+    "train_with_callbacks",
+    "mct_expert",
+    "collect_expert_decisions",
+    "behaviour_clone",
+    "warm_start",
+    "extract_static_schedule",
+    "adaptivity_gap",
+    "train_multi_seed",
+    "MultiSeedResult",
+    "SeedResult",
+]

@@ -1,0 +1,161 @@
+"""A2C — synchronous advantage actor-critic (paper §IV-A).
+
+The agent interacts with the environment under its current policy; every
+``unroll_length`` decisions the collected transitions update the network:
+
+* n-step returns ``R_t = r_t + γ r_{t+1} + … + γ^{k} V(s_{t+k})`` with the
+  critic bootstrapping the tail (unless the episode ended inside the unroll);
+* policy loss ``-E[log π(a_t|s_t) · A_t]`` with ``A_t = R_t - V(s_t)``
+  (advantage detached from the policy gradient);
+* value loss ``E[(V(s_t) - R_t)²]`` scaled by ``value_coef`` (paper: 0.5);
+* entropy bonus ``-β·H(π(s_t))`` for exploration (paper grid: β ∈
+  {1e-3, 5e-3, 1e-2});
+* Adam at lr 0.01 (paper §V-D) and global-norm gradient clipping.
+
+The paper grid-searches ``unroll_length ∈ {20, 40, 60, 80}`` and uses
+``γ = 0.99``; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.rl.agent import ReadysAgent
+from repro.sim.state import Observation
+
+
+@dataclass(frozen=True)
+class A2CConfig:
+    """Hyper-parameters of the A2C update (paper defaults)."""
+
+    gamma: float = 0.99
+    learning_rate: float = 1e-2
+    value_coef: float = 0.5
+    entropy_coef: float = 5e-3
+    unroll_length: int = 40
+    max_grad_norm: float = 5.0
+    normalize_advantage: bool = True
+    """standardise advantages per unroll — stabilises the policy gradient
+    against the large negative returns of early training"""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if self.value_coef < 0 or self.entropy_coef < 0:
+            raise ValueError("loss coefficients must be >= 0")
+        if self.unroll_length < 1:
+            raise ValueError("unroll_length must be >= 1")
+        if self.max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be > 0")
+
+
+@dataclass
+class Transition:
+    """One (s, a, r, done) step of an unroll."""
+
+    obs: Observation
+    action: int
+    reward: float
+    done: bool
+
+
+@dataclass
+class UpdateStats:
+    """Diagnostics of one A2C update."""
+
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    grad_norm: float
+    mean_return: float
+
+
+class A2CUpdater:
+    """Applies A2C updates to a :class:`ReadysAgent` from collected unrolls."""
+
+    def __init__(self, agent: ReadysAgent, config: Optional[A2CConfig] = None) -> None:
+        self.agent = agent
+        self.config = config if config is not None else A2CConfig()
+        self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
+
+    def compute_returns(
+        self, transitions: List[Transition], bootstrap_value: float
+    ) -> np.ndarray:
+        """n-step discounted returns, resetting at episode boundaries."""
+        cfg = self.config
+        returns = np.empty(len(transitions), dtype=np.float64)
+        running = bootstrap_value
+        for i in range(len(transitions) - 1, -1, -1):
+            t = transitions[i]
+            if t.done:
+                running = 0.0
+            running = t.reward + cfg.gamma * running
+            returns[i] = running
+        return returns
+
+    def update(
+        self, transitions: List[Transition], bootstrap_value: float
+    ) -> UpdateStats:
+        """One gradient step from an unroll.
+
+        ``bootstrap_value`` is ``V(s_T)`` of the observation following the
+        last transition (0 if that transition ended the episode).
+        """
+        if not transitions:
+            raise ValueError("cannot update from an empty unroll")
+        cfg = self.config
+        returns = self.compute_returns(transitions, bootstrap_value)
+
+        # forward every state once; keep graph-connected pieces for the loss
+        logp_terms: List[Tensor] = []
+        value_terms: List[Tensor] = []
+        entropy_terms: List[Tensor] = []
+        values = np.empty(len(transitions), dtype=np.float64)
+        for i, t in enumerate(transitions):
+            logits, value = self.agent.forward(t.obs)
+            logp = F.log_softmax(logits)
+            logp_terms.append(logp[np.array([t.action])])
+            diff = value - float(returns[i])
+            value_terms.append(diff * diff)
+            entropy_terms.append(F.entropy(logits).reshape(1))
+            values[i] = float(value.data[0])
+
+        advantages = returns - values  # detached from the actor gradient
+        if cfg.normalize_advantage and len(transitions) > 1:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
+
+        policy_terms = [
+            logp * float(-adv) for logp, adv in zip(logp_terms, advantages)
+        ]
+        n = float(len(transitions))
+        policy_loss = Tensor.concatenate(policy_terms).sum() / n
+        value_loss = Tensor.concatenate(value_terms).sum() / n
+        entropy = Tensor.concatenate(entropy_terms).sum() / n
+        loss = (
+            policy_loss
+            + cfg.value_coef * value_loss
+            - cfg.entropy_coef * entropy
+        )
+
+        self.optimizer.zero_grad()
+        loss.backward()
+        grad_norm = clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
+        self.optimizer.step()
+
+        return UpdateStats(
+            policy_loss=float(policy_loss.data),
+            value_loss=float(value_loss.data),
+            entropy=float(entropy.data),
+            grad_norm=grad_norm,
+            mean_return=float(returns.mean()),
+        )

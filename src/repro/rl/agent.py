@@ -1,0 +1,121 @@
+"""The READYS agent network (paper Fig. 2).
+
+Architecture, bottom to top:
+
+* a stack of ``g`` GCN layers over the window sub-DAG (node features are the
+  paper's raw features enriched with resource state) with ReLU activations,
+  producing an internal representation ``H`` of every node in the window;
+* **critic**: mean-pooling of ``H`` followed by a one-dimensional projection
+  → state value ``V``;
+* **actor**: the embeddings of the *ready* tasks are projected to one scalar
+  score each; the ∅ action's score is a projection of the concatenation of
+  the max-pooled DAG representation with the current-processor descriptor;
+  a softmax over [task scores, ∅ score] gives the policy π.
+
+The number of GCN layers defaults to ``max(window, 1)`` — the paper finds
+``g = w`` layers suffice for window information to reach the ready tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import GCNStack, Linear, Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.sim.state import Observation
+from repro.utils.seeding import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Hyper-parameters of the READYS network."""
+
+    feature_dim: int
+    """width of the node feature rows (see ``observation_feature_dim``)"""
+    proc_feature_dim: int
+    """width of the current-processor descriptor"""
+    hidden_dim: int = 64
+    """GCN embedding width"""
+    num_gcn_layers: int = 2
+    """``g`` — number of stacked graph convolutions"""
+
+    def __post_init__(self) -> None:
+        if self.feature_dim < 1 or self.proc_feature_dim < 1:
+            raise ValueError("feature dims must be >= 1")
+        if self.hidden_dim < 1:
+            raise ValueError("hidden_dim must be >= 1")
+        if self.num_gcn_layers < 1:
+            raise ValueError("num_gcn_layers must be >= 1")
+
+
+class ReadysAgent(Module):
+    """GCN encoder + actor/critic heads."""
+
+    def __init__(self, config: AgentConfig, rng: SeedLike = None) -> None:
+        rng = as_generator(rng)
+        self.config = config
+        self.gcn = GCNStack(
+            config.feature_dim, config.hidden_dim, config.num_gcn_layers, rng=rng
+        )
+        self.task_score = Linear(config.hidden_dim, 1, rng=rng)
+        self.pass_score = Linear(config.hidden_dim + config.proc_feature_dim, 1, rng=rng)
+        self.value_head = Linear(config.hidden_dim, 1, rng=rng)
+
+    # ------------------------------------------------------------------ #
+
+    def forward(self, obs: Observation) -> Tuple[Tensor, Tensor]:
+        """Return ``(logits, value)`` for one observation.
+
+        ``logits`` has one entry per ready task, plus a final entry for the
+        ∅ action when it is legal.  ``value`` is a 1-element tensor.
+        """
+        if len(obs.ready_positions) == 0:
+            raise ValueError("observation has no ready task — not a decision point")
+        h = self.gcn(Tensor(obs.features), obs.norm_adj)  # (m, hidden)
+
+        value = self.value_head(F.mean_pool(h))  # (1,)
+
+        ready_emb = h[np.asarray(obs.ready_positions)]  # (A, hidden)
+        task_logits = self.task_score(ready_emb).reshape(-1)  # (A,)
+
+        if obs.allow_pass:
+            pooled = F.max_pool(h)  # (hidden,)
+            ctx = Tensor.concatenate([pooled, Tensor(obs.proc_features)], axis=0)
+            pass_logit = self.pass_score(ctx)  # (1,)
+            logits = Tensor.concatenate([task_logits, pass_logit], axis=0)
+        else:
+            logits = task_logits
+        return logits, value
+
+    # ------------------------------------------------------------------ #
+    # policy helpers
+    # ------------------------------------------------------------------ #
+
+    def action_distribution(self, obs: Observation) -> np.ndarray:
+        """π(a|s) as a plain probability vector (no grad)."""
+        with no_grad():
+            logits, _ = self.forward(obs)
+            return F.softmax(logits).data
+
+    def sample_action(
+        self, obs: Observation, rng: np.random.Generator
+    ) -> int:
+        """Draw an action from π(a|s)."""
+        probs = self.action_distribution(obs)
+        return int(rng.choice(len(probs), p=probs))
+
+    def greedy_action(self, obs: Observation) -> int:
+        """The mode of π(a|s) — used for deterministic evaluation."""
+        with no_grad():
+            logits, _ = self.forward(obs)
+            return int(np.argmax(logits.data))
+
+    def state_value(self, obs: Observation) -> float:
+        """V(s) as a float (no grad) — the bootstrap target for unrolls."""
+        with no_grad():
+            _, value = self.forward(obs)
+            return float(value.data[0])

@@ -1,0 +1,137 @@
+"""Training callbacks: periodic evaluation, best-snapshot, early stopping.
+
+The paper evaluates a trained agent once; anyone iterating on the method
+needs the standard machinery around the loop — a greedy-evaluation learning
+curve against the HEFT reference, keeping the best weights seen (A2C's final
+policy is not always its best), and stopping when the curve plateaus.
+
+Callbacks receive ``(trainer, update_index)`` after every A2C update and may
+signal a stop by returning ``True``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rl.trainer import ReadysTrainer, evaluate_agent
+from repro.sim.env import SchedulingEnv
+from repro.utils.seeding import SeedLike, as_generator
+
+
+class Callback:
+    """Base callback; return ``True`` from ``__call__`` to stop training."""
+
+    def __call__(self, trainer: ReadysTrainer, update_index: int) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class EvalPoint:
+    """One point of an evaluation learning curve."""
+
+    update: int
+    mean_makespan: float
+    episodes: int
+
+
+class EvalCallback(Callback):
+    """Greedy-evaluate the agent on ``eval_env`` every ``every`` updates.
+
+    Keeps the learning curve in :attr:`history` and, when ``track_best`` is
+    set, a deep copy of the best weights in :attr:`best_state` (restore with
+    ``trainer.agent.load_state_dict(cb.best_state)``).
+    """
+
+    def __init__(
+        self,
+        eval_env: SchedulingEnv,
+        every: int = 50,
+        episodes: int = 3,
+        track_best: bool = True,
+        rng: SeedLike = 0,
+    ) -> None:
+        if every < 1 or episodes < 1:
+            raise ValueError("every and episodes must be >= 1")
+        self.eval_env = eval_env
+        self.every = every
+        self.episodes = episodes
+        self.track_best = track_best
+        self.rng = as_generator(rng)
+        self.history: List[EvalPoint] = []
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.best_makespan = float("inf")
+
+    def __call__(self, trainer: ReadysTrainer, update_index: int) -> bool:
+        if (update_index + 1) % self.every != 0:
+            return False
+        mks = evaluate_agent(
+            trainer.agent, self.eval_env, episodes=self.episodes, rng=self.rng
+        )
+        mean = float(np.mean(mks))
+        self.history.append(EvalPoint(update_index + 1, mean, self.episodes))
+        if self.track_best and mean < self.best_makespan:
+            self.best_makespan = mean
+            self.best_state = trainer.agent.state_dict()
+        return False
+
+
+class EarlyStopping(Callback):
+    """Stop when the training-episode makespan stops improving.
+
+    Compares the rolling mean of the last ``window`` episode makespans
+    against the best rolling mean seen so far; stops after ``patience``
+    consecutive checks (one per update that completed ≥1 episode) without an
+    improvement of at least ``min_delta`` (relative).
+    """
+
+    def __init__(
+        self, patience: int = 50, window: int = 20, min_delta: float = 0.005
+    ) -> None:
+        if patience < 1 or window < 1:
+            raise ValueError("patience and window must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be >= 0")
+        self.patience = patience
+        self.window = window
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.stale = 0
+        self.stopped_at: Optional[int] = None
+
+    def __call__(self, trainer: ReadysTrainer, update_index: int) -> bool:
+        makespans = trainer.result.episode_makespans
+        if len(makespans) < self.window:
+            return False
+        current = float(np.mean(makespans[-self.window:]))
+        if current < self.best * (1.0 - self.min_delta):
+            self.best = current
+            self.stale = 0
+            return False
+        self.stale += 1
+        if self.stale >= self.patience:
+            self.stopped_at = update_index + 1
+            return True
+        return False
+
+
+def train_with_callbacks(
+    trainer: ReadysTrainer,
+    num_updates: int,
+    callbacks: List[Callback],
+) -> int:
+    """Run up to ``num_updates`` updates, consulting callbacks after each.
+
+    Returns the number of updates actually performed (may be fewer if a
+    callback stopped training).
+    """
+    if num_updates < 0:
+        raise ValueError("num_updates must be >= 0")
+    for i in range(num_updates):
+        trainer.train_updates(1)
+        if any(cb(trainer, i) for cb in callbacks):
+            return i + 1
+    return num_updates

@@ -1,0 +1,139 @@
+"""Imitation warm-start: behaviour-clone a heuristic before RL fine-tuning.
+
+The paper notes that "paying the full price of model training is probably
+the main practical obstacle" (§VI).  A standard mitigation is to pretrain
+the actor by supervised learning on an expert's decisions — here, the
+expert replays a heuristic *through the environment's own action space*
+(e.g. "act like MCT": pick the ready task with the best expected completion
+on the current processor, or pass when the processor is a poor fit) — and
+then fine-tune with A2C.  Cross-entropy on expert actions gives the policy a
+sensible prior in a few seconds of supervised steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.rl.agent import ReadysAgent
+from repro.sim.env import SchedulingEnv
+from repro.sim.state import Observation
+from repro.utils.seeding import SeedLike, as_generator
+
+ExpertPolicy = Callable[[Observation], int]
+
+
+def mct_expert(obs: Observation) -> int:
+    """MCT-flavoured expert in the env's action space.
+
+    Takes the ready task with the smallest expected duration *on the current
+    processor* unless every candidate runs at least 3× faster on the other
+    resource type, in which case it passes (when legal).  Uses only the
+    observation's own feature columns, so it works on any instance.
+    """
+    # dynamic feature block (see StateBuilder): last 6 columns are
+    # [exp_cpu, exp_gpu, remaining, exp_on_current, cur_is_cpu, cur_is_gpu]
+    ready = np.asarray(obs.ready_positions)
+    exp_cpu = obs.features[ready, -6]
+    exp_gpu = obs.features[ready, -5]
+    exp_cur = obs.features[ready, -3]
+    other = np.where(obs.features[0, -2] == 1.0, exp_gpu, exp_cpu)
+    candidate = int(np.argmin(exp_cur))
+    badly_placed = exp_cur[candidate] > 3.0 * other[candidate]
+    if badly_placed and obs.allow_pass:
+        return len(ready)
+    return candidate
+
+
+@dataclass
+class ImitationStats:
+    """Diagnostics of one behaviour-cloning run."""
+
+    steps: int
+    final_loss: float
+    final_accuracy: float
+
+
+def collect_expert_decisions(
+    env: SchedulingEnv,
+    expert: ExpertPolicy,
+    num_steps: int,
+) -> List[Tuple[Observation, int]]:
+    """Roll the expert in ``env`` and record (observation, action) pairs."""
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    dataset: List[Tuple[Observation, int]] = []
+    obs = env.reset()
+    while len(dataset) < num_steps:
+        action = expert(obs)
+        dataset.append((obs, action))
+        obs, _r, done, _info = env.step(action)
+        if done:
+            obs = env.reset()
+    return dataset
+
+
+def behaviour_clone(
+    agent: ReadysAgent,
+    dataset: List[Tuple[Observation, int]],
+    epochs: int = 5,
+    batch_size: int = 32,
+    learning_rate: float = 3e-3,
+    rng: SeedLike = 0,
+) -> ImitationStats:
+    """Minimise cross-entropy of the agent's policy against expert actions.
+
+    The critic head is untouched (its Bellman target comes from RL);
+    only the GCN trunk and actor heads receive supervised gradients.
+    """
+    if not dataset:
+        raise ValueError("dataset must be non-empty")
+    if epochs < 1 or batch_size < 1:
+        raise ValueError("epochs and batch_size must be >= 1")
+    rng = as_generator(rng)
+    optimizer = Adam(agent.parameters(), lr=learning_rate)
+    steps = 0
+    final_loss = 0.0
+    correct = 0
+    total = 0
+    for epoch in range(epochs):
+        order = rng.permutation(len(dataset))
+        last_epoch = epoch == epochs - 1
+        for start in range(0, len(order), batch_size):
+            batch = [dataset[i] for i in order[start: start + batch_size]]
+            losses = []
+            for obs, action in batch:
+                logits, _value = agent.forward(obs)
+                logp = F.log_softmax(logits)
+                losses.append(-logp[np.array([action])])
+                if last_epoch:
+                    correct += int(np.argmax(logits.data) == action)
+                    total += 1
+            loss = Tensor.concatenate(losses).sum() / float(len(losses))
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(agent.parameters(), 5.0)
+            optimizer.step()
+            steps += 1
+            final_loss = float(loss.data)
+    accuracy = correct / total if total else 0.0
+    return ImitationStats(steps=steps, final_loss=final_loss,
+                          final_accuracy=accuracy)
+
+
+def warm_start(
+    env: SchedulingEnv,
+    agent: ReadysAgent,
+    expert: ExpertPolicy = mct_expert,
+    num_steps: int = 512,
+    epochs: int = 5,
+    rng: SeedLike = 0,
+) -> ImitationStats:
+    """Convenience: collect expert decisions in ``env`` and clone them."""
+    dataset = collect_expert_decisions(env, expert, num_steps)
+    return behaviour_clone(agent, dataset, epochs=epochs, rng=rng)

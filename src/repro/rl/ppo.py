@@ -1,0 +1,229 @@
+"""PPO — proximal policy optimization, the paper's future-work direction.
+
+§VI: "We use A2C as our reinforcement learning algorithm.  Other algorithms
+that have been recently introduced may improve our results still further."
+PPO-clip is the standard such upgrade: it reuses each collected unroll for
+several gradient epochs, with the probability ratio clipped to keep the new
+policy close to the one that collected the data, and advantages estimated
+with GAE(λ).
+
+The implementation mirrors :mod:`repro.rl.a2c` so the two can be swapped in
+experiments; ``benchmarks``/examples default to A2C (paper fidelity), PPO is
+exercised by ``tests/rl/test_ppo.py`` and available for extension studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor, no_grad
+from repro.rl.agent import ReadysAgent
+from repro.sim.env import SchedulingEnv
+from repro.sim.state import Observation
+from repro.utils.seeding import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO hyper-parameters (standard defaults)."""
+
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_epsilon: float = 0.2
+    learning_rate: float = 3e-3
+    value_coef: float = 0.5
+    entropy_coef: float = 5e-3
+    rollout_length: int = 128
+    num_epochs: int = 4
+    max_grad_norm: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+        if not 0.0 <= self.gae_lambda <= 1.0:
+            raise ValueError(f"gae_lambda must be in [0, 1], got {self.gae_lambda}")
+        if self.clip_epsilon <= 0:
+            raise ValueError("clip_epsilon must be > 0")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if self.rollout_length < 1 or self.num_epochs < 1:
+            raise ValueError("rollout_length and num_epochs must be >= 1")
+
+
+@dataclass
+class PPOTransition:
+    """One rollout step with the sampling-time policy statistics attached."""
+
+    obs: Observation
+    action: int
+    reward: float
+    done: bool
+    log_prob: float
+    value: float
+
+
+def compute_gae(
+    transitions: List[PPOTransition],
+    bootstrap_value: float,
+    gamma: float,
+    lam: float,
+) -> np.ndarray:
+    """Generalised advantage estimates, resetting at episode boundaries."""
+    n = len(transitions)
+    advantages = np.empty(n, dtype=np.float64)
+    gae = 0.0
+    next_value = bootstrap_value
+    for i in range(n - 1, -1, -1):
+        t = transitions[i]
+        if t.done:
+            next_value = 0.0
+            gae = 0.0
+        delta = t.reward + gamma * next_value - t.value
+        gae = delta + gamma * lam * gae
+        advantages[i] = gae
+        next_value = t.value
+    return advantages
+
+
+@dataclass
+class PPOUpdateStats:
+    """Diagnostics of one PPO update (averaged over epochs)."""
+
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    clip_fraction: float
+    approx_kl: float
+
+
+class PPOTrainer:
+    """Rollout collection + clipped-surrogate updates for one environment."""
+
+    def __init__(
+        self,
+        env: SchedulingEnv,
+        agent: ReadysAgent,
+        config: Optional[PPOConfig] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.env = env
+        self.agent = agent
+        self.config = config if config is not None else PPOConfig()
+        self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
+        self.rng = as_generator(rng)
+        self._obs: Optional[Observation] = None
+        self.episode_makespans: List[float] = []
+        self.episode_rewards: List[float] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _policy_stats(self, obs: Observation) -> tuple:
+        """(action, logπ(action|s), V(s)) under the current policy, no grad."""
+        with no_grad():
+            logits, value = self.agent.forward(obs)
+            logp = F.log_softmax(logits).data
+        probs = np.exp(logp)
+        probs = probs / probs.sum()
+        action = int(self.rng.choice(len(probs), p=probs))
+        return action, float(logp[action]), float(value.data[0])
+
+    def collect_rollout(self) -> tuple:
+        """Gather ``rollout_length`` transitions; returns (transitions, bootstrap)."""
+        transitions: List[PPOTransition] = []
+        obs = self._obs if self._obs is not None else self.env.reset()
+        for _ in range(self.config.rollout_length):
+            action, logp, value = self._policy_stats(obs)
+            next_obs, reward, done, info = self.env.step(action)
+            transitions.append(
+                PPOTransition(obs, action, reward, done, logp, value)
+            )
+            if done:
+                self.episode_rewards.append(reward)
+                self.episode_makespans.append(info["makespan"])
+                obs = self.env.reset()
+            else:
+                obs = next_obs
+        self._obs = obs
+        if transitions[-1].done:
+            bootstrap = 0.0
+        else:
+            with no_grad():
+                _, value = self.agent.forward(obs)
+            bootstrap = float(value.data[0])
+        return transitions, bootstrap
+
+    def update(
+        self, transitions: List[PPOTransition], bootstrap_value: float
+    ) -> PPOUpdateStats:
+        """``num_epochs`` clipped-surrogate passes over one rollout."""
+        if not transitions:
+            raise ValueError("cannot update from an empty rollout")
+        cfg = self.config
+        advantages = compute_gae(
+            transitions, bootstrap_value, cfg.gamma, cfg.gae_lambda
+        )
+        returns = advantages + np.array([t.value for t in transitions])
+        if len(transitions) > 1:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        stats = dict(policy_loss=0.0, value_loss=0.0, entropy=0.0,
+                     clip_fraction=0.0, approx_kl=0.0)
+        n = float(len(transitions))
+        for _ in range(cfg.num_epochs):
+            policy_terms: List[Tensor] = []
+            value_terms: List[Tensor] = []
+            entropy_terms: List[Tensor] = []
+            clipped = 0
+            kl_accum = 0.0
+            for t, adv, ret in zip(transitions, advantages, returns):
+                logits, value = self.agent.forward(t.obs)
+                logp_all = F.log_softmax(logits)
+                logp = logp_all[np.array([t.action])]
+                ratio = (logp - t.log_prob).exp()
+                r = float(ratio.data[0])
+                kl_accum += t.log_prob - float(logp.data[0])
+                lo, hi = 1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon
+                if (adv >= 0 and r > hi) or (adv < 0 and r < lo):
+                    # ratio clipped: surrogate is constant, no policy gradient
+                    clipped += 1
+                    policy_terms.append(logp * 0.0)
+                else:
+                    policy_terms.append(ratio * float(-adv))
+                diff = value - float(ret)
+                value_terms.append(diff * diff)
+                entropy_terms.append(F.entropy(logits).reshape(1))
+
+            policy_loss = Tensor.concatenate(policy_terms).sum() / n
+            value_loss = Tensor.concatenate(value_terms).sum() / n
+            entropy = Tensor.concatenate(entropy_terms).sum() / n
+            loss = (
+                policy_loss
+                + cfg.value_coef * value_loss
+                - cfg.entropy_coef * entropy
+            )
+            self.optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
+            self.optimizer.step()
+
+            stats["policy_loss"] += float(policy_loss.data) / cfg.num_epochs
+            stats["value_loss"] += float(value_loss.data) / cfg.num_epochs
+            stats["entropy"] += float(entropy.data) / cfg.num_epochs
+            stats["clip_fraction"] += clipped / n / cfg.num_epochs
+            stats["approx_kl"] += kl_accum / n / cfg.num_epochs
+        return PPOUpdateStats(**stats)
+
+    def train_updates(self, num_updates: int) -> List[PPOUpdateStats]:
+        """Run ``num_updates`` rollout+update cycles."""
+        if num_updates < 0:
+            raise ValueError("num_updates must be >= 0")
+        history = []
+        for _ in range(num_updates):
+            transitions, bootstrap = self.collect_rollout()
+            history.append(self.update(transitions, bootstrap))
+        return history

@@ -1,0 +1,150 @@
+"""Training loop wiring the environment, the agent and the A2C updater.
+
+One *training step* = collect ``unroll_length`` decisions under the current
+policy (stochastic sampling) and apply one A2C update; episodes continue
+seamlessly across unrolls, being reset transparently when they end (classic
+synchronous A2C).  Evaluation runs full episodes under the greedy policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.rl.a2c import A2CConfig, A2CUpdater, Transition, UpdateStats
+from repro.rl.agent import AgentConfig, ReadysAgent
+from repro.sim.env import SchedulingEnv
+from repro.sim.state import PROC_FEATURE_DIM, Observation, observation_feature_dim
+from repro.utils.seeding import SeedLike, as_generator
+
+
+@dataclass
+class TrainResult:
+    """History of a training run."""
+
+    episode_makespans: List[float] = field(default_factory=list)
+    episode_rewards: List[float] = field(default_factory=list)
+    update_stats: List[UpdateStats] = field(default_factory=list)
+
+    @property
+    def num_episodes(self) -> int:
+        return len(self.episode_rewards)
+
+    def best_makespan(self) -> float:
+        """Best makespan seen during training (inf when no episode ended)."""
+        return min(self.episode_makespans) if self.episode_makespans else float("inf")
+
+
+def default_agent(
+    env: SchedulingEnv,
+    hidden_dim: int = 64,
+    num_gcn_layers: Optional[int] = None,
+    rng: SeedLike = None,
+) -> ReadysAgent:
+    """Build an agent sized for ``env``'s observations.
+
+    ``num_gcn_layers`` defaults to ``max(window, 1)`` per the paper's
+    empirical finding that w layers suffice.
+    """
+    num_types = env.durations.num_kernels
+    config = AgentConfig(
+        feature_dim=observation_feature_dim(num_types),
+        proc_feature_dim=PROC_FEATURE_DIM,
+        hidden_dim=hidden_dim,
+        num_gcn_layers=num_gcn_layers if num_gcn_layers is not None else max(env.window, 1),
+    )
+    return ReadysAgent(config, rng=rng)
+
+
+class ReadysTrainer:
+    """Synchronous A2C trainer for one environment."""
+
+    def __init__(
+        self,
+        env: SchedulingEnv,
+        agent: Optional[ReadysAgent] = None,
+        config: Optional[A2CConfig] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.env = env
+        self.rng = as_generator(rng)
+        self.agent = agent if agent is not None else default_agent(env, rng=self.rng)
+        self.updater = A2CUpdater(self.agent, config)
+        self._obs: Optional[Observation] = None
+        self.result = TrainResult()
+
+    # ------------------------------------------------------------------ #
+
+    def _collect_unroll(self) -> tuple:
+        """Gather ``unroll_length`` transitions under the sampling policy."""
+        transitions: List[Transition] = []
+        obs = self._obs if self._obs is not None else self.env.reset()
+        for _ in range(self.updater.config.unroll_length):
+            action = self.agent.sample_action(obs, self.rng)
+            next_obs, reward, done, info = self.env.step(action)
+            transitions.append(Transition(obs, action, reward, done))
+            if done:
+                self.result.episode_rewards.append(reward)
+                self.result.episode_makespans.append(info["makespan"])
+                obs = self.env.reset()
+            else:
+                obs = next_obs
+        self._obs = obs
+        # bootstrap with V of the observation after the unroll (0 after a
+        # terminal transition, handled inside compute_returns via done flags)
+        bootstrap = (
+            0.0 if transitions[-1].done else self.agent.state_value(obs)
+        )
+        return transitions, bootstrap
+
+    def train_updates(self, num_updates: int) -> TrainResult:
+        """Run ``num_updates`` unroll+update cycles; returns the history."""
+        if num_updates < 0:
+            raise ValueError("num_updates must be >= 0")
+        for _ in range(num_updates):
+            transitions, bootstrap = self._collect_unroll()
+            stats = self.updater.update(transitions, bootstrap)
+            self.result.update_stats.append(stats)
+        return self.result
+
+    def train_episodes(self, num_episodes: int) -> TrainResult:
+        """Train until ``num_episodes`` additional episodes have completed."""
+        if num_episodes < 0:
+            raise ValueError("num_episodes must be >= 0")
+        target = self.result.num_episodes + num_episodes
+        while self.result.num_episodes < target:
+            transitions, bootstrap = self._collect_unroll()
+            stats = self.updater.update(transitions, bootstrap)
+            self.result.update_stats.append(stats)
+        return self.result
+
+
+def evaluate_agent(
+    agent: ReadysAgent,
+    env: SchedulingEnv,
+    episodes: int = 5,
+    greedy: bool = True,
+    rng: SeedLike = None,
+) -> List[float]:
+    """Makespans of ``episodes`` evaluation rollouts of ``agent`` on ``env``.
+
+    ``greedy=True`` uses the policy mode (the paper's evaluation style);
+    otherwise actions are sampled.
+    """
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+    rng = as_generator(rng)
+    makespans: List[float] = []
+    for _ in range(episodes):
+        obs = env.reset()
+        done = False
+        while not done:
+            if greedy:
+                action = agent.greedy_action(obs)
+            else:
+                action = agent.sample_action(obs, rng)
+            obs, _reward, done, info = env.step(action)
+        makespans.append(info["makespan"])
+    return makespans

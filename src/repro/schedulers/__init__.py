@@ -1,0 +1,111 @@
+"""Baseline schedulers: HEFT (static), MCT (dynamic), and extended baselines.
+
+The public entry points are the ``run_*`` functions, each taking a fresh
+:class:`repro.sim.engine.Simulation` and returning the achieved makespan, and
+:func:`make_runner` which resolves a scheduler by name for the CLI/eval
+harness.
+"""
+
+from typing import Callable, Dict
+
+from repro.schedulers.base import (
+    DynamicScheduler,
+    QueueScheduler,
+    CompletionEstimator,
+    run_dynamic,
+    run_queued,
+)
+from repro.schedulers.heft import (
+    StaticSchedule,
+    upward_rank,
+    heft_schedule,
+    heft_makespan,
+)
+from repro.schedulers.static_executor import StaticOrderScheduler, run_static, run_heft
+from repro.schedulers.mct import MCTScheduler, run_mct
+from repro.schedulers.listsched import (
+    RandomScheduler,
+    GreedyScheduler,
+    RankPriorityScheduler,
+    run_random,
+    run_greedy,
+    run_rank_priority,
+)
+from repro.schedulers.batch import (
+    MinMinScheduler,
+    MaxMinScheduler,
+    run_minmin,
+    run_maxmin,
+)
+from repro.schedulers.sufferage import (
+    SufferageScheduler,
+    FIFOScheduler,
+    run_sufferage,
+    run_fifo,
+)
+from repro.schedulers.peft import (
+    optimistic_cost_table,
+    peft_schedule,
+    run_peft,
+)
+
+#: name → runner(sim, rng=None) -> makespan
+RUNNERS: Dict[str, Callable] = {
+    "heft": run_heft,
+    "mct": run_mct,
+    "random": run_random,
+    "greedy-eft": run_greedy,
+    "rank-priority": run_rank_priority,
+    "min-min": run_minmin,
+    "max-min": run_maxmin,
+    "sufferage": run_sufferage,
+    "fifo": run_fifo,
+    "peft": run_peft,
+}
+
+
+def make_runner(name: str) -> Callable:
+    """Resolve a scheduler runner by name (raises with the list of options)."""
+    try:
+        return RUNNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; options: {sorted(RUNNERS)}"
+        ) from None
+
+
+__all__ = [
+    "DynamicScheduler",
+    "QueueScheduler",
+    "CompletionEstimator",
+    "run_dynamic",
+    "run_queued",
+    "StaticSchedule",
+    "upward_rank",
+    "heft_schedule",
+    "heft_makespan",
+    "StaticOrderScheduler",
+    "run_static",
+    "run_heft",
+    "MCTScheduler",
+    "run_mct",
+    "RandomScheduler",
+    "GreedyScheduler",
+    "RankPriorityScheduler",
+    "run_random",
+    "run_greedy",
+    "run_rank_priority",
+    "MinMinScheduler",
+    "MaxMinScheduler",
+    "run_minmin",
+    "run_maxmin",
+    "SufferageScheduler",
+    "FIFOScheduler",
+    "run_sufferage",
+    "run_fifo",
+    "optimistic_cost_table",
+    "peft_schedule",
+    "run_peft",
+    "RUNNERS",
+    "make_runner",
+]

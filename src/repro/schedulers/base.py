@@ -1,0 +1,177 @@
+"""Scheduler interfaces and simulation drivers.
+
+Two families of dynamic schedulers are supported, matching the two decision
+styles found in runtime systems and in the paper:
+
+* **processor-driven** (:class:`DynamicScheduler`): whenever a processor is
+  idle, the scheduler picks a ready task for it (or leaves it idle).  This is
+  the decision style of READYS itself and of list schedulers.
+* **queue-driven** (:class:`QueueScheduler`): whenever tasks *become ready*,
+  they are immediately assigned to a processor's FIFO queue.  This is the MCT
+  style described in §V-C ("each time a task becomes ready it is assigned to
+  the resource where it is expected to complete the soonest").
+
+Both drivers operate on a :class:`repro.sim.engine.Simulation` and return the
+final makespan; the simulation object retains the full trace for validation.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Simulation
+from repro.utils.seeding import SeedLike, as_generator
+
+
+class DynamicScheduler(abc.ABC):
+    """Processor-driven scheduler: choose a ready task for an idle processor."""
+
+    name = "dynamic"
+
+    def reset(self, sim: Simulation) -> None:
+        """Called once before an episode; default is stateless."""
+
+    @abc.abstractmethod
+    def select(self, sim: Simulation, proc: int) -> Optional[int]:
+        """Return a ready task to start on ``proc`` now, or ``None`` to idle.
+
+        Returning ``None`` while other tasks are running means "wait for the
+        next completion event"; returning ``None`` when nothing is running
+        and tasks are ready is a scheduler bug (the driver raises).
+        """
+
+
+def run_dynamic(
+    sim: Simulation,
+    scheduler: DynamicScheduler,
+    rng: SeedLike = None,
+) -> float:
+    """Drive ``sim`` to completion with a processor-driven scheduler.
+
+    Idle processors are offered in random order at each decision instant (the
+    paper's "current processor" is drawn at random); ``rng`` controls that
+    order.  Returns the makespan.
+    """
+    rng = as_generator(rng)
+    scheduler.reset(sim)
+    while not sim.done:
+        # Offer every idle processor (in random order) until all pass.
+        while True:
+            idle = sim.idle_processors()
+            if idle.size == 0 or sim.ready_tasks().size == 0:
+                break
+            idle = rng.permutation(idle)
+            launched = False
+            for proc in idle:
+                if sim.ready_tasks().size == 0:
+                    break
+                task = scheduler.select(sim, int(proc))
+                if task is not None:
+                    sim.start(int(task), int(proc))
+                    launched = True
+            if not launched:
+                break
+        if sim.done:
+            break
+        if sim.running_tasks().size == 0:
+            raise RuntimeError(
+                f"{scheduler.name}: deadlock — no task running, "
+                f"{sim.ready_tasks().size} ready, all processors idling"
+            )
+        sim.advance()
+    return sim.makespan
+
+
+class CompletionEstimator:
+    """Expected completion-time bookkeeping for queue-driven schedulers.
+
+    Tracks, per processor, the expected time at which it will have drained
+    its current task and FIFO queue, using *expected* durations only (the
+    information a real runtime has).  Estimates are re-anchored to the
+    simulator clock at query time so they adapt to observed drift — the
+    property that makes MCT robust to noise in the paper.
+    """
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self._queued_work = np.zeros(sim.platform.num_processors)
+
+    def available_at(self, proc: int) -> float:
+        """Expected time processor ``proc`` becomes free of queued work."""
+        return (
+            self.sim.time
+            + self.sim.expected_remaining(proc)
+            + float(self._queued_work[proc])
+        )
+
+    def completion_estimate(self, task: int, proc: int) -> float:
+        """Expected completion time of ``task`` if appended to ``proc``'s queue."""
+        return self.available_at(proc) + self.sim.expected_duration(task, proc)
+
+    def commit(self, task: int, proc: int) -> None:
+        """Record that ``task`` was queued on ``proc``."""
+        self._queued_work[proc] += self.sim.expected_duration(task, proc)
+
+    def release(self, task: int, proc: int) -> None:
+        """Record that ``task`` left ``proc``'s queue (it started running)."""
+        self._queued_work[proc] -= self.sim.expected_duration(task, proc)
+        # guard against float drift accumulating negative mass
+        if self._queued_work[proc] < 1e-12:
+            self._queued_work[proc] = max(0.0, self._queued_work[proc])
+
+
+class QueueScheduler(abc.ABC):
+    """Queue-driven scheduler: assign tasks to processors when they become ready."""
+
+    name = "queued"
+
+    @abc.abstractmethod
+    def assign_batch(
+        self,
+        sim: Simulation,
+        tasks: np.ndarray,
+        estimator: CompletionEstimator,
+    ) -> List[Tuple[int, int]]:
+        """Map newly ready ``tasks`` to processors.
+
+        Must return one ``(task, proc)`` pair per input task, in queueing
+        order, and call ``estimator.commit`` for each assignment it makes.
+        """
+
+
+def run_queued(sim: Simulation, scheduler: QueueScheduler) -> float:
+    """Drive ``sim`` to completion with a queue-driven scheduler."""
+    p = sim.platform.num_processors
+    queues: List[Deque[int]] = [deque() for _ in range(p)]
+    estimator = CompletionEstimator(sim)
+    assigned = np.zeros(sim.graph.num_tasks, dtype=bool)
+
+    def flush() -> None:
+        ready = sim.ready_tasks()
+        new = ready[~assigned[ready]]
+        if new.size == 0:
+            return
+        for task, proc in scheduler.assign_batch(sim, new, estimator):
+            queues[proc].append(task)
+            assigned[task] = True
+
+    while not sim.done:
+        flush()
+        for proc in sim.idle_processors():
+            queue = queues[proc]
+            if queue:
+                task = queue.popleft()
+                estimator.release(task, proc)
+                sim.start(task, int(proc))
+        if sim.done:
+            break
+        if sim.running_tasks().size == 0:
+            raise RuntimeError(
+                f"{scheduler.name}: deadlock — queues stalled with no running task"
+            )
+        sim.advance()
+    return sim.makespan

@@ -1,0 +1,81 @@
+"""Batch heuristics for unrelated machines: Min-Min and Max-Min.
+
+Classical independent-task heuristics adapted to the dynamic DAG setting:
+whenever a batch of tasks becomes ready, the heuristic repeatedly evaluates
+the expected completion time of every (task, processor) pair and commits one
+assignment per round:
+
+* **Min-Min** commits the pair with the globally minimal completion time —
+  fast tasks first, keeps machines busy;
+* **Max-Min** commits the task whose *best* completion time is maximal —
+  long tasks first, avoids leaving a huge task for the end.
+
+Both appear throughout the heterogeneous-scheduling literature (e.g. Braun
+et al. 2001) and serve as additional baselines in the extended comparison
+bench (`benchmarks/test_ablation_baselines.py`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.schedulers.base import CompletionEstimator, QueueScheduler, run_queued
+from repro.sim.engine import Simulation
+from repro.utils.seeding import SeedLike
+
+
+class _BatchCompletionScheduler(QueueScheduler):
+    """Shared machinery: iterative completion-matrix selection."""
+
+    #: subclass hook: ``True`` → Max-Min outer rule, ``False`` → Min-Min
+    take_max: bool
+
+    def assign_batch(
+        self,
+        sim: Simulation,
+        tasks: np.ndarray,
+        estimator: CompletionEstimator,
+    ) -> List[Tuple[int, int]]:
+        pending = [int(t) for t in np.sort(tasks)]
+        p = sim.platform.num_processors
+        assignments: List[Tuple[int, int]] = []
+        while pending:
+            # completion matrix for the remaining batch
+            best_proc = []
+            best_time = []
+            for task in pending:
+                times = [estimator.completion_estimate(task, q) for q in range(p)]
+                j = int(np.argmin(times))
+                best_proc.append(j)
+                best_time.append(times[j])
+            pick = int(np.argmax(best_time)) if self.take_max else int(np.argmin(best_time))
+            task, proc = pending.pop(pick), best_proc[pick]
+            estimator.commit(task, proc)
+            assignments.append((task, proc))
+        return assignments
+
+
+class MinMinScheduler(_BatchCompletionScheduler):
+    """Min-Min batch assignment."""
+
+    name = "min-min"
+    take_max = False
+
+
+class MaxMinScheduler(_BatchCompletionScheduler):
+    """Max-Min batch assignment."""
+
+    name = "max-min"
+    take_max = True
+
+
+def run_minmin(sim: Simulation, rng: SeedLike = None) -> float:
+    """Min-Min baseline; returns the makespan."""
+    return run_queued(sim, MinMinScheduler())
+
+
+def run_maxmin(sim: Simulation, rng: SeedLike = None) -> float:
+    """Max-Min baseline; returns the makespan."""
+    return run_queued(sim, MaxMinScheduler())

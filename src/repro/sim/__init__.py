@@ -1,0 +1,24 @@
+"""Discrete-event simulation of dynamic DAG execution + the RL environment."""
+
+from repro.sim.engine import Simulation, ScheduledTask
+from repro.sim.state import Observation, StateBuilder
+from repro.sim.env import SchedulingEnv, run_policy
+from repro.sim.trace_io import (
+    trace_to_dict,
+    save_trace_json,
+    load_trace_json,
+    save_trace_csv,
+)
+
+__all__ = [
+    "Simulation",
+    "ScheduledTask",
+    "Observation",
+    "StateBuilder",
+    "SchedulingEnv",
+    "run_policy",
+    "trace_to_dict",
+    "save_trace_json",
+    "load_trace_json",
+    "save_trace_csv",
+]

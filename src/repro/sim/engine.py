@@ -1,0 +1,271 @@
+"""Discrete-event simulator of non-preemptive DAG execution.
+
+Semantics (paper §III):
+
+* each processor runs at most one task at a time, tasks are non-preemptive;
+* a task may start only when all its predecessors have completed;
+* communications are overlapped with computations and therefore free;
+* the *actual* duration of a task is drawn from the platform's noise model
+  when the task starts on a specific processor — the scheduler only ever
+  sees *expected* durations.
+
+The simulator is deliberately decision-free: dynamic schedulers (MCT, the RL
+agent) drive it through :meth:`Simulation.start` / :meth:`Simulation.advance`,
+and the static executor replays a fixed HEFT plan through the same interface.
+Event handling is O(P) per step (platforms have a handful of processors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.durations import DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.comm import CommunicationModel, NoComm
+from repro.platforms.noise import NoNoise, NoiseModel
+from repro.platforms.resources import Platform
+from repro.utils.seeding import SeedLike, as_generator
+
+#: sentinel for "processor is idle"
+IDLE = -1
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One completed trace entry: task ran on proc during [start, finish)."""
+
+    task: int
+    proc: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class Simulation:
+    """Executable state of one scheduling episode.
+
+    Parameters
+    ----------
+    graph, platform, durations:
+        The problem instance: task DAG, processors, expected durations.
+    noise:
+        Duration noise model (default: deterministic).
+    rng:
+        Seed or generator for duration draws.
+    comm:
+        Optional communication model (default: the paper's zero-cost
+        assumption).  When set, a task launched on processor p stalls p
+        until the outputs of predecessors executed elsewhere have arrived.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        durations: DurationTable,
+        noise: Optional[NoiseModel] = None,
+        rng: SeedLike = None,
+        comm: Optional[CommunicationModel] = None,
+    ) -> None:
+        if durations.num_kernels < graph.num_types:
+            raise ValueError(
+                f"duration table has {durations.num_kernels} kernels but the "
+                f"graph uses {graph.num_types} task types"
+            )
+        self.graph = graph
+        self.platform = platform
+        self.durations = durations
+        self.noise = noise if noise is not None else NoNoise()
+        self.comm = comm if comm is not None else NoComm()
+        self.rng = as_generator(rng)
+
+        n, p = graph.num_tasks, platform.num_processors
+        self.time = 0.0
+        self.remaining_preds = graph.in_degree.copy()
+        self.ready = self.remaining_preds == 0
+        self.running = np.zeros(n, dtype=bool)
+        self.finished = np.zeros(n, dtype=bool)
+        self.completion_time = np.full(n, np.nan)
+        self.start_time = np.full(n, np.nan)
+        self.executed_on = np.full(n, IDLE, dtype=np.int64)
+        # per-processor state
+        self.proc_task = np.full(p, IDLE, dtype=np.int64)
+        self.proc_finish = np.full(p, np.inf)
+        self.trace: List[ScheduledTask] = []
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def done(self) -> bool:
+        """All tasks completed."""
+        return bool(self.finished.all())
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (valid once :attr:`done`)."""
+        if not self.done:
+            raise RuntimeError("makespan is undefined before the episode ends")
+        return float(np.nanmax(self.completion_time))
+
+    def ready_tasks(self) -> np.ndarray:
+        """Tasks whose predecessors finished and that are not yet started."""
+        return np.flatnonzero(self.ready)
+
+    def running_tasks(self) -> np.ndarray:
+        """Tasks currently executing."""
+        return np.flatnonzero(self.running)
+
+    def idle_processors(self) -> np.ndarray:
+        """Processors with no task assigned."""
+        return np.flatnonzero(self.proc_task == IDLE)
+
+    def busy_processors(self) -> np.ndarray:
+        """Processors currently executing a task."""
+        return np.flatnonzero(self.proc_task != IDLE)
+
+    def expected_duration(self, task: int, proc: int) -> float:
+        """Expected duration of ``task`` on ``proc`` (what schedulers see)."""
+        return self.durations.expected(
+            int(self.graph.task_types[task]), self.platform.type_of(proc)
+        )
+
+    def expected_remaining(self, proc: int) -> float:
+        """Expected remaining time of the task running on ``proc``.
+
+        Based on *expected* durations (a scheduler cannot observe the sampled
+        actual duration); clamped at 0 when the task overruns its estimate.
+        Returns 0.0 for an idle processor.
+        """
+        task = int(self.proc_task[proc])
+        if task == IDLE:
+            return 0.0
+        exp = self.expected_duration(task, proc)
+        return max(0.0, float(self.start_time[task]) + exp - self.time)
+
+    # ------------------------------------------------------------------ #
+    # transitions
+    # ------------------------------------------------------------------ #
+
+    def start(self, task: int, proc: int) -> float:
+        """Begin executing ``task`` on ``proc`` now; returns the actual duration.
+
+        The actual duration is sampled from the noise model; the caller does
+        not see it through the scheduling API (only through the trace after
+        completion), preserving the paper's information model.
+        """
+        task, proc = int(task), int(proc)
+        if not 0 <= task < self.graph.num_tasks:
+            raise ValueError(f"task {task} out of range")
+        if not 0 <= proc < self.platform.num_processors:
+            raise ValueError(f"processor {proc} out of range")
+        if not self.ready[task]:
+            raise RuntimeError(f"task {task} is not ready at t={self.time}")
+        if self.proc_task[proc] != IDLE:
+            raise RuntimeError(f"processor {proc} is busy at t={self.time}")
+        expected = self.expected_duration(task, proc)
+        actual = float(
+            self.noise.sample_for(
+                np.asarray([expected]), self.platform.type_of(proc), self.rng
+            )[0]
+        )
+        # Communication: the processor commits now, but execution begins only
+        # when the inputs produced on other processors have arrived.
+        begin = self.time
+        if not self.comm.is_free:
+            dst_type = self.platform.type_of(proc)
+            for pred in self.graph.predecessors(task):
+                src = int(self.executed_on[pred])
+                arrival = self.completion_time[pred] + self.comm.delay(
+                    src, proc, self.platform.type_of(src), dst_type
+                )
+                if arrival > begin:
+                    begin = float(arrival)
+        self.ready[task] = False
+        self.running[task] = True
+        self.start_time[task] = begin
+        self.executed_on[task] = proc
+        self.proc_task[proc] = task
+        self.proc_finish[proc] = begin + actual
+        return actual
+
+    def advance(self) -> np.ndarray:
+        """Jump to the next task-completion event; returns the freed processors.
+
+        All tasks finishing at the same instant are completed together.
+        Raises ``RuntimeError`` when nothing is running (a scheduler bug:
+        either the episode is done or a decision is required first).
+        """
+        busy = self.busy_processors()
+        if busy.size == 0:
+            raise RuntimeError(
+                "advance() with no running task — schedule something first"
+            )
+        t_next = float(self.proc_finish[busy].min())
+        finishing = busy[self.proc_finish[busy] <= t_next]
+        self.time = t_next
+        freed = []
+        for proc in finishing:
+            task = int(self.proc_task[proc])
+            self.running[task] = False
+            self.finished[task] = True
+            self.completion_time[task] = self.time
+            self.trace.append(
+                ScheduledTask(task, int(proc), float(self.start_time[task]), self.time)
+            )
+            self.proc_task[proc] = IDLE
+            self.proc_finish[proc] = np.inf
+            # release successors
+            succs = self.graph.successors(task)
+            if succs.size:
+                self.remaining_preds[succs] -= 1
+                newly_ready = succs[self.remaining_preds[succs] == 0]
+                self.ready[newly_ready] = True
+            freed.append(int(proc))
+        return np.asarray(freed, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def check_trace(self) -> None:
+        """Verify the executed trace against the scheduling invariants.
+
+        * every task appears exactly once;
+        * precedence: each task starts no earlier than all predecessors end;
+        * exclusivity: intervals on one processor do not overlap;
+        * makespan equals the latest finish time.
+
+        Raises ``AssertionError`` on violation.  Used by tests and by the
+        property-based suite; cheap enough to run after every episode.
+        """
+        assert self.done, "check_trace requires a completed episode"
+        seen = np.zeros(self.graph.num_tasks, dtype=np.int64)
+        for entry in self.trace:
+            seen[entry.task] += 1
+            assert entry.finish >= entry.start >= 0.0
+        assert (seen == 1).all(), "each task must execute exactly once"
+
+        finish = {e.task: e.finish for e in self.trace}
+        start = {e.task: e.start for e in self.trace}
+        for u, v in self.graph.edges:
+            assert start[int(v)] >= finish[int(u)] - 1e-9, (
+                f"precedence violated: {v} started before {u} finished"
+            )
+
+        by_proc: dict = {}
+        for entry in self.trace:
+            by_proc.setdefault(entry.proc, []).append((entry.start, entry.finish))
+        for intervals in by_proc.values():
+            intervals.sort()
+            for (s0, f0), (s1, f1) in zip(intervals, intervals[1:]):
+                assert s1 >= f0 - 1e-9, "overlapping tasks on one processor"
+
+        assert abs(self.makespan - max(finish.values())) < 1e-9

@@ -1,0 +1,211 @@
+"""The scheduling MDP (paper §III-B) as a step-based RL environment.
+
+Decision points: whenever at least one processor is idle and at least one
+task is ready, a *current processor* is drawn uniformly at random among the
+idle processors that have not yet declined at this instant, and the agent
+chooses a ready task for it — or the ∅ action (stay idle until the next
+event).  ∅ is masked when no task is running, which would otherwise deadlock
+the system (there would be no future event to wake the processor up).
+
+Rewards are 0 everywhere except at the terminal state, where the return is
+
+.. math::
+
+    R = \\frac{\\text{makespan}(HEFT) - \\text{makespan}}{\\text{makespan}(HEFT)}
+
+with HEFT's makespan computed on the same instance under expected durations
+(§III-B, eq. 1) — positive iff the agent beat the static baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.durations import DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.noise import NoNoise, NoiseModel
+from repro.platforms.resources import Platform
+from repro.schedulers.heft import heft_makespan
+from repro.sim.engine import Simulation
+from repro.sim.state import Observation, StateBuilder
+from repro.utils.seeding import SeedLike, as_generator
+
+GraphSource = Union[TaskGraph, Callable[[np.random.Generator], TaskGraph]]
+
+
+class SchedulingEnv:
+    """Dynamic DAG scheduling environment.
+
+    Parameters
+    ----------
+    graph:
+        Either a fixed :class:`TaskGraph` (the paper trains one agent per
+        (kernel, T) instance) or a callable ``rng -> TaskGraph`` sampling a
+        new instance per episode (for generalisation studies).
+    platform, durations:
+        The heterogeneous platform and the expected-duration table.
+    noise:
+        Duration noise model; default deterministic.
+    window:
+        Depth ``w`` of the descendant window kept in the state.
+    rng:
+        Seed/generator for duration sampling and current-processor draws.
+    reward_mode:
+        ``"terminal"`` is the paper's exact reward (eq. 1): zero everywhere,
+        ``(mk_HEFT - mk)/mk_HEFT`` at the end.  ``"dense"`` (default) is the
+        telescoped equivalent: each step pays ``-(elapsed time)/mk_HEFT``, so
+        the episode return is ``-mk/mk_HEFT`` — the same objective shifted by
+        the constant 1, but with per-decision credit assignment.  With
+        terminal-only *negative* rewards and γ<1, idling is spuriously
+        attractive (it discounts the penalty); the dense form removes that
+        pathology and trains far faster, which is why it is the default.
+    """
+
+    def __init__(
+        self,
+        graph: GraphSource,
+        platform: Platform,
+        durations: DurationTable,
+        noise: Optional[NoiseModel] = None,
+        window: int = 2,
+        rng: SeedLike = None,
+        reward_mode: str = "dense",
+        sparse_state: bool = False,
+    ) -> None:
+        if reward_mode not in ("terminal", "dense"):
+            raise ValueError(
+                f"reward_mode must be 'terminal' or 'dense', got {reward_mode!r}"
+            )
+        self.reward_mode = reward_mode
+        self._graph_source = graph
+        self.platform = platform
+        self.durations = durations
+        self.noise = noise if noise is not None else NoNoise()
+        self.rng = as_generator(rng)
+        self.state_builder = StateBuilder(durations, window, sparse=sparse_state)
+        self.sim: Optional[Simulation] = None
+        self._passed: Optional[np.ndarray] = None
+        self._current_obs: Optional[Observation] = None
+        self._baseline_makespan: float = np.nan
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def window(self) -> int:
+        return self.state_builder.window
+
+    @property
+    def baseline_makespan(self) -> float:
+        """HEFT's planned makespan for the current episode's instance."""
+        return self._baseline_makespan
+
+    def _sample_graph(self) -> TaskGraph:
+        if isinstance(self._graph_source, TaskGraph):
+            return self._graph_source
+        return self._graph_source(self.rng)
+
+    def reset(self) -> Observation:
+        """Start a new episode; returns the first observation."""
+        graph = self._sample_graph()
+        self.sim = Simulation(
+            graph, self.platform, self.durations, self.noise, rng=self.rng
+        )
+        self._baseline_makespan = heft_makespan(graph, self.platform, self.durations)
+        self._passed = np.zeros(self.platform.num_processors, dtype=bool)
+        self._last_time = 0.0
+        obs = self._next_decision()
+        assert obs is not None, "a fresh episode must have a decision point"
+        self._current_obs = obs
+        return obs
+
+    def _next_decision(self) -> Optional[Observation]:
+        """Advance the simulator to the next decision point (or the end)."""
+        sim = self.sim
+        assert sim is not None and self._passed is not None
+        while True:
+            if sim.done:
+                return None
+            if sim.ready_tasks().size > 0:
+                candidates = sim.idle_processors()
+                candidates = candidates[~self._passed[candidates]]
+                if candidates.size > 0:
+                    proc = int(self.rng.choice(candidates))
+                    # ∅ is legal while declining cannot deadlock: either a
+                    # task is running (a future event will re-open decisions)
+                    # or another idle processor is still waiting to be asked.
+                    allow_pass = (
+                        sim.running_tasks().size > 0 or candidates.size > 1
+                    )
+                    return self.state_builder.build(sim, proc, allow_pass=allow_pass)
+            if sim.running_tasks().size == 0:
+                raise RuntimeError(
+                    "environment deadlock: nothing running and no decision "
+                    "available — the ∅-action mask should prevent this"
+                )
+            sim.advance()
+            self._passed[:] = False  # a new instant: everyone may be asked again
+
+    def step(self, action: int) -> Tuple[Optional[Observation], float, bool, dict]:
+        """Apply ``action`` to the pending decision.
+
+        ``action`` indexes the current observation's ready tasks; the value
+        ``num_ready`` (i.e. the last index) is the ∅ action when
+        ``allow_pass`` is true.  Returns ``(obs, reward, done, info)`` with
+        ``obs=None`` at the terminal state.
+        """
+        obs = self._current_obs
+        sim = self.sim
+        if obs is None or sim is None:
+            raise RuntimeError("call reset() before step()")
+        num_ready = len(obs.ready_tasks)
+        if not 0 <= action < obs.num_actions:
+            raise ValueError(
+                f"action {action} out of range [0, {obs.num_actions})"
+            )
+        if action < num_ready:
+            sim.start(int(obs.ready_tasks[action]), obs.current_proc)
+        else:  # ∅: this processor declines until the next event
+            assert obs.allow_pass
+            self._passed[obs.current_proc] = True
+
+        next_obs = self._next_decision()
+        self._current_obs = next_obs
+        elapsed = sim.time - self._last_time
+        self._last_time = sim.time
+        if next_obs is None:
+            makespan = sim.makespan
+            if self.reward_mode == "terminal":
+                reward = (self._baseline_makespan - makespan) / self._baseline_makespan
+            else:
+                reward = -elapsed / self._baseline_makespan
+            info = {
+                "makespan": makespan,
+                "heft_makespan": self._baseline_makespan,
+            }
+            return None, float(reward), True, info
+        if self.reward_mode == "dense":
+            return next_obs, float(-elapsed / self._baseline_makespan), False, {}
+        return next_obs, 0.0, False, {}
+
+
+def run_policy(
+    env: SchedulingEnv,
+    policy: Callable[[Observation], int],
+    max_steps: int = 1_000_000,
+) -> dict:
+    """Roll one full episode under ``policy``; returns the terminal info dict.
+
+    ``policy`` maps an observation to an action index.  Raises if the episode
+    exceeds ``max_steps`` decisions (a runaway-pass guard for buggy policies).
+    """
+    obs = env.reset()
+    for _ in range(max_steps):
+        action = policy(obs)
+        obs, _reward, done, info = env.step(action)
+        if done:
+            info = dict(info)
+            info["reward"] = _reward
+            return info
+    raise RuntimeError(f"episode exceeded {max_steps} decisions")

@@ -1,0 +1,246 @@
+"""Windowed state extraction — the MDP observation of §III-B.
+
+A state contains information about *running* tasks, *ready* tasks and their
+descendants up to depth ``w`` (Fig. 1), plus the state of the computing
+resources.  :class:`StateBuilder` turns the live simulator into an
+:class:`Observation`:
+
+* the window sub-DAG's node features — the paper's raw features
+  (:func:`repro.graphs.features.node_features`) *enriched* with normalised
+  resource/duration context (expected duration of each task on each resource
+  type, and the expected remaining time of running tasks), which is how the
+  "sub-DAG enriched with the computing resource state information" of Fig. 2
+  enters the GCN;
+* the symmetric-normalised adjacency of the window (for GCN propagation);
+* the positions of the ready tasks inside the window (the action set);
+* a descriptor of the current processor and of the global resource state
+  (used for the ∅-action score).
+
+All quantities are normalised so that the representation is size-invariant,
+enabling the transfer experiments of §V-F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graphs.durations import DurationTable
+from repro.graphs.features import (
+    NUM_STATIC_FEATURES,
+    descendant_type_fractions,
+    node_features,
+)
+from repro.graphs.taskgraph import TaskGraph
+from repro.nn.layers import gcn_normalize_adjacency
+from repro.platforms.resources import NUM_RESOURCE_TYPES
+from repro.sim.engine import Simulation
+
+#: extra per-node dynamic columns appended to the paper's raw features:
+#: expected duration on each resource type (normalised), remaining time of
+#: running tasks, expected duration on the *current* processor, and the
+#: current processor's type broadcast to every node.  The last two are what
+#: lets the per-task actor scores depend on which processor is asking —
+#: without them the policy could not express "this kernel belongs on a GPU,
+#: decline it on a CPU" (Fig. 2: the sub-DAG is "enriched with the computing
+#: resource state information" before entering the GCN).
+NUM_DYNAMIC_FEATURES = NUM_RESOURCE_TYPES + 1 + 1 + NUM_RESOURCE_TYPES
+
+#: current-processor descriptor width:
+#: one-hot(type) + [idle fraction, ready fraction, mean remaining (norm)]
+PROC_FEATURE_DIM = NUM_RESOURCE_TYPES + 3
+
+
+def observation_feature_dim(num_types: int) -> int:
+    """Node-feature width of observations for graphs with ``num_types`` kernels."""
+    return NUM_STATIC_FEATURES + 2 * num_types + NUM_DYNAMIC_FEATURES
+
+
+@dataclass
+class Observation:
+    """One decision point of the scheduling MDP."""
+
+    features: np.ndarray
+    """(m, F) node features of the window sub-DAG"""
+    norm_adj: object
+    """(m, m) GCN-normalised adjacency of the window — a dense ndarray, or a
+    ``scipy.sparse.csr_matrix`` when the builder runs in sparse mode"""
+    ready_positions: np.ndarray
+    """row indices (into ``features``) of the ready tasks, = the action set"""
+    ready_tasks: np.ndarray
+    """original task ids aligned with ``ready_positions``"""
+    proc_features: np.ndarray
+    """(PROC_FEATURE_DIM,) descriptor of the current processor + global state"""
+    current_proc: int
+    """processor awaiting a decision"""
+    allow_pass: bool
+    """whether the ∅ action is legal (False would deadlock the system)"""
+
+    @property
+    def num_actions(self) -> int:
+        """Ready-task choices plus the ∅ action when legal."""
+        return len(self.ready_positions) + (1 if self.allow_pass else 0)
+
+    @property
+    def num_nodes(self) -> int:
+        """Window size (running + ready + ≤w-depth descendants)."""
+        return self.features.shape[0]
+
+
+class StateBuilder:
+    """Builds :class:`Observation` objects from a live :class:`Simulation`.
+
+    Per-graph constants (descendant-type fractions, the dense adjacency) are
+    cached on first use: they dominate state-extraction cost and never change
+    within an episode.
+    """
+
+    def __init__(
+        self, durations: DurationTable, window: int, sparse: bool = False
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.window = window
+        self.durations = durations
+        #: use a CSR window adjacency instead of dense — O(edges) instead of
+        #: O(m²) per decision; pays off once windows reach hundreds of tasks
+        self.sparse = sparse
+        # normalisation scale for all duration-valued features
+        self._scale = float(durations.table.mean())
+
+    # Per-graph constants are cached *on the graph object*, so their
+    # lifetime is exactly the graph's.  A builder-level dict keyed by
+    # ``id(graph)`` would grow without bound under per-episode graph
+    # factories and could return stale entries when a collected graph's id
+    # is reused by a new instance.
+
+    @staticmethod
+    def _fractions(graph: TaskGraph) -> np.ndarray:
+        cached = graph.__dict__.get("_cached_type_fractions")
+        if cached is None:
+            cached = descendant_type_fractions(graph)
+            graph.__dict__["_cached_type_fractions"] = cached
+        return cached
+
+    @staticmethod
+    def _adjacency(graph: TaskGraph) -> np.ndarray:
+        cached = graph.__dict__.get("_cached_dense_adjacency")
+        if cached is None:
+            cached = graph.adjacency_matrix()
+            graph.__dict__["_cached_dense_adjacency"] = cached
+        return cached
+
+    def window_nodes(self, sim: Simulation) -> np.ndarray:
+        """Sorted task ids inside the observation window."""
+        sources = np.flatnonzero(sim.ready | sim.running)
+        if sources.size == 0:
+            raise RuntimeError("no ready or running task — episode is over")
+        if self.window > 0:
+            desc = sim.graph.descendants_within(sources, self.window)
+            # descendants that already finished cannot appear (they would
+            # be predecessors); keep unfinished ones only for safety.
+            desc = desc[~sim.finished[desc]]
+            nodes = np.union1d(sources, desc)
+        else:
+            nodes = sources
+        return nodes
+
+    def build(
+        self,
+        sim: Simulation,
+        current_proc: int,
+        allow_pass: Optional[bool] = None,
+    ) -> Observation:
+        """Extract the observation for ``current_proc`` at the current instant.
+
+        ``allow_pass`` overrides the default ∅-action legality (the
+        environment masks ∅ only when declining would deadlock: nothing is
+        running *and* no other idle processor remains to be offered).
+        """
+        graph = sim.graph
+        nodes = self.window_nodes(sim)
+
+        raw = node_features(
+            graph,
+            ready=sim.ready,
+            running=sim.running,
+            fractions=self._fractions(graph),
+        )[nodes]
+
+        # dynamic enrichment: expected durations per resource type + remaining
+        exp = self.durations.expected_vector(graph.task_types[nodes]) / self._scale
+        remaining = np.zeros(len(nodes), dtype=np.float64)
+        pos_of = {int(t): i for i, t in enumerate(nodes)}
+        for proc in sim.busy_processors():
+            task = int(sim.proc_task[proc])
+            i = pos_of.get(task)
+            if i is not None:
+                remaining[i] = sim.expected_remaining(int(proc)) / self._scale
+        # current-processor context, broadcast to every node
+        cur_type = sim.platform.type_of(current_proc)
+        exp_on_current = exp[:, cur_type]
+        cur_onehot = np.zeros((len(nodes), NUM_RESOURCE_TYPES), dtype=np.float64)
+        cur_onehot[:, cur_type] = 1.0
+        features = np.hstack(
+            [raw, exp, remaining[:, None], exp_on_current[:, None], cur_onehot]
+        )
+
+        if self.sparse:
+            from repro.nn.sparse import (
+                edges_to_sparse_adjacency,
+                gcn_normalize_adjacency_sparse,
+            )
+
+            remap = -np.ones(graph.num_tasks, dtype=np.int64)
+            remap[nodes] = np.arange(nodes.size)
+            e = graph.edges
+            if len(e):
+                mask = (remap[e[:, 0]] >= 0) & (remap[e[:, 1]] >= 0)
+                sub_edges = np.column_stack(
+                    (remap[e[mask, 0]], remap[e[mask, 1]])
+                )
+            else:
+                sub_edges = np.zeros((0, 2), dtype=np.int64)
+            norm_adj = gcn_normalize_adjacency_sparse(
+                edges_to_sparse_adjacency(sub_edges, nodes.size)
+            )
+        else:
+            sub_adj = self._adjacency(graph)[np.ix_(nodes, nodes)]
+            norm_adj = gcn_normalize_adjacency(sub_adj)
+
+        ready_mask = sim.ready[nodes]
+        ready_positions = np.flatnonzero(ready_mask)
+        ready_tasks = nodes[ready_positions]
+
+        proc_features = self.proc_descriptor(sim, current_proc)
+        if allow_pass is None:
+            allow_pass = sim.running_tasks().size > 0
+
+        return Observation(
+            features=features,
+            norm_adj=norm_adj,
+            ready_positions=ready_positions,
+            ready_tasks=ready_tasks,
+            proc_features=proc_features,
+            current_proc=int(current_proc),
+            allow_pass=allow_pass,
+        )
+
+    def proc_descriptor(self, sim: Simulation, current_proc: int) -> np.ndarray:
+        """Current-processor + resource-state summary vector."""
+        p = sim.platform.num_processors
+        descriptor = np.zeros(PROC_FEATURE_DIM, dtype=np.float64)
+        descriptor[sim.platform.type_of(current_proc)] = 1.0
+        descriptor[NUM_RESOURCE_TYPES] = sim.idle_processors().size / p
+        descriptor[NUM_RESOURCE_TYPES + 1] = min(
+            1.0, sim.ready_tasks().size / max(1, p)
+        )
+        busy = sim.busy_processors()
+        if busy.size:
+            mean_remaining = np.mean(
+                [sim.expected_remaining(int(q)) for q in busy]
+            )
+            descriptor[NUM_RESOURCE_TYPES + 2] = mean_remaining / self._scale
+        return descriptor

@@ -1,0 +1,45 @@
+"""Aligned plain-text tables for experiment reports (no plotting deps)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def _fmt(cell: Cell, floatfmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, floatfmt)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    floatfmt: str = ".4f",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Numeric cells are right-aligned, text cells left-aligned.  Used by the
+    benchmark harness to print the per-figure series the paper reports.
+    """
+    str_rows: List[List[str]] = [[_fmt(c, floatfmt) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[j]) for j, c in enumerate(cells))
+
+    lines = [render_row(list(headers)), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

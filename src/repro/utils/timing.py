@@ -1,0 +1,55 @@
+"""Lightweight wall-clock timing used by the inference-overhead experiments."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            do_work()
+        t.mean, t.total, t.count
+
+    Each ``with`` block records one sample; statistics are computed over all
+    recorded samples.  Used to measure per-decision scheduling overhead
+    (paper Fig. 7).
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        self.samples.append(time.perf_counter() - self._start)
+        self._start = None
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Total recorded time in seconds."""
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        """Mean sample duration in seconds (0.0 when empty)."""
+        return self.total / self.count if self.samples else 0.0
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self.samples.clear()
+        self._start = None

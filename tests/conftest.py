@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cholesky_dag, lu_dag, qr_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms import GaussianNoise, NoNoise, Platform
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chol4():
+    return cholesky_dag(4)
+
+
+@pytest.fixture
+def chol6():
+    return cholesky_dag(6)
+
+
+@pytest.fixture
+def lu4():
+    return lu_dag(4)
+
+
+@pytest.fixture
+def qr4():
+    return qr_dag(4)
+
+
+@pytest.fixture
+def platform22():
+    return Platform(2, 2)
+
+
+@pytest.fixture
+def platform40():
+    return Platform(4, 0)
+
+
+@pytest.fixture
+def durations():
+    return CHOLESKY_DURATIONS
+
+
+@pytest.fixture
+def no_noise():
+    return NoNoise()
+
+
+@pytest.fixture
+def gauss02():
+    return GaussianNoise(0.2)

@@ -1,0 +1,56 @@
+"""Inference-time profiling (Fig. 7 harness)."""
+
+import pytest
+
+from repro.eval.profiling import inference_timing, timing_by_window_size
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.rl.trainer import default_agent
+from repro.sim.env import SchedulingEnv
+
+
+def make_env(tiles=4):
+    return SchedulingEnv(
+        cholesky_dag(tiles), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(),
+        window=2, rng=0,
+    )
+
+
+class TestInferenceTiming:
+    def test_samples_collected(self):
+        env = make_env()
+        agent = default_agent(env, rng=0)
+        samples = inference_timing(agent, env, episodes=1, rng=0)
+        assert len(samples) >= cholesky_dag(4).num_tasks
+        assert all(size >= 1 and t >= 0 for size, t in samples)
+
+    def test_window_sizes_recorded(self):
+        env = make_env()
+        agent = default_agent(env, rng=0)
+        samples = inference_timing(agent, env, episodes=1, rng=0)
+        sizes = {s for s, _ in samples}
+        assert len(sizes) > 1  # window shrinks towards the end of the DAG
+
+
+class TestTimingByWindowSize:
+    def test_bins_and_cis(self):
+        samples = [(5, 0.001), (5, 0.002), (20, 0.004), (20, 0.005)]
+        rows = timing_by_window_size(samples, num_bins=2)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["ci_lower_s"] <= row["mean_s"] <= row["ci_upper_s"]
+
+    def test_total_count_preserved(self):
+        samples = [(i, 0.001 * i) for i in range(1, 30)]
+        rows = timing_by_window_size(samples, num_bins=5)
+        assert sum(r["count"] for r in rows) == len(samples)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            timing_by_window_size([])
+
+    def test_single_size(self):
+        rows = timing_by_window_size([(4, 0.001), (4, 0.002)], num_bins=3)
+        assert sum(r["count"] for r in rows) == 2

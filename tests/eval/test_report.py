@@ -1,0 +1,87 @@
+"""Consolidated markdown report generation."""
+
+import os
+
+import pytest
+
+from repro.eval.report import collect_results, generate_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig3_cholesky_T4.txt").write_text("sigma  HEFT\n0.0  77.5\n")
+    (d / "fig7_inference_time.txt").write_text("window  ms\n10  0.2\n")
+    (d / "ablation_window_x.txt").write_text("w  mk\n2  80\n")
+    (d / "custom_extra.txt").write_text("hello\n")
+    (d / "ignored.csv").write_text("not a table\n")
+    return str(d)
+
+
+class TestCollectResults:
+    def test_reads_only_txt(self, results_dir):
+        results = collect_results(results_dir)
+        assert set(results) == {
+            "fig3_cholesky_T4", "fig7_inference_time",
+            "ablation_window_x", "custom_extra",
+        }
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(str(tmp_path / "nope"))
+
+
+class TestGenerateReport:
+    def test_sections_in_paper_order(self, results_dir):
+        report = generate_report(results_dir)
+        fig3 = report.index("Figure 3")
+        fig7 = report.index("Figure 7")
+        window = report.index("window size w")
+        assert fig3 < fig7 < window
+
+    def test_tables_embedded(self, results_dir):
+        report = generate_report(results_dir)
+        assert "77.5" in report
+        assert "```" in report
+
+    def test_unmatched_results_in_other_section(self, results_dir):
+        report = generate_report(results_dir)
+        assert "Other results" in report
+        assert "custom_extra" in report
+
+    def test_paper_references_present(self, results_dir):
+        report = generate_report(results_dir)
+        assert "§V-E" in report and "§V-G" in report
+
+    def test_empty_dir_raises(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(ValueError):
+            generate_report(str(d))
+
+    def test_custom_title(self, results_dir):
+        report = generate_report(results_dir, title="My run")
+        assert report.startswith("# My run")
+
+
+class TestWriteReport:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = str(tmp_path / "sub" / "report.md")
+        path = write_report(results_dir, out)
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert "Figure 3" in fh.read()
+
+    def test_on_real_results_if_present(self):
+        """When a benchmark run has produced results, the report must build."""
+        real = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir,
+            "benchmarks", "results",
+        )
+        if not os.path.isdir(real) or not any(
+            f.endswith(".txt") for f in os.listdir(real)
+        ):
+            pytest.skip("no benchmark results on disk")
+        report = generate_report(real)
+        assert "Figure" in report

@@ -1,0 +1,99 @@
+"""Schedule post-mortem analysis and ASCII Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.schedule_analysis import (
+    analyze_schedule,
+    ascii_gantt,
+    placement_table,
+)
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS, DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.schedulers import run_mct
+from repro.sim.engine import Simulation
+
+TABLE = DurationTable(("A", "B", "C", "D"), cpu=(10.0, 20.0, 30.0, 40.0), gpu=(1.0, 2.0, 3.0, 4.0))
+
+
+def completed_sim():
+    sim = Simulation(cholesky_dag(4), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(), rng=0)
+    run_mct(sim)
+    return sim
+
+
+class TestAnalyzeSchedule:
+    def test_requires_completed(self):
+        sim = Simulation(cholesky_dag(3), Platform(1, 1), CHOLESKY_DURATIONS, NoNoise())
+        with pytest.raises(RuntimeError):
+            analyze_schedule(sim)
+
+    def test_utilization_bounds(self):
+        stats = analyze_schedule(completed_sim())
+        assert (stats.utilization >= 0).all()
+        assert (stats.utilization <= 1.0 + 1e-9).all()
+
+    def test_busy_plus_idle_is_makespan(self):
+        stats = analyze_schedule(completed_sim())
+        p = len(stats.utilization)
+        np.testing.assert_allclose(
+            stats.idle_time + stats.utilization * stats.makespan,
+            np.full(p, stats.makespan),
+        )
+
+    def test_total_busy_equals_sum_of_durations(self):
+        sim = completed_sim()
+        stats = analyze_schedule(sim)
+        assert stats.total_busy == pytest.approx(
+            sum(e.duration for e in sim.trace)
+        )
+
+    def test_placement_counts_sum_to_tasks(self):
+        sim = completed_sim()
+        stats = analyze_schedule(sim)
+        assert sum(stats.placement.values()) == sim.graph.num_tasks
+
+    def test_single_proc_full_utilization(self):
+        g = TaskGraph(3, [(0, 1), (1, 2)], [0, 0, 0], ("A", "B", "C", "D"))
+        sim = Simulation(g, Platform(1, 0), TABLE, NoNoise(), rng=0)
+        run_mct(sim)
+        stats = analyze_schedule(sim)
+        assert stats.utilization[0] == pytest.approx(1.0)
+
+    def test_placement_table_sorted(self):
+        stats = analyze_schedule(completed_sim())
+        rows = placement_table(stats)
+        assert rows == sorted(rows)
+        assert all(len(r) == 3 for r in rows)
+
+
+class TestAsciiGantt:
+    def test_requires_completed(self):
+        sim = Simulation(cholesky_dag(3), Platform(1, 1), CHOLESKY_DURATIONS, NoNoise())
+        with pytest.raises(RuntimeError):
+            ascii_gantt(sim)
+
+    def test_row_per_processor(self):
+        sim = completed_sim()
+        lines = ascii_gantt(sim).split("\n")
+        assert len(lines) == sim.platform.num_processors + 1  # + time axis
+
+    def test_kernel_letters_present(self):
+        sim = completed_sim()
+        chart = ascii_gantt(sim)
+        # Cholesky kernels: POTRF, TRSM, SYRK, GEMM → letters P T S G
+        for letter in "PTSG":
+            assert letter in chart
+
+    def test_width_respected(self):
+        sim = completed_sim()
+        for line in ascii_gantt(sim, width=50).split("\n")[:-1]:
+            # label(5) + space + '|' + width + '|'
+            assert len(line) == 5 + 1 + 1 + 50 + 1
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_gantt(completed_sim(), width=5)

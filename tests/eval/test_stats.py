@@ -1,0 +1,90 @@
+"""Paired statistical comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    paired_bootstrap,
+    relative_speedup_distribution,
+    win_rate,
+)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_significant(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(100.0, 5.0, size=40)
+        a = b - 10.0  # a always 10 faster, paired
+        cmp = paired_bootstrap(a, b, rng=0)
+        assert cmp.mean_difference == pytest.approx(-10.0)
+        assert cmp.significant
+        assert cmp.ci_upper < 0
+        assert cmp.win_rate == 1.0
+
+    def test_identical_not_significant(self):
+        a = np.full(20, 50.0)
+        cmp = paired_bootstrap(a, a.copy(), rng=0)
+        assert cmp.mean_difference == 0.0
+        assert not cmp.significant
+
+    def test_noise_only_usually_not_significant(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(100, 5, size=30)
+        a = base + rng.normal(0, 5, size=30)
+        b = base + rng.normal(0, 5, size=30)
+        cmp = paired_bootstrap(a, b, rng=0)
+        assert cmp.ci_lower < 0 < cmp.ci_upper or abs(cmp.mean_difference) > 0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [2.0], confidence=0.0)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=10), rng.normal(size=10)
+        x = paired_bootstrap(a, b, rng=7)
+        y = paired_bootstrap(a, b, rng=7)
+        assert x == y
+
+
+class TestWinRate:
+    def test_all_wins(self):
+        assert win_rate([1.0, 2.0], [3.0, 4.0]) == 1.0
+
+    def test_no_wins(self):
+        assert win_rate([3.0], [1.0]) == 0.0
+
+    def test_half(self):
+        assert win_rate([1.0, 5.0], [2.0, 4.0]) == 0.5
+
+    def test_ties_not_wins(self):
+        assert win_rate([2.0], [2.0]) == 0.0
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            win_rate([1.0], [1.0, 2.0])
+
+
+class TestSpeedupDistribution:
+    def test_constant_ratio(self):
+        med, p25, p75 = relative_speedup_distribution([1.0, 2.0], [2.0, 4.0])
+        assert med == p25 == p75 == 2.0
+
+    def test_quartiles_ordered(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(1, 2, size=50)
+        b = rng.uniform(1, 2, size=50)
+        med, p25, p75 = relative_speedup_distribution(a, b)
+        assert p25 <= med <= p75
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            relative_speedup_distribution([0.0], [1.0])

@@ -1,0 +1,123 @@
+"""Duration tables and the literature acceleration-factor structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.durations import (
+    CHOLESKY_DURATIONS,
+    GENERIC_DURATIONS,
+    LU_DURATIONS,
+    QR_DURATIONS,
+    DurationTable,
+    duration_table_for,
+)
+from repro.platforms.resources import CPU, GPU
+
+
+class TestDurationTable:
+    def test_expected_lookup(self):
+        t = DurationTable(("A", "B"), cpu=(10.0, 20.0), gpu=(1.0, 2.0))
+        assert t.expected(0, CPU) == 10.0
+        assert t.expected(1, GPU) == 2.0
+
+    def test_expected_vector(self):
+        t = DurationTable(("A", "B"), cpu=(10.0, 20.0), gpu=(1.0, 2.0))
+        out = t.expected_vector(np.array([1, 0, 1]))
+        np.testing.assert_allclose(out, [[20, 2], [10, 1], [20, 2]])
+
+    def test_acceleration_factors(self):
+        t = DurationTable(("A",), cpu=(30.0,), gpu=(3.0,))
+        np.testing.assert_allclose(t.acceleration_factors(), [10.0])
+
+    def test_mean_over_resources(self):
+        t = DurationTable(("A",), cpu=(10.0,), gpu=(2.0,))
+        np.testing.assert_allclose(t.mean_over_resources(np.array([0])), [6.0])
+
+    def test_scaled(self):
+        t = DurationTable(("A",), cpu=(10.0,), gpu=(2.0,)).scaled(2.0)
+        assert t.expected(0, CPU) == 20.0
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            CHOLESKY_DURATIONS.scaled(0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DurationTable(("A",), cpu=(0.0,), gpu=(1.0,))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DurationTable(("A", "B"), cpu=(1.0,), gpu=(1.0, 2.0))
+
+
+class TestLiteratureShape:
+    """The acceleration structure that drives the scheduling problem."""
+
+    def test_cholesky_gemm_most_accelerated(self):
+        acc = CHOLESKY_DURATIONS.acceleration_factors()
+        names = CHOLESKY_DURATIONS.kernel_names
+        gemm = names.index("GEMM")
+        assert acc[gemm] == acc.max()
+        assert acc[gemm] > 25  # ≈29× in the literature
+
+    def test_cholesky_potrf_weakly_accelerated(self):
+        acc = CHOLESKY_DURATIONS.acceleration_factors()
+        potrf = CHOLESKY_DURATIONS.kernel_names.index("POTRF")
+        assert acc[potrf] == acc.min()
+        assert acc[potrf] < 3
+
+    def test_cholesky_ordering(self):
+        """GEMM > SYRK > TRSM > POTRF (Agullo et al. 2016)."""
+        acc = CHOLESKY_DURATIONS.acceleration_factors()
+        n = CHOLESKY_DURATIONS.kernel_names
+        assert (
+            acc[n.index("GEMM")]
+            > acc[n.index("SYRK")]
+            > acc[n.index("TRSM")]
+            > acc[n.index("POTRF")]
+        )
+
+    def test_lu_getrf_panel_weakly_accelerated(self):
+        acc = LU_DURATIONS.acceleration_factors()
+        getrf = LU_DURATIONS.kernel_names.index("GETRF")
+        assert acc[getrf] == acc.min()
+
+    def test_qr_panel_kernels_weak_update_kernels_strong(self):
+        acc = QR_DURATIONS.acceleration_factors()
+        n = QR_DURATIONS.kernel_names
+        assert acc[n.index("GEQRT")] < 3
+        assert acc[n.index("TSQRT")] < 5
+        assert acc[n.index("UNMQR")] > 10
+        assert acc[n.index("TSMQR")] > 10
+
+    def test_unrelated_machines(self):
+        """Acceleration factors differ across kernels — the 'unrelated'
+        machine model of the paper (no single GPU speed scalar)."""
+        for table in (CHOLESKY_DURATIONS, LU_DURATIONS, QR_DURATIONS):
+            acc = table.acceleration_factors()
+            assert acc.max() / acc.min() > 3
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,table",
+        [
+            ("cholesky", CHOLESKY_DURATIONS),
+            ("lu", LU_DURATIONS),
+            ("qr", QR_DURATIONS),
+            ("generic", GENERIC_DURATIONS),
+        ],
+    )
+    def test_lookup(self, name, table):
+        assert duration_table_for(name) is table
+
+    def test_unknown_raises_with_options(self):
+        with pytest.raises(KeyError, match="cholesky"):
+            duration_table_for("svd")
+
+    def test_tables_match_generators(self):
+        from repro.graphs import cholesky_dag, lu_dag, qr_dag
+
+        assert cholesky_dag(2).type_names == CHOLESKY_DURATIONS.kernel_names
+        assert lu_dag(2).type_names == LU_DURATIONS.kernel_names
+        assert qr_dag(2).type_names == QR_DURATIONS.kernel_names

@@ -1,0 +1,196 @@
+"""Tiled Cholesky / LU / QR DAG generators.
+
+Task counts are checked against the closed forms and the numbers quoted in
+the paper (§V-F: Cholesky T=4 → 20 tasks, 6 → 56, 8 → 120, 10 → 220,
+12 → 364); dependency structure is checked on hand-derived small instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import CHOLESKY_KERNELS, cholesky_dag, cholesky_task_count
+from repro.graphs.lu import LU_KERNELS, lu_dag, lu_task_count
+from repro.graphs.qr import QR_KERNELS, qr_dag, qr_task_count
+
+
+class TestCholeskyCounts:
+    @pytest.mark.parametrize(
+        "tiles,expected", [(1, 1), (2, 4), (4, 20), (6, 56), (8, 120), (10, 220), (12, 364)]
+    )
+    def test_paper_task_counts(self, tiles, expected):
+        assert cholesky_dag(tiles).num_tasks == expected
+        assert cholesky_task_count(tiles) == expected
+
+    @pytest.mark.parametrize("tiles", [2, 4, 6])
+    def test_kernel_type_counts(self, tiles):
+        g = cholesky_dag(tiles)
+        t = tiles
+        counts = g.type_counts()
+        assert counts[0] == t  # POTRF
+        assert counts[1] == t * (t - 1) // 2  # TRSM
+        assert counts[2] == t * (t - 1) // 2  # SYRK
+        assert counts[3] == t * (t - 1) * (t - 2) // 6  # GEMM
+
+    def test_kernel_names(self):
+        assert cholesky_dag(2).type_names == CHOLESKY_KERNELS
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            cholesky_dag(0)
+
+
+class TestCholeskyStructure:
+    def test_single_root_is_first_potrf(self):
+        g = cholesky_dag(5)
+        roots = g.roots()
+        assert roots.size == 1
+        assert g.task_types[roots[0]] == 0  # POTRF
+
+    def test_single_sink_is_last_potrf(self):
+        g = cholesky_dag(5)
+        sinks = g.sinks()
+        assert sinks.size == 1
+        assert g.task_types[sinks[0]] == 0
+
+    def test_t1_is_single_potrf(self):
+        g = cholesky_dag(1)
+        assert g.num_tasks == 1
+        assert g.num_edges == 0
+
+    def test_t2_structure(self):
+        # POTRF(0) → TRSM(1,0) → SYRK(1,0) → POTRF(1), a 4-chain
+        g = cholesky_dag(2)
+        assert g.num_tasks == 4
+        assert g.num_edges == 3
+        assert g.longest_path_length() == 3
+
+    def test_critical_path_grows_linearly(self):
+        # the POTRF chain forces depth ≈ 3(T-1)
+        for t in (3, 5, 7):
+            assert cholesky_dag(t).longest_path_length() == 3 * (t - 1)
+
+    def test_trsm_depends_on_potrf(self):
+        g = cholesky_dag(3)
+        # every TRSM has at least one POTRF predecessor
+        for task in np.flatnonzero(g.task_types == 1):
+            preds = g.predecessors(task)
+            assert any(g.task_types[p] == 0 for p in preds)
+
+    def test_gemm_has_two_trsm_parents_at_k0(self):
+        g = cholesky_dag(4)
+        gemms = np.flatnonzero(g.task_types == 3)
+        first_step_gemms = [t for t in gemms if g.in_degree[t] == 2]
+        assert first_step_gemms, "step-0 GEMMs have exactly 2 TRSM parents"
+        for t in first_step_gemms:
+            assert all(g.task_types[p] == 1 for p in g.predecessors(t))
+
+
+class TestLUCounts:
+    @pytest.mark.parametrize("tiles", [1, 2, 3, 4, 6, 8])
+    def test_closed_form(self, tiles):
+        assert lu_dag(tiles).num_tasks == lu_task_count(tiles)
+
+    def test_t4_value(self):
+        # 4 + 12 + 14 = 4 GETRF + 6+6 TRSM + (9+4+1) GEMM = 30
+        assert lu_dag(4).num_tasks == 30
+
+    @pytest.mark.parametrize("tiles", [3, 5])
+    def test_kernel_type_counts(self, tiles):
+        g = lu_dag(tiles)
+        t = tiles
+        counts = g.type_counts()
+        assert counts[0] == t
+        assert counts[1] == t * (t - 1) // 2  # TRSM_L
+        assert counts[2] == t * (t - 1) // 2  # TRSM_U
+        assert counts[3] == (t - 1) * t * (2 * t - 1) // 6
+
+    def test_kernel_names(self):
+        assert lu_dag(2).type_names == LU_KERNELS
+
+
+class TestLUStructure:
+    def test_single_root_and_sink(self):
+        g = lu_dag(4)
+        assert g.roots().size == 1
+        assert g.sinks().size == 1
+        assert g.task_types[g.roots()[0]] == 0  # GETRF(0)
+        assert g.task_types[g.sinks()[0]] == 0  # GETRF(T-1)
+
+    def test_gemm_depends_on_both_trsms(self):
+        g = lu_dag(3)
+        gemms = np.flatnonzero((g.task_types == 3) & (g.in_degree == 2))
+        assert gemms.size  # step-0 GEMMs
+        for t in gemms:
+            ptypes = sorted(g.task_types[p] for p in g.predecessors(t))
+            assert ptypes == [1, 2]  # one TRSM_L + one TRSM_U
+
+    def test_denser_than_cholesky(self):
+        # LU's trailing update is the full square, Cholesky's the triangle
+        assert lu_dag(5).num_tasks > cholesky_dag(5).num_tasks
+
+
+class TestQRCounts:
+    @pytest.mark.parametrize("tiles", [1, 2, 3, 4, 6, 8])
+    def test_closed_form(self, tiles):
+        assert qr_dag(tiles).num_tasks == qr_task_count(tiles)
+
+    def test_same_size_as_lu(self):
+        # both have T + T(T-1) + T(T-1)(2T-1)/6 tasks
+        for t in (2, 4, 6):
+            assert qr_dag(t).num_tasks == lu_dag(t).num_tasks
+
+    @pytest.mark.parametrize("tiles", [3, 5])
+    def test_kernel_type_counts(self, tiles):
+        g = qr_dag(tiles)
+        t = tiles
+        counts = g.type_counts()
+        assert counts[0] == t  # GEQRT
+        assert counts[1] == t * (t - 1) // 2  # UNMQR
+        assert counts[2] == t * (t - 1) // 2  # TSQRT
+        assert counts[3] == (t - 1) * t * (2 * t - 1) // 6  # TSMQR
+
+    def test_kernel_names(self):
+        assert qr_dag(2).type_names == QR_KERNELS
+
+
+class TestQRStructure:
+    def test_single_root(self):
+        g = qr_dag(4)
+        roots = g.roots()
+        assert roots.size == 1
+        assert g.task_types[roots[0]] == 0  # GEQRT(0)
+
+    def test_tsqrt_serialised_along_column(self):
+        # flat-tree: TSQRT(i,k) depends on TSQRT(i-1,k)
+        g = qr_dag(4)
+        tsqrts = np.flatnonzero(g.task_types == 2)
+        chained = sum(
+            1
+            for t in tsqrts
+            if any(g.task_types[p] == 2 for p in g.predecessors(t))
+        )
+        assert chained > 0
+
+    def test_deeper_than_lu(self):
+        # the serialised TSQRT/TSMQR chains make QR's critical path longer
+        assert qr_dag(6).longest_path_length() >= lu_dag(6).longest_path_length()
+
+
+def cholesky_dag_local(t):
+    return cholesky_dag(t)
+
+
+class TestAllFamiliesValid:
+    @pytest.mark.parametrize("builder", [cholesky_dag, lu_dag, qr_dag])
+    @pytest.mark.parametrize("tiles", [1, 2, 5, 8])
+    def test_validate(self, builder, tiles):
+        g = builder(tiles)
+        g.validate()
+        # every non-root has at least one predecessor by definition
+        assert (g.in_degree[g.roots()] == 0).all()
+
+    @pytest.mark.parametrize("builder", [cholesky_dag, lu_dag, qr_dag])
+    def test_deterministic(self, builder):
+        a, b = builder(5), builder(5)
+        np.testing.assert_array_equal(a.edges, b.edges)
+        np.testing.assert_array_equal(a.task_types, b.task_types)

@@ -1,0 +1,80 @@
+"""Per-episode instance mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.mixture import random_structure_mixture, size_mixture
+
+
+class TestSizeMixture:
+    def test_samples_only_requested_sizes(self):
+        factory = size_mixture("cholesky", [3, 5])
+        rng = np.random.default_rng(0)
+        sizes = {factory(rng).num_tasks for _ in range(30)}
+        assert sizes <= {10, 35}  # T=3 → 10 tasks, T=5 → 35 tasks
+        assert len(sizes) == 2
+
+    def test_graphs_cached(self):
+        factory = size_mixture("lu", [3])
+        rng = np.random.default_rng(0)
+        assert factory(rng) is factory(rng)
+
+    def test_weights_respected(self):
+        factory = size_mixture("cholesky", [3, 5], weights=[1.0, 0.0])
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert factory(rng).num_tasks == 10
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            size_mixture("fft", [3])
+
+    def test_empty_choices(self):
+        with pytest.raises(ValueError):
+            size_mixture("cholesky", [])
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            size_mixture("cholesky", [3, 5], weights=[1.0])
+        with pytest.raises(ValueError):
+            size_mixture("cholesky", [3, 5], weights=[0.0, 0.0])
+
+    def test_works_with_env(self):
+        from repro.graphs.durations import CHOLESKY_DURATIONS
+        from repro.platforms import NoNoise, Platform
+        from repro.sim.env import SchedulingEnv, run_policy
+
+        env = SchedulingEnv(
+            size_mixture("cholesky", [2, 3]),
+            Platform(1, 1), CHOLESKY_DURATIONS, NoNoise(), window=1, rng=0,
+        )
+        sizes = set()
+        for _ in range(6):
+            run_policy(env, lambda obs: 0)
+            sizes.add(env.sim.graph.num_tasks)
+        assert len(sizes) == 2
+
+
+class TestRandomStructureMixture:
+    def test_fresh_graph_each_call(self):
+        factory = random_structure_mixture(10, 20)
+        rng = np.random.default_rng(0)
+        a, b = factory(rng), factory(rng)
+        assert a is not b
+
+    def test_size_bounds_loosely_respected(self):
+        factory = random_structure_mixture(8, 15)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            g = factory(rng)
+            assert 2 <= g.num_tasks <= 40  # layered rounding may stretch
+
+    def test_all_valid_dags(self):
+        factory = random_structure_mixture(5, 25)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            factory(rng).validate()
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            random_structure_mixture(10, 5)

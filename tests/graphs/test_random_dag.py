@@ -1,0 +1,105 @@
+"""Synthetic DAG families."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.random_dag import chain_dag, erdos_dag, fork_join_dag, layered_dag
+
+
+class TestLayeredDag:
+    def test_size(self):
+        g = layered_dag(3, 4, rng=0)
+        assert g.num_tasks == 12
+
+    def test_edges_only_between_adjacent_layers(self):
+        g = layered_dag(4, 3, density=0.8, rng=0)
+        for u, v in g.edges:
+            assert v // 3 - u // 3 == 1
+
+    def test_every_non_first_layer_node_has_parent(self):
+        g = layered_dag(5, 4, density=0.1, rng=0)
+        assert (g.in_degree[4:] >= 1).all()
+
+    def test_density_bounds(self):
+        with pytest.raises(ValueError):
+            layered_dag(2, 2, density=1.5)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            layered_dag(0, 3)
+
+    def test_deterministic_with_seed(self):
+        a, b = layered_dag(3, 3, rng=5), layered_dag(3, 3, rng=5)
+        np.testing.assert_array_equal(a.edges, b.edges)
+
+
+class TestErdosDag:
+    def test_acyclic_by_construction(self):
+        g = erdos_dag(20, p=0.3, rng=0)
+        g.validate()
+
+    def test_edges_go_forward(self):
+        g = erdos_dag(15, p=0.4, rng=1)
+        assert (g.edges[:, 0] < g.edges[:, 1]).all()
+
+    def test_p_zero_no_edges(self):
+        assert erdos_dag(10, p=0.0, rng=0).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_dag(6, p=1.0, rng=0)
+        assert g.num_edges == 6 * 5 // 2
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_dag(5, p=2.0)
+
+    def test_num_types_respected(self):
+        g = erdos_dag(30, p=0.2, num_types=2, rng=0)
+        assert g.task_types.max() < 2
+
+
+class TestChainDag:
+    def test_structure(self):
+        g = chain_dag(5)
+        assert g.num_edges == 4
+        assert g.longest_path_length() == 4
+        assert g.roots().size == 1
+        assert g.sinks().size == 1
+
+    def test_single_node(self):
+        g = chain_dag(1)
+        assert g.num_edges == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chain_dag(0)
+
+
+class TestForkJoinDag:
+    def test_single_stage_size(self):
+        g = fork_join_dag(width=4, stages=1, rng=0)
+        assert g.num_tasks == 6  # source + 4 + sink
+
+    def test_multi_stage_size(self):
+        g = fork_join_dag(width=3, stages=2, rng=0)
+        assert g.num_tasks == 1 + (3 + 1) * 2
+
+    def test_middle_width_parallelism(self):
+        g = fork_join_dag(width=5, stages=1, rng=0)
+        # all 5 middles become ready once the source finishes
+        assert (g.in_degree == 1).sum() == 5
+
+    def test_join_collects_all(self):
+        g = fork_join_dag(width=4, stages=1, rng=0)
+        sink = g.sinks()[0]
+        assert g.in_degree[sink] == 4
+
+    def test_stages_chain(self):
+        g = fork_join_dag(width=2, stages=3, rng=0)
+        assert g.roots().size == 1
+        assert g.sinks().size == 1
+        g.validate()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fork_join_dag(0, 1)

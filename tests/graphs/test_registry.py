@@ -1,0 +1,20 @@
+"""Top-level DAG family registry."""
+
+import pytest
+
+from repro.graphs import KERNEL_FAMILIES, make_dag
+
+
+class TestMakeDag:
+    @pytest.mark.parametrize("family", ["cholesky", "lu", "qr"])
+    def test_builds_each_family(self, family):
+        g = make_dag(family, 4)
+        assert g.num_tasks > 0
+        assert family in g.name
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="cholesky"):
+            make_dag("fft", 4)
+
+    def test_registry_complete(self):
+        assert set(KERNEL_FAMILIES) == {"cholesky", "lu", "qr"}

@@ -1,0 +1,186 @@
+"""Core TaskGraph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.taskgraph import TaskGraph
+
+
+def diamond() -> TaskGraph:
+    """0 → {1, 2} → 3."""
+    return TaskGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], [0, 1, 1, 0], ("A", "B"))
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = diamond()
+        assert g.num_tasks == 4
+        assert g.num_edges == 4
+        assert g.num_types == 2
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            TaskGraph(0, [], [], ("A",))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            TaskGraph(2, [(0, 0)], [0, 0], ("A",))
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            TaskGraph(2, [(0, 5)], [0, 0], ("A",))
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph(3, [(0, 1), (1, 2), (2, 0)], [0, 0, 0], ("A",))
+
+    def test_rejects_bad_type_count(self):
+        with pytest.raises(ValueError):
+            TaskGraph(3, [], [0, 0], ("A",))
+
+    def test_rejects_type_out_of_range(self):
+        with pytest.raises(ValueError):
+            TaskGraph(2, [], [0, 5], ("A",))
+
+    def test_duplicate_edges_deduplicated(self):
+        g = TaskGraph(2, [(0, 1), (0, 1)], [0, 0], ("A",))
+        assert g.num_edges == 1
+
+    def test_edgeless_graph(self):
+        g = TaskGraph(3, [], [0, 0, 0], ("A",))
+        assert g.num_edges == 0
+        np.testing.assert_array_equal(g.roots(), [0, 1, 2])
+        np.testing.assert_array_equal(g.sinks(), [0, 1, 2])
+
+
+class TestNeighbours:
+    def test_successors(self):
+        g = diamond()
+        np.testing.assert_array_equal(sorted(g.successors(0)), [1, 2])
+        np.testing.assert_array_equal(g.successors(3), [])
+
+    def test_predecessors(self):
+        g = diamond()
+        np.testing.assert_array_equal(sorted(g.predecessors(3)), [1, 2])
+        np.testing.assert_array_equal(g.predecessors(0), [])
+
+    def test_degrees(self):
+        g = diamond()
+        np.testing.assert_array_equal(g.in_degree, [0, 1, 1, 2])
+        np.testing.assert_array_equal(g.out_degree, [2, 1, 1, 0])
+
+    def test_has_edge(self):
+        g = diamond()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        pos = {int(t): i for i, t in enumerate(order)}
+        for u, v in g.edges:
+            assert pos[int(u)] < pos[int(v)]
+
+    def test_roots_and_sinks(self):
+        g = diamond()
+        np.testing.assert_array_equal(g.roots(), [0])
+        np.testing.assert_array_equal(g.sinks(), [3])
+
+    def test_type_counts(self):
+        np.testing.assert_array_equal(diamond().type_counts(), [2, 2])
+
+    def test_longest_path(self):
+        assert diamond().longest_path_length() == 2
+
+    def test_longest_path_chain(self):
+        g = TaskGraph(4, [(0, 1), (1, 2), (2, 3)], [0] * 4, ("A",))
+        assert g.longest_path_length() == 3
+
+    def test_adjacency_matrix(self):
+        a = diamond().adjacency_matrix()
+        assert a[0, 1] == 1 and a[0, 2] == 1 and a[1, 3] == 1 and a[2, 3] == 1
+        assert a.sum() == 4
+
+    def test_validate_passes(self):
+        diamond().validate()
+
+
+class TestCriticalPath:
+    def test_unit_weights(self):
+        g = diamond()
+        # path 0→1→3 with weights 1: length 3
+        assert g.critical_path_length(np.ones(4)) == pytest.approx(3.0)
+
+    def test_weighted(self):
+        g = diamond()
+        w = np.array([1.0, 5.0, 1.0, 1.0])
+        assert g.critical_path_length(w) == pytest.approx(7.0)  # 0→1→3
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            diamond().critical_path_length(np.ones(3))
+
+
+class TestDescendantsWithin:
+    def test_depth_zero_is_empty(self):
+        g = diamond()
+        assert g.descendants_within([0], 0).size == 0
+
+    def test_depth_one(self):
+        g = diamond()
+        np.testing.assert_array_equal(g.descendants_within([0], 1), [1, 2])
+
+    def test_depth_two_full(self):
+        g = diamond()
+        np.testing.assert_array_equal(g.descendants_within([0], 2), [1, 2, 3])
+
+    def test_sources_excluded(self):
+        g = diamond()
+        assert 0 not in g.descendants_within([0], 3)
+
+    def test_min_depth_semantics(self):
+        # 0→1→2 and 0→2: node 2 is at depth 1 (min over paths)
+        g = TaskGraph(3, [(0, 1), (1, 2), (0, 2)], [0] * 3, ("A",))
+        np.testing.assert_array_equal(g.descendants_within([0], 1), [1, 2])
+
+    def test_multiple_sources(self):
+        g = diamond()
+        np.testing.assert_array_equal(g.descendants_within([1, 2], 1), [3])
+
+    def test_negative_depth_raises(self):
+        with pytest.raises(ValueError):
+            diamond().descendants_within([0], -1)
+
+    def test_source_not_reported_even_if_reachable(self):
+        # 1 reachable from 0, but also a source itself
+        g = diamond()
+        out = g.descendants_within([0, 1], 2)
+        assert 1 not in out
+        assert 3 in out
+
+
+class TestInducedSubgraph:
+    def test_window_subgraph(self):
+        g = diamond()
+        sub, ids = g.induced_subgraph([0, 1, 3])
+        assert sub.num_tasks == 3
+        np.testing.assert_array_equal(ids, [0, 1, 3])
+        # edges 0→1 and 1→3 survive; 0→2→3 path is cut
+        assert sub.num_edges == 2
+
+    def test_types_preserved(self):
+        g = diamond()
+        sub, ids = g.induced_subgraph([1, 2])
+        np.testing.assert_array_equal(sub.task_types, g.task_types[[1, 2]])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            diamond().induced_subgraph([])
+
+    def test_single_node(self):
+        sub, ids = diamond().induced_subgraph([2])
+        assert sub.num_tasks == 1
+        assert sub.num_edges == 0

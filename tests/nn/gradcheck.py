@@ -1,0 +1,45 @@
+"""Numeric gradient checking helper shared by the autograd tests."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f()`` w.r.t. array ``x``.
+
+    ``f`` must read ``x`` by reference (entries are perturbed in place).
+    """
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def assert_grad_matches(build_loss, arrays, atol: float = 1e-5) -> None:
+    """Verify autograd against numeric gradients.
+
+    ``build_loss(*tensors) -> Tensor`` constructs a scalar loss from leaf
+    tensors wrapping ``arrays``; analytic gradients from ``backward`` are
+    compared entrywise with central differences.
+    """
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    loss = build_loss(*tensors)
+    loss.backward()
+
+    def scalar_loss() -> float:
+        return float(build_loss(*[Tensor(arr) for arr in arrays]).data)
+
+    for t, a in zip(tensors, arrays):
+        num = numeric_gradient(scalar_loss, a)
+        analytic = t.grad if t.grad is not None else np.zeros_like(a)
+        np.testing.assert_allclose(analytic, num, atol=atol, rtol=1e-4)

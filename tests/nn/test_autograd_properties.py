@@ -1,0 +1,124 @@
+"""Property-based autograd tests (hypothesis).
+
+Invariants exercised on random shapes and values:
+
+* gradients of linear maps are input-independent and match closed forms;
+* sum-of-gradients identity: d(sum(x))/dx = 1;
+* softmax rows are valid distributions for any input;
+* gradcheck holds for randomly composed expressions.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.nn.gradcheck import numeric_gradient
+
+finite_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(1, max_side), st.integers(1, max_side)
+        ),
+        elements=finite_floats,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_sum_gradient_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_mean_gradient_is_uniform(a):
+    t = Tensor(a, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad, np.full(a.shape, 1.0 / a.size))
+
+
+@given(small_arrays(), finite_floats)
+@settings(max_examples=30, deadline=None)
+def test_scalar_mul_gradient(a, c):
+    t = Tensor(a, requires_grad=True)
+    (t * c).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full(a.shape, c), atol=1e-12)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_softmax_rows_are_distributions(a):
+    p = F.softmax(Tensor(a), axis=1).data
+    assert (p >= 0).all()
+    np.testing.assert_allclose(p.sum(axis=1), np.ones(a.shape[0]), atol=1e-12)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_log_softmax_never_positive(a):
+    logp = F.log_softmax(Tensor(a), axis=1).data
+    assert (logp <= 1e-12).all()
+
+
+@given(small_arrays())
+@settings(max_examples=20, deadline=None)
+def test_tanh_composite_gradcheck(a):
+    t = Tensor(a, requires_grad=True)
+    loss = (t.tanh() * t).sum()
+    loss.backward()
+
+    def f():
+        return float((Tensor(a).tanh() * Tensor(a)).sum().data)
+
+    num = numeric_gradient(f, a)
+    np.testing.assert_allclose(t.grad, num, atol=1e-4)
+
+
+@given(
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4)), elements=finite_floats)
+)
+@settings(max_examples=30, deadline=None)
+def test_entropy_bounded_by_log_n(logits):
+    h = float(F.entropy(Tensor(logits)).data)
+    assert -1e-9 <= h <= np.log(len(logits)) + 1e-9
+
+
+@given(small_arrays(), small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_add_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_array_equal(left, right)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_relu_idempotent(a):
+    once = Tensor(a).relu().data
+    twice = Tensor(a).relu().relu().data
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(small_arrays())
+@settings(max_examples=20, deadline=None)
+def test_backward_twice_doubles_gradient(a):
+    t = Tensor(a, requires_grad=True)
+    loss = (t * 2.0).sum()
+    loss.backward()
+    first = t.grad.copy()
+    loss2 = (t * 2.0).sum()
+    loss2.backward()
+    np.testing.assert_allclose(t.grad, 2 * first)

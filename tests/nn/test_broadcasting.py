@@ -1,0 +1,81 @@
+"""Broadcast semantics and gradient un-broadcasting."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, _unbroadcast
+from tests.nn.gradcheck import assert_grad_matches
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        np.testing.assert_array_equal(_unbroadcast(g, (2, 3)), g)
+
+    def test_sum_leading_axis(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        np.testing.assert_array_equal(out, np.full((2, 3), 4.0))
+
+    def test_sum_size_one_axis(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (2, 1))
+        np.testing.assert_array_equal(out, np.full((2, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == 6.0
+
+    def test_mixed(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (1, 3))
+        np.testing.assert_array_equal(out, np.full((1, 3), 8.0))
+
+
+class TestBroadcastForward:
+    def test_matrix_plus_row(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=4)
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_matrix_times_column(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 1))
+        np.testing.assert_allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+    def test_scalar_broadcast(self, rng):
+        a = rng.normal(size=(2, 2))
+        np.testing.assert_allclose((Tensor(a) * 3.0).data, a * 3)
+
+
+class TestBroadcastGrads:
+    def test_add_row_vector(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=4)
+        assert_grad_matches(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_add_column_vector(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 1))
+        assert_grad_matches(lambda x, y: ((x + y) ** 2).sum(), [a, b])
+
+    def test_mul_row_vector(self, rng):
+        a, b = rng.normal(size=(2, 5)), rng.normal(size=5)
+        assert_grad_matches(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_div_by_scalar_tensor(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.uniform(1.0, 2.0, size=(1,))
+        assert_grad_matches(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_sub_broadcast_both_ways(self, rng):
+        a, b = rng.normal(size=(4, 1)), rng.normal(size=(1, 3))
+        assert_grad_matches(lambda x, y: (x - y).sum(), [a, b])
+
+    def test_mul_scalar_times_matrix(self, rng):
+        a = rng.normal(size=(1,))
+        b = rng.normal(size=(3, 2))
+        assert_grad_matches(lambda x, y: (x * y).sum(), [a, b])

@@ -1,0 +1,157 @@
+"""Functional ops: softmax family, pooling, losses, masking."""
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp as scipy_logsumexp, softmax as scipy_softmax
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.nn.gradcheck import assert_grad_matches
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestLogsumexp:
+    def test_matches_scipy_1d(self, rng):
+        x = rng.normal(size=6)
+        out = F.logsumexp(Tensor(x))
+        assert out.data == pytest.approx(scipy_logsumexp(x))
+
+    def test_matches_scipy_2d(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            F.logsumexp(Tensor(x), axis=1).data, scipy_logsumexp(x, axis=1)
+        )
+
+    def test_keepdims(self, rng):
+        x = rng.normal(size=(2, 5))
+        assert F.logsumexp(Tensor(x), axis=1, keepdims=True).shape == (2, 1)
+
+    def test_numerically_stable_large_values(self):
+        x = np.array([1000.0, 1000.0])
+        out = F.logsumexp(Tensor(x))
+        assert np.isfinite(out.data)
+        assert out.data == pytest.approx(1000.0 + np.log(2.0))
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=5)
+        assert_grad_matches(lambda t: F.logsumexp(t).reshape(1).sum(), [x])
+
+
+class TestSoftmax:
+    def test_matches_scipy(self, rng):
+        x = rng.normal(size=7)
+        np.testing.assert_allclose(F.softmax(Tensor(x)).data, scipy_softmax(x))
+
+    def test_sums_to_one(self, rng):
+        x = rng.normal(size=(4, 6))
+        p = F.softmax(Tensor(x), axis=1).data
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(4))
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=5)
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x)).data, F.softmax(Tensor(x + 100.0)).data
+        )
+
+    def test_log_softmax_consistency(self, rng):
+        x = rng.normal(size=6)
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data)
+        )
+
+    def test_log_softmax_gradient(self, rng):
+        x = rng.normal(size=5)
+        assert_grad_matches(
+            lambda t: F.log_softmax(t)[np.array([2])].sum(), [x]
+        )
+
+    def test_softmax_gradient(self, rng):
+        x = rng.normal(size=4)
+        assert_grad_matches(lambda t: (F.softmax(t) ** 2).sum(), [x])
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        n = 8
+        h = F.entropy(Tensor(np.zeros(n)))
+        assert float(h.data) == pytest.approx(np.log(n))
+
+    def test_peaked_is_near_zero(self):
+        logits = np.array([100.0, 0.0, 0.0])
+        assert float(F.entropy(Tensor(logits)).data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_nonnegative(self, rng):
+        for _ in range(10):
+            h = float(F.entropy(Tensor(rng.normal(size=5))).data)
+            assert h >= 0.0
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=4)
+        assert_grad_matches(lambda t: F.entropy(t).reshape(1).sum(), [x])
+
+
+class TestPooling:
+    def test_mean_pool(self, rng):
+        h = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(F.mean_pool(Tensor(h)).data, h.mean(axis=0))
+
+    def test_max_pool(self, rng):
+        h = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(F.max_pool(Tensor(h)).data, h.max(axis=0))
+
+    def test_mean_pool_gradient(self, rng):
+        h = rng.normal(size=(4, 3))
+        assert_grad_matches(lambda t: (F.mean_pool(t) ** 2).sum(), [h])
+
+
+class TestLosses:
+    def test_mse_zero_for_equal(self, rng):
+        x = rng.normal(size=5)
+        assert float(F.mse_loss(Tensor(x), Tensor(x.copy())).data) == 0.0
+
+    def test_mse_value(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(2.5)
+
+    def test_mse_gradient(self, rng):
+        x, y = rng.normal(size=4), rng.normal(size=4)
+        assert_grad_matches(
+            lambda a: F.mse_loss(a, Tensor(y)).reshape(1).sum(), [x]
+        )
+
+    def test_huber_below_delta_equals_half_mse(self):
+        pred, target = Tensor([0.5]), Tensor([0.0])
+        h = float(F.huber_loss(pred, target, delta=1.0).data)
+        assert h == pytest.approx(0.125)
+
+    def test_huber_above_delta_linear(self):
+        h = float(F.huber_loss(Tensor([3.0]), Tensor([0.0]), delta=1.0).data)
+        assert h == pytest.approx(3.0 - 0.5)
+
+
+class TestMaskedLogSoftmax:
+    def test_no_mask_matches_log_softmax(self, rng):
+        x = rng.normal(size=5)
+        np.testing.assert_allclose(
+            F.masked_log_softmax(Tensor(x)).data, F.log_softmax(Tensor(x)).data
+        )
+
+    def test_masked_entries_near_zero_probability(self, rng):
+        x = rng.normal(size=4)
+        mask = np.array([True, False, True, False])
+        logp = F.masked_log_softmax(Tensor(x), mask).data
+        probs = np.exp(logp)
+        assert probs[1] < 1e-12 and probs[3] < 1e-12
+        assert probs[mask].sum() == pytest.approx(1.0)
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.masked_log_softmax(Tensor(np.zeros(3)), np.array([True, False]))
+
+    def test_all_masked_raises(self):
+        with pytest.raises(ValueError):
+            F.masked_log_softmax(Tensor(np.zeros(3)), np.zeros(3, dtype=bool))

@@ -1,0 +1,62 @@
+"""Weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_uniform_shape(self):
+        w = init.xavier_uniform(10, 20, rng=0)
+        assert w.shape == (10, 20)
+
+    def test_uniform_bounds(self):
+        fan_in, fan_out = 30, 50
+        w = init.xavier_uniform(fan_in, fan_out, rng=0)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.abs(w).max() <= limit
+
+    def test_normal_std(self):
+        fan_in, fan_out = 200, 200
+        w = init.xavier_normal(fan_in, fan_out, rng=0)
+        expected = np.sqrt(2.0 / (fan_in + fan_out))
+        assert w.std() == pytest.approx(expected, rel=0.1)
+
+    def test_gain_scales(self):
+        a = init.xavier_uniform(10, 10, rng=0, gain=1.0)
+        b = init.xavier_uniform(10, 10, rng=0, gain=2.0)
+        np.testing.assert_allclose(b, 2 * a)
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(
+            init.xavier_uniform(5, 5, rng=3), init.xavier_uniform(5, 5, rng=3)
+        )
+
+
+class TestKaiming:
+    def test_uniform_bounds(self):
+        w = init.kaiming_uniform(40, 10, rng=0)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 40)
+
+    def test_normal_std(self):
+        w = init.kaiming_normal(500, 100, rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 500), rel=0.1)
+
+    def test_shapes(self):
+        assert init.kaiming_normal(3, 7, rng=0).shape == (3, 7)
+
+
+class TestZerosAndRegistry:
+    def test_zeros(self):
+        w = init.zeros(4, 2)
+        assert w.shape == (4, 2)
+        assert (w == 0).all()
+
+    def test_get_scheme_known(self):
+        assert init.get_scheme("xavier_uniform") is init.xavier_uniform
+        assert init.get_scheme("kaiming_normal") is init.kaiming_normal
+
+    def test_get_scheme_unknown_lists_options(self):
+        with pytest.raises(KeyError, match="kaiming_uniform"):
+            init.get_scheme("nope")

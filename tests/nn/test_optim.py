@@ -1,0 +1,165 @@
+"""Optimizers: descent on known problems, hyper-parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, RMSprop, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    """f(x) = sum((x - 3)^2), minimised at x = 3."""
+    diff = p - Tensor(np.full(p.shape, 3.0))
+    return (diff * diff).sum()
+
+
+def minimize(optimizer_cls, steps=300, **kwargs) -> np.ndarray:
+    p = Parameter(np.zeros(4))
+    opt = optimizer_cls([p], **kwargs)
+    for _ in range(steps):
+        opt.zero_grad()
+        quadratic_loss(p).backward()
+        opt.step()
+    return p.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x = minimize(SGD, lr=0.1)
+        np.testing.assert_allclose(x, np.full(4, 3.0), atol=1e-4)
+
+    def test_momentum_converges(self):
+        x = minimize(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(x, np.full(4, 3.0), atol=1e-4)
+
+    def test_weight_decay_shrinks_solution(self):
+        x_plain = minimize(SGD, lr=0.1)
+        x_decay = minimize(SGD, lr=0.1, weight_decay=1.0)
+        assert np.abs(x_decay).max() < np.abs(x_plain).max()
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.0)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad: no movement, no crash
+        np.testing.assert_array_equal(p.data, np.ones(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x = minimize(Adam, lr=0.1)
+        np.testing.assert_allclose(x, np.full(4, 3.0), atol=1e-3)
+
+    def test_bias_correction_first_step_magnitude(self):
+        # Adam's first step is ~lr regardless of gradient scale
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1000.0])
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_weight_decay_applies(self):
+        x_decay = minimize(Adam, lr=0.1, weight_decay=5.0, steps=500)
+        assert np.abs(x_decay - 3.0).max() > 0.05  # pulled away from optimum
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        x = minimize(RMSprop, lr=0.05, steps=500)
+        np.testing.assert_allclose(x, np.full(4, 3.0), atol=1e-2)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RMSprop([Parameter(np.zeros(1))], alpha=1.5)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            RMSprop([Parameter(np.zeros(1))], lr=0)
+
+
+class TestOptimizerBase:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_duplicate_params_raise(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([p, p], lr=0.1)
+
+    def test_zero_grad_clears_all(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.ones(1), np.ones(1)
+        SGD([a, b], lr=0.1).zero_grad()
+        assert a.grad is None and b.grad is None
+
+    def test_step_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Optimizer([Parameter(np.zeros(1))]).step()
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([1.0, 0.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=5.0)
+        assert norm == pytest.approx(1.0)
+        np.testing.assert_allclose(p.grad, [1.0, 0.0, 0.0])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(2.5)
+
+    def test_ignores_gradless_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([2.0])
+        norm = clip_grad_norm([a, b], max_norm=10.0)
+        assert norm == pytest.approx(2.0)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)
+
+
+class TestTrainingIntegration:
+    def test_linear_regression_recovers_weights(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0], [-1.0]])
+        x = rng.normal(size=(64, 2))
+        y = x @ true_w
+        layer = Linear(2, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=1e-2)
+        assert abs(layer.bias.data[0]) < 1e-2

@@ -1,0 +1,56 @@
+"""Checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import MLP, Linear
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        src = MLP([3, 4, 2], rng=0)
+        path = str(tmp_path / "model.npz")
+        save_state_dict(src, path)
+        dst = MLP([3, 4, 2], rng=1)
+        load_state_dict(dst, path)
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(src(x).data, dst(x).data)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = Linear(2, 2, rng=0)
+        path = str(tmp_path / "m.npz")
+        save_state_dict(model, path, kernel="cholesky", tiles="6")
+        meta = load_state_dict(Linear(2, 2, rng=1), path)
+        assert meta == {"kernel": "cholesky", "tiles": "6"}
+
+    def test_load_accepts_path_without_extension(self, tmp_path):
+        model = Linear(2, 2, rng=0)
+        base = str(tmp_path / "ckpt")
+        save_state_dict(model, base)  # np.savez appends .npz
+        dst = Linear(2, 2, rng=1)
+        load_state_dict(dst, base)
+        np.testing.assert_allclose(model.weight.data, dst.weight.data)
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        save_state_dict(Linear(2, 2, rng=0), path)
+        with pytest.raises(ValueError):
+            load_state_dict(Linear(3, 3, rng=0), path)
+
+    def test_missing_parameter_raises(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        save_state_dict(Linear(2, 2, rng=0), path)
+        with pytest.raises(KeyError):
+            load_state_dict(MLP([2, 2, 2], rng=0), path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "m.npz")
+        save_state_dict(Linear(2, 2, rng=0), path)
+        load_state_dict(Linear(2, 2, rng=1), path)
+
+    def test_no_metadata_is_empty_dict(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        save_state_dict(Linear(2, 2, rng=0), path)
+        assert load_state_dict(Linear(2, 2, rng=1), path) == {}

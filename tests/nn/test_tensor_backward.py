@@ -1,0 +1,204 @@
+"""Analytic gradients of every op verified against central differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from tests.nn.gradcheck import assert_grad_matches
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestArithmeticGrads:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(3, 2))
+        assert_grad_matches(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_sub(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        assert_grad_matches(lambda x, y: (x - y).sum(), [a, b])
+
+    def test_mul(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        assert_grad_matches(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = rng.normal(size=4)
+        b = rng.uniform(0.5, 2.0, size=4)
+        assert_grad_matches(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_neg(self, rng):
+        a = rng.normal(size=3)
+        assert_grad_matches(lambda x: (-x).sum(), [a])
+
+    def test_pow(self, rng):
+        a = rng.uniform(0.5, 1.5, size=4)
+        assert_grad_matches(lambda x: (x**3).sum(), [a])
+
+    def test_chain_of_ops(self, rng):
+        a, b = rng.normal(size=4), rng.uniform(0.5, 1.0, size=4)
+        assert_grad_matches(lambda x, y: ((x * y - x / y) * 2.0 + y).sum(), [a, b])
+
+    def test_reused_tensor_accumulates(self, rng):
+        a = rng.normal(size=3)
+        # x appears twice: grads from both paths must add
+        assert_grad_matches(lambda x: (x * x + x).sum(), [a])
+
+
+class TestMatmulGrads:
+    def test_2d_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        assert_grad_matches(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_1d_1d(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        assert_grad_matches(lambda x, y: (x @ y).reshape(1).sum(), [a, b])
+
+    def test_1d_2d(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=(3, 4))
+        assert_grad_matches(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_2d_1d(self, rng):
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=3)
+        assert_grad_matches(lambda x, y: (x @ y).sum(), [a, b])
+
+
+class TestElementwiseGrads:
+    def test_exp(self, rng):
+        assert_grad_matches(lambda x: x.exp().sum(), [rng.normal(size=4)])
+
+    def test_log(self, rng):
+        assert_grad_matches(
+            lambda x: x.log().sum(), [rng.uniform(0.5, 2.0, size=4)]
+        )
+
+    def test_relu(self, rng):
+        # keep values away from the kink at 0
+        a = rng.normal(size=6)
+        a[np.abs(a) < 0.1] = 0.5
+        assert_grad_matches(lambda x: x.relu().sum(), [a])
+
+    def test_tanh(self, rng):
+        assert_grad_matches(lambda x: x.tanh().sum(), [rng.normal(size=5)])
+
+    def test_sigmoid(self, rng):
+        assert_grad_matches(lambda x: x.sigmoid().sum(), [rng.normal(size=5)])
+
+    def test_abs(self, rng):
+        a = rng.normal(size=5)
+        a[np.abs(a) < 0.1] = 0.5
+        assert_grad_matches(lambda x: x.abs().sum(), [a])
+
+
+class TestReductionGrads:
+    def test_sum_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert_grad_matches(lambda x: (x.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = rng.normal(size=(2, 3))
+        assert_grad_matches(
+            lambda x: (x.sum(axis=1, keepdims=True) * x).sum(), [a]
+        )
+
+    def test_mean(self, rng):
+        a = rng.normal(size=(3, 3))
+        assert_grad_matches(lambda x: (x.mean() * 3.0).reshape(1).sum(), [a])
+
+    def test_mean_axis(self, rng):
+        a = rng.normal(size=(2, 5))
+        assert_grad_matches(lambda x: (x.mean(axis=1) ** 2).sum(), [a])
+
+    def test_max_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        # perturbations near ties break numeric grads; ensure distinct values
+        a += np.arange(12).reshape(3, 4) * 0.01
+        assert_grad_matches(lambda x: x.max(axis=1).sum(), [a])
+
+    def test_max_all(self, rng):
+        a = np.array([1.0, 3.0, 2.0])
+        assert_grad_matches(lambda x: (x.max() * 2.0).reshape(1).sum(), [a])
+
+    def test_min(self, rng):
+        a = np.array([[4.0, 1.0], [2.0, 3.0]])
+        assert_grad_matches(lambda x: x.min(axis=0).sum(), [a])
+
+
+class TestShapeGrads:
+    def test_reshape(self, rng):
+        a = rng.normal(size=(2, 6))
+        assert_grad_matches(lambda x: (x.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        assert_grad_matches(lambda x, y: (x.T * y.T).sum(), [a, b])
+
+    def test_getitem_slice(self, rng):
+        a = rng.normal(size=(5, 2))
+        assert_grad_matches(lambda x: (x[1:4] ** 2).sum(), [a])
+
+    def test_getitem_int_array(self, rng):
+        a = rng.normal(size=(5, 3))
+        idx = np.array([0, 2, 2])  # repeated index: grads must accumulate
+        assert_grad_matches(lambda x: (x[idx] * 2.0).sum(), [a])
+
+    def test_concatenate(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(1, 3))
+        assert_grad_matches(
+            lambda x, y: (Tensor.concatenate([x, y], axis=0) ** 2).sum(), [a, b]
+        )
+
+    def test_stack(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        assert_grad_matches(
+            lambda x, y: (Tensor.stack([x, y]) ** 2).sum(), [a, b]
+        )
+
+
+class TestBackwardProtocol:
+    def test_backward_without_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_nonscalar_backward_needs_grad_arg(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_explicit_grad_seed(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3).backward(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(t.grad, [3.0, 6.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).backward()
+        (t * 3).backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_deep_chain_backward(self):
+        # exercise the iterative topo sort on a long chain
+        t = Tensor([1.0], requires_grad=True)
+        x = t
+        for _ in range(500):
+            x = x * 1.001
+        x.backward()
+        assert t.grad is not None
+        assert t.grad[0] == pytest.approx(1.001**500, rel=1e-9)
+
+    def test_diamond_graph(self):
+        t = Tensor([2.0], requires_grad=True)
+        a = t * 3
+        b = t * 4
+        (a + b).backward()
+        np.testing.assert_allclose(t.grad, [7.0])

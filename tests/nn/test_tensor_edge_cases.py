@@ -1,0 +1,113 @@
+"""Autograd edge cases: exotic indexing, stack axes, reduction corners."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.nn.gradcheck import assert_grad_matches
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestIndexingEdgeCases:
+    def test_tuple_index_forward(self, rng):
+        a = rng.normal(size=(4, 3))
+        out = Tensor(a)[1, 2]
+        assert float(out.data) == a[1, 2]
+
+    def test_tuple_index_gradient(self, rng):
+        a = rng.normal(size=(4, 3))
+        assert_grad_matches(lambda x: (x[(1, 2)] * 3.0).reshape(1).sum(), [a])
+
+    def test_boolean_row_mask(self, rng):
+        a = rng.normal(size=(4, 2))
+        mask = np.array([True, False, True, False])
+        out = Tensor(a)[mask]
+        np.testing.assert_allclose(out.data, a[mask])
+
+    def test_negative_index(self, rng):
+        a = rng.normal(size=5)
+        assert float(Tensor(a)[-1].data) == a[-1]
+
+    def test_strided_slice_gradient(self, rng):
+        a = rng.normal(size=8)
+        assert_grad_matches(lambda x: (x[::2] ** 2).sum(), [a])
+
+    def test_empty_selection(self, rng):
+        a = rng.normal(size=(4, 2))
+        out = Tensor(a)[np.array([], dtype=np.int64)]
+        assert out.shape == (0, 2)
+
+
+class TestStackAxes:
+    def test_stack_axis1(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        out = Tensor.stack([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_allclose(out.data, np.stack([a, b], axis=1))
+
+    def test_stack_axis1_gradient(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        assert_grad_matches(
+            lambda x, y: (Tensor.stack([x, y], axis=1) ** 2).sum(), [a, b]
+        )
+
+    def test_concatenate_three_parts(self, rng):
+        parts = [rng.normal(size=(i + 1, 2)) for i in range(3)]
+        out = Tensor.concatenate([Tensor(p) for p in parts], axis=0)
+        assert out.shape == (6, 2)
+
+
+class TestReductionCorners:
+    def test_sum_negative_axis(self, rng):
+        a = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(
+            Tensor(a).sum(axis=-1).data, a.sum(axis=-1)
+        )
+
+    def test_sum_negative_axis_gradient(self, rng):
+        a = rng.normal(size=(2, 4))
+        assert_grad_matches(lambda x: (x.sum(axis=-1) ** 2).sum(), [a])
+
+    def test_mean_multi_axis(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(
+            Tensor(a).mean(axis=(0, 2)).data, a.mean(axis=(0, 2))
+        )
+
+    def test_max_with_all_equal(self):
+        # tie-splitting subgradient: total gradient mass stays 1 per output
+        a = np.zeros((1, 4))
+        t = Tensor(a, requires_grad=True)
+        t.max(axis=1).backward(np.array([1.0]))
+        assert t.grad.sum() == pytest.approx(1.0)
+
+    def test_single_element_reductions(self):
+        t = Tensor([3.0], requires_grad=True)
+        assert float(t.sum().data) == 3.0
+        assert float(t.mean().data) == 3.0
+        assert float(t.max().data) == 3.0
+
+
+class TestFunctionalAxes:
+    def test_logsumexp_axis0(self, rng):
+        from scipy.special import logsumexp as slse
+
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            F.logsumexp(Tensor(a), axis=0).data, slse(a, axis=0)
+        )
+
+    def test_softmax_axis0_columns_normalised(self, rng):
+        a = rng.normal(size=(3, 4))
+        p = F.softmax(Tensor(a), axis=0).data
+        np.testing.assert_allclose(p.sum(axis=0), np.ones(4))
+
+    def test_entropy_matrix_rows(self, rng):
+        a = rng.normal(size=(3, 5))
+        h = F.entropy(Tensor(a), axis=1)
+        assert h.shape == (3,)
+        assert (h.data >= 0).all()

@@ -1,0 +1,242 @@
+"""Forward-pass correctness of every Tensor operation against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0])
+        np.testing.assert_array_equal(t.data, [1.0, 2.0])
+
+    def test_dtype_is_float64(self):
+        assert Tensor([1, 2]).data.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+
+    def test_item_scalar(self):
+        assert Tensor([4.0]).item() == 4.0
+
+    def test_item_raises_for_vector(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_is_grad_free(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_radd_scalar(self):
+        np.testing.assert_allclose((2.0 + Tensor([1.0, 2.0])).data, [3.0, 4.0])
+
+    def test_sub(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        np.testing.assert_allclose((Tensor(a) - Tensor(b)).data, a - b)
+
+    def test_rsub(self):
+        np.testing.assert_allclose((5.0 - Tensor([2.0])).data, [3.0])
+
+    def test_mul(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        np.testing.assert_allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+    def test_div(self, rng):
+        a = rng.normal(size=4)
+        b = rng.uniform(0.5, 2.0, size=4)
+        np.testing.assert_allclose((Tensor(a) / Tensor(b)).data, a / b)
+
+    def test_rdiv(self):
+        np.testing.assert_allclose((1.0 / Tensor([2.0, 4.0])).data, [0.5, 0.25])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self, rng):
+        a = rng.uniform(0.5, 2.0, size=5)
+        np.testing.assert_allclose((Tensor(a) ** 3).data, a**3)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+
+class TestMatmul:
+    def test_2d_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_1d_1d_dot(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_1d_2d(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=(3, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_2d_1d(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=3)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2, 2))) @ Tensor(np.zeros((2, 2)))
+
+
+class TestElementwise:
+    def test_exp(self, rng):
+        a = rng.normal(size=4)
+        np.testing.assert_allclose(Tensor(a).exp().data, np.exp(a))
+
+    def test_log(self, rng):
+        a = rng.uniform(0.1, 2.0, size=4)
+        np.testing.assert_allclose(Tensor(a).log().data, np.log(a))
+
+    def test_relu(self):
+        np.testing.assert_allclose(
+            Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0]
+        )
+
+    def test_tanh(self, rng):
+        a = rng.normal(size=4)
+        np.testing.assert_allclose(Tensor(a).tanh().data, np.tanh(a))
+
+    def test_sigmoid(self, rng):
+        a = rng.normal(size=4)
+        np.testing.assert_allclose(Tensor(a).sigmoid().data, 1 / (1 + np.exp(-a)))
+
+    def test_abs(self):
+        np.testing.assert_allclose(Tensor([-2.0, 3.0]).abs().data, [2.0, 3.0])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert Tensor(a).sum().data == pytest.approx(a.sum())
+
+    def test_sum_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).sum(axis=0).data, a.sum(axis=0))
+
+    def test_sum_keepdims(self, rng):
+        a = rng.normal(size=(3, 4))
+        out = Tensor(a).sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_mean_all(self, rng):
+        a = rng.normal(size=(2, 5))
+        assert Tensor(a).mean().data == pytest.approx(a.mean())
+
+    def test_mean_axis(self, rng):
+        a = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(Tensor(a).mean(axis=1).data, a.mean(axis=1))
+
+    def test_max_all(self, rng):
+        a = rng.normal(size=(3, 3))
+        assert Tensor(a).max().data == pytest.approx(a.max())
+
+    def test_max_axis(self, rng):
+        a = rng.normal(size=(3, 3))
+        np.testing.assert_allclose(Tensor(a).max(axis=0).data, a.max(axis=0))
+
+    def test_min(self, rng):
+        a = rng.normal(size=6)
+        assert Tensor(a).min().data == pytest.approx(a.min())
+
+    def test_min_axis(self, rng):
+        a = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(Tensor(a).min(axis=1).data, a.min(axis=1))
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        a = rng.normal(size=(2, 6))
+        assert Tensor(a).reshape(3, 4).shape == (3, 4)
+
+    def test_reshape_tuple(self, rng):
+        a = rng.normal(size=6)
+        assert Tensor(a).reshape((2, 3)).shape == (2, 3)
+
+    def test_reshape_minus_one(self, rng):
+        a = rng.normal(size=(2, 3))
+        assert Tensor(a).reshape(-1).shape == (6,)
+
+    def test_flatten(self, rng):
+        assert Tensor(rng.normal(size=(2, 3))).flatten().shape == (6,)
+
+    def test_transpose(self, rng):
+        a = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(Tensor(a).T.data, a.T)
+
+    def test_getitem_slice(self, rng):
+        a = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(Tensor(a)[1:3].data, a[1:3])
+
+    def test_getitem_int_array(self, rng):
+        a = rng.normal(size=(5, 2))
+        idx = np.array([0, 3])
+        np.testing.assert_allclose(Tensor(a)[idx].data, a[idx])
+
+    def test_concatenate(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        out = Tensor.concatenate([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b]))
+
+    def test_concatenate_axis1(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        out = Tensor.concatenate([Tensor(a), Tensor(b)], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_stack(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        out = Tensor.stack([Tensor(a), Tensor(b)])
+        np.testing.assert_allclose(out.data, np.stack([a, b]))
+
+
+class TestGradMode:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_result_requires_grad_propagates(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0])
+        assert (x + y).requires_grad
+        assert not (y + y).requires_grad

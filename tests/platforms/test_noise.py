@@ -1,0 +1,174 @@
+"""Duration noise models: the paper's truncated Gaussian plus alternatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms.noise import (
+    GammaNoise,
+    GaussianNoise,
+    LognormalNoise,
+    NoNoise,
+    UniformNoise,
+    make_noise,
+)
+
+EXPECTED = np.full(20_000, 10.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestNoNoise:
+    def test_returns_expected_exactly(self, rng):
+        out = NoNoise().sample(EXPECTED[:5], rng)
+        np.testing.assert_array_equal(out, EXPECTED[:5])
+
+    def test_is_deterministic_flag(self):
+        assert NoNoise().is_deterministic
+
+    def test_returns_copy(self, rng):
+        src = np.array([1.0, 2.0])
+        out = NoNoise().sample(src, rng)
+        out[0] = 99.0
+        assert src[0] == 1.0
+
+
+class TestGaussianNoise:
+    def test_sigma_zero_deterministic(self, rng):
+        out = GaussianNoise(0.0).sample(EXPECTED[:4], rng)
+        np.testing.assert_array_equal(out, EXPECTED[:4])
+
+    def test_nonnegative(self, rng):
+        out = GaussianNoise(1.0).sample(EXPECTED, rng)
+        assert (out >= 0).all()
+
+    def test_mean_close_to_expected_small_sigma(self, rng):
+        out = GaussianNoise(0.1).sample(EXPECTED, rng)
+        assert out.mean() == pytest.approx(10.0, rel=0.01)
+
+    def test_relative_std_matches_sigma(self, rng):
+        out = GaussianNoise(0.2).sample(EXPECTED, rng)
+        assert out.std() / 10.0 == pytest.approx(0.2, rel=0.05)
+
+    def test_truncation_raises_mean_at_large_sigma(self, rng):
+        """max[0, N(E, σE)] with large σ has mean above E — inherent to the
+        paper's formula, reproduced as-is."""
+        out = GaussianNoise(1.5).sample(EXPECTED, rng)
+        assert out.mean() > 10.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-0.1)
+
+    def test_scales_with_expected(self, rng):
+        exp = np.concatenate([np.full(10_000, 1.0), np.full(10_000, 100.0)])
+        out = GaussianNoise(0.1).sample(exp, rng)
+        assert out[:10_000].std() == pytest.approx(0.1, rel=0.1)
+        assert out[10_000:].std() == pytest.approx(10.0, rel=0.1)
+
+
+class TestLognormalNoise:
+    def test_strictly_positive(self, rng):
+        out = LognormalNoise(1.0).sample(EXPECTED, rng)
+        assert (out > 0).all()
+
+    def test_mean_preserving(self, rng):
+        out = LognormalNoise(0.5).sample(EXPECTED, rng)
+        assert out.mean() == pytest.approx(10.0, rel=0.02)
+
+    def test_relative_std(self, rng):
+        out = LognormalNoise(0.3).sample(EXPECTED, rng)
+        assert out.std() / out.mean() == pytest.approx(0.3, rel=0.05)
+
+    def test_sigma_zero(self, rng):
+        np.testing.assert_array_equal(
+            LognormalNoise(0.0).sample(EXPECTED[:3], rng), EXPECTED[:3]
+        )
+
+
+class TestUniformNoise:
+    def test_bounded_support(self, rng):
+        out = UniformNoise(0.2).sample(EXPECTED, rng)
+        a = 0.2 * np.sqrt(3)
+        assert out.min() >= 10.0 * (1 - a) - 1e-9
+        assert out.max() <= 10.0 * (1 + a) + 1e-9
+
+    def test_mean_preserving(self, rng):
+        out = UniformNoise(0.3).sample(EXPECTED, rng)
+        assert out.mean() == pytest.approx(10.0, rel=0.02)
+
+    def test_width_clipped_for_large_sigma(self, rng):
+        out = UniformNoise(5.0).sample(EXPECTED, rng)
+        assert (out >= 0).all()
+
+
+class TestGammaNoise:
+    def test_strictly_positive(self, rng):
+        out = GammaNoise(0.8).sample(EXPECTED, rng)
+        assert (out > 0).all()
+
+    def test_mean_preserving(self, rng):
+        out = GammaNoise(0.4).sample(EXPECTED, rng)
+        assert out.mean() == pytest.approx(10.0, rel=0.02)
+
+    def test_relative_std(self, rng):
+        out = GammaNoise(0.25).sample(EXPECTED, rng)
+        assert out.std() / out.mean() == pytest.approx(0.25, rel=0.05)
+
+    def test_right_skewed(self, rng):
+        out = GammaNoise(0.8).sample(EXPECTED, rng)
+        from scipy import stats
+
+        assert stats.skew(out) > 0.5
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("none", NoNoise),
+            ("gaussian", GaussianNoise),
+            ("lognormal", LognormalNoise),
+            ("uniform", UniformNoise),
+            ("gamma", GammaNoise),
+        ],
+    )
+    def test_builds_each(self, name, cls):
+        assert isinstance(make_noise(name, 0.2), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="gaussian"):
+            make_noise("cauchy", 0.1)
+
+    def test_none_ignores_sigma(self):
+        assert make_noise("none", 0.9).is_deterministic
+
+    def test_repr_shows_sigma(self):
+        assert "0.2" in repr(GaussianNoise(0.2))
+
+
+@given(
+    st.sampled_from(["gaussian", "lognormal", "uniform", "gamma"]),
+    st.floats(0.01, 1.5),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_models_nonnegative_property(name, sigma, seed):
+    """No noise model may ever produce a negative duration."""
+    noise = make_noise(name, sigma)
+    rng = np.random.default_rng(seed)
+    out = noise.sample(np.array([0.5, 5.0, 500.0]), rng)
+    assert (out >= 0).all()
+
+
+@given(st.floats(0.0, 1.0), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_gaussian_deterministic_given_seed(sigma, seed):
+    noise = make_noise("gaussian", sigma)
+    a = noise.sample(np.full(5, 3.0), np.random.default_rng(seed))
+    b = noise.sample(np.full(5, 3.0), np.random.default_rng(seed))
+    np.testing.assert_array_equal(a, b)

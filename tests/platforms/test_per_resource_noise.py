@@ -1,0 +1,91 @@
+"""Per-resource-type noise (motivated by §III-A / Beaumont et al. [11])."""
+
+import numpy as np
+import pytest
+
+from repro.platforms.noise import GaussianNoise, NoNoise, PerResourceNoise
+from repro.platforms.resources import CPU, GPU, Platform
+
+EXPECTED = np.full(20_000, 10.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPerResourceNoise:
+    def test_distinct_sigma_per_type(self, rng):
+        noise = PerResourceNoise([0.4, 0.05])
+        cpu = noise.sample_for(EXPECTED, CPU, rng)
+        gpu = noise.sample_for(EXPECTED, GPU, rng)
+        assert cpu.std() / cpu.mean() == pytest.approx(0.4, rel=0.1)
+        assert gpu.std() / gpu.mean() == pytest.approx(0.05, rel=0.1)
+
+    def test_zero_sigma_type_deterministic(self, rng):
+        noise = PerResourceNoise([0.3, 0.0])
+        out = noise.sample_for(EXPECTED[:5], GPU, rng)
+        np.testing.assert_array_equal(out, EXPECTED[:5])
+
+    def test_nonnegative(self, rng):
+        noise = PerResourceNoise([1.5, 1.5])
+        assert (noise.sample_for(EXPECTED, CPU, rng) >= 0).all()
+
+    def test_headline_sigma_is_max(self):
+        assert PerResourceNoise([0.1, 0.4]).sigma == 0.4
+        assert not PerResourceNoise([0.1, 0.4]).is_deterministic
+        assert PerResourceNoise([0.0, 0.0]).is_deterministic
+
+    def test_resource_agnostic_sample_uses_worst_case(self, rng):
+        noise = PerResourceNoise([0.0, 0.3])
+        out = noise.sample(EXPECTED, rng)
+        assert out.std() / out.mean() == pytest.approx(0.3, rel=0.1)
+
+    def test_out_of_range_type(self, rng):
+        with pytest.raises(ValueError):
+            PerResourceNoise([0.1, 0.2]).sample_for(EXPECTED[:2], 5, rng)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PerResourceNoise([])
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            PerResourceNoise([0.1, -0.2])
+
+
+class TestBaseSampleForDelegation:
+    def test_gaussian_sample_for_matches_sample(self):
+        noise = GaussianNoise(0.2)
+        a = noise.sample_for(EXPECTED[:50], CPU, np.random.default_rng(3))
+        b = noise.sample(EXPECTED[:50], np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_nonoise_sample_for(self):
+        out = NoNoise().sample_for(EXPECTED[:3], GPU, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, EXPECTED[:3])
+
+
+class TestThroughSimulator:
+    def test_cpu_tasks_noisier_than_gpu_tasks(self):
+        """End-to-end: executing the same kernel repeatedly, the CPU runs
+        spread while the GPU runs are tight."""
+        from repro.graphs.durations import DurationTable
+        from repro.graphs.taskgraph import TaskGraph
+        from repro.sim.engine import Simulation
+
+        table = DurationTable(("A",), cpu=(10.0,), gpu=(10.0,))
+        noise = PerResourceNoise([0.5, 0.0])
+        cpu_durations, gpu_durations = [], []
+        for seed in range(40):
+            g = TaskGraph(2, [], [0, 0], ("A",))
+            sim = Simulation(g, Platform(1, 1), table, noise, rng=seed)
+            sim.start(0, 0)  # CPU
+            sim.start(1, 1)  # GPU
+            while not sim.done:
+                sim.advance()
+            by_proc = {e.proc: e.duration for e in sim.trace}
+            cpu_durations.append(by_proc[0])
+            gpu_durations.append(by_proc[1])
+        assert np.std(cpu_durations) > 1.0
+        assert np.std(gpu_durations) == pytest.approx(0.0)

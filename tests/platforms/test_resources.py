@@ -1,0 +1,73 @@
+"""Processors and heterogeneous platforms."""
+
+import numpy as np
+import pytest
+
+from repro.platforms.resources import CPU, GPU, Platform, Processor
+
+
+class TestProcessor:
+    def test_attributes(self):
+        p = Processor(2, GPU)
+        assert p.index == 2
+        assert p.resource_type == GPU
+        assert p.type_name == "GPU"
+
+    def test_frozen(self):
+        p = Processor(0, CPU)
+        with pytest.raises(Exception):
+            p.index = 5
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            Processor(-1, CPU)
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError):
+            Processor(0, 7)
+
+
+class TestPlatform:
+    def test_paper_platforms(self):
+        """The three platforms of Figs. 4/5/6: 4 CPU, 2+2, 4 GPU."""
+        for cpus, gpus in [(4, 0), (2, 2), (0, 4)]:
+            plat = Platform(cpus, gpus)
+            assert plat.num_processors == 4
+            assert (plat.resource_types == CPU).sum() == cpus
+            assert (plat.resource_types == GPU).sum() == gpus
+
+    def test_cpus_indexed_first(self):
+        plat = Platform(2, 2)
+        assert plat.type_of(0) == CPU
+        assert plat.type_of(1) == CPU
+        assert plat.type_of(2) == GPU
+        assert plat.type_of(3) == GPU
+
+    def test_processors_of_type(self):
+        plat = Platform(1, 3)
+        np.testing.assert_array_equal(plat.processors_of_type(CPU), [0])
+        np.testing.assert_array_equal(plat.processors_of_type(GPU), [1, 2, 3])
+
+    def test_one_hot(self):
+        plat = Platform(1, 1)
+        np.testing.assert_array_equal(plat.one_hot_types(), [[1, 0], [0, 1]])
+
+    def test_name(self):
+        assert Platform(2, 2).name == "2CPU_2GPU"
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(0, 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(-1, 2)
+
+    def test_equality_and_hash(self):
+        assert Platform(2, 2) == Platform(2, 2)
+        assert Platform(2, 2) != Platform(4, 0)
+        assert hash(Platform(1, 3)) == hash(Platform(1, 3))
+
+    def test_processor_indices_sequential(self):
+        plat = Platform(3, 2)
+        assert [p.index for p in plat.processors] == list(range(5))

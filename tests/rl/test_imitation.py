@@ -1,0 +1,94 @@
+"""Imitation warm-start (behaviour cloning from a heuristic expert)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.rl.imitation import (
+    behaviour_clone,
+    collect_expert_decisions,
+    mct_expert,
+    warm_start,
+)
+from repro.rl.trainer import default_agent, evaluate_agent
+from repro.sim.env import SchedulingEnv, run_policy
+
+
+def make_env(tiles=4, rng=0):
+    return SchedulingEnv(
+        cholesky_dag(tiles), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(),
+        window=2, rng=rng,
+    )
+
+
+class TestMctExpert:
+    def test_actions_legal(self):
+        env = make_env()
+        obs = env.reset()
+        done = False
+        while not done:
+            a = mct_expert(obs)
+            assert 0 <= a < obs.num_actions
+            obs, _r, done, _info = env.step(a)
+
+    def test_expert_is_decent(self):
+        """The expert must land far below random-policy territory."""
+        env = make_env()
+        mks = [run_policy(env, mct_expert)["makespan"] for _ in range(5)]
+        from repro.schedulers import heft_makespan
+
+        heft = heft_makespan(cholesky_dag(4), env.platform, CHOLESKY_DURATIONS)
+        assert np.mean(mks) < 2.5 * heft
+
+
+class TestCollectExpertDecisions:
+    def test_dataset_size(self):
+        env = make_env(tiles=3)
+        data = collect_expert_decisions(env, mct_expert, 30)
+        assert len(data) == 30
+
+    def test_crosses_episodes(self):
+        env = make_env(tiles=2)  # 4 tasks per episode: 30 steps need several
+        data = collect_expert_decisions(env, mct_expert, 30)
+        assert len(data) == 30
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            collect_expert_decisions(make_env(), mct_expert, 0)
+
+
+class TestBehaviourClone:
+    def test_loss_decreases_and_accuracy_rises(self):
+        env = make_env(tiles=3)
+        agent = default_agent(env, rng=0)
+        data = collect_expert_decisions(env, mct_expert, 64)
+        stats = behaviour_clone(agent, data, epochs=8, rng=0)
+        assert stats.steps > 0
+        assert stats.final_accuracy > 0.5
+
+    def test_empty_dataset_raises(self):
+        env = make_env()
+        with pytest.raises(ValueError):
+            behaviour_clone(default_agent(env, rng=0), [])
+
+    def test_invalid_epochs(self):
+        env = make_env(tiles=3)
+        agent = default_agent(env, rng=0)
+        data = collect_expert_decisions(env, mct_expert, 4)
+        with pytest.raises(ValueError):
+            behaviour_clone(agent, data, epochs=0)
+
+
+@pytest.mark.slow
+class TestWarmStart:
+    def test_warm_started_agent_beats_fresh_agent(self):
+        env = make_env(tiles=4)
+        fresh = default_agent(env, rng=0)
+        warm = default_agent(env, rng=0)
+        warm_start(env, warm, num_steps=256, epochs=6, rng=0)
+        fresh_mk = np.mean(evaluate_agent(fresh, env, episodes=3, rng=1))
+        warm_mk = np.mean(evaluate_agent(warm, env, episodes=3, rng=1))
+        assert warm_mk < fresh_mk

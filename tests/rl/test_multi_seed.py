@@ -1,0 +1,63 @@
+"""Multi-seed training with best-agent selection."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.rl.a2c import A2CConfig
+from repro.rl.multi_seed import train_multi_seed
+from repro.sim.env import SchedulingEnv
+
+
+def env_factory(rng):
+    return SchedulingEnv(
+        cholesky_dag(3), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(),
+        window=1, rng=rng,
+    )
+
+
+class TestTrainMultiSeed:
+    def test_returns_best_of_seeds(self):
+        result = train_multi_seed(
+            env_factory, num_seeds=2, updates=5,
+            config=A2CConfig(unroll_length=10), eval_episodes=1, seed=0,
+        )
+        assert len(result.seeds) == 2
+        scores = [s.eval_makespan for s in result.seeds]
+        assert result.best_makespan == min(scores)
+        assert result.seeds[result.best_seed].eval_makespan == min(scores)
+
+    def test_winner_agent_usable(self):
+        result = train_multi_seed(
+            env_factory, num_seeds=2, updates=3,
+            config=A2CConfig(unroll_length=10), eval_episodes=1, seed=1,
+        )
+        env = env_factory(np.random.default_rng(99))
+        obs = env.reset()
+        probs = result.agent.action_distribution(obs)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        kw = dict(num_seeds=2, updates=3,
+                  config=A2CConfig(unroll_length=10), eval_episodes=1, seed=7)
+        a = train_multi_seed(env_factory, **kw)
+        b = train_multi_seed(env_factory, **kw)
+        assert [s.eval_makespan for s in a.seeds] == [
+            s.eval_makespan for s in b.seeds
+        ]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            train_multi_seed(env_factory, num_seeds=0)
+        with pytest.raises(ValueError):
+            train_multi_seed(env_factory, num_seeds=1, updates=0)
+
+    def test_episode_counts_recorded(self):
+        result = train_multi_seed(
+            env_factory, num_seeds=1, updates=5,
+            config=A2CConfig(unroll_length=10), eval_episodes=1, seed=0,
+        )
+        assert result.seeds[0].episodes >= 1

@@ -1,0 +1,79 @@
+"""Min-Min and Max-Min batch heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS, DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.schedulers.base import CompletionEstimator
+from repro.schedulers.batch import MaxMinScheduler, MinMinScheduler, run_maxmin, run_minmin
+from repro.sim.engine import Simulation
+
+TABLE = DurationTable(("A", "B", "C", "D"), cpu=(10.0, 20.0, 30.0, 40.0), gpu=(1.0, 2.0, 3.0, 4.0))
+
+
+def indep(types):
+    return TaskGraph(len(types), [], types, ("A", "B", "C", "D"))
+
+
+class TestMinMin:
+    def test_orders_short_tasks_first(self):
+        g = indep([3, 0])  # D long, A short
+        sim = Simulation(g, Platform(0, 1), TABLE, NoNoise(), rng=0)
+        sched = MinMinScheduler()
+        pairs = sched.assign_batch(sim, np.array([0, 1]), CompletionEstimator(sim))
+        assert pairs[0][0] == 1  # short task A committed first
+
+    def test_completes_cholesky(self):
+        sim = Simulation(cholesky_dag(5), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(), rng=0)
+        mk = run_minmin(sim)
+        assert sim.done
+        sim.check_trace()
+
+    def test_one_pair_per_task(self):
+        g = indep([0, 1, 2, 3])
+        sim = Simulation(g, Platform(1, 1), TABLE, NoNoise(), rng=0)
+        pairs = MinMinScheduler().assign_batch(sim, np.arange(4), CompletionEstimator(sim))
+        assert sorted(t for t, _ in pairs) == [0, 1, 2, 3]
+
+
+class TestMaxMin:
+    def test_orders_long_tasks_first(self):
+        g = indep([3, 0])
+        sim = Simulation(g, Platform(0, 1), TABLE, NoNoise(), rng=0)
+        pairs = MaxMinScheduler().assign_batch(sim, np.array([0, 1]), CompletionEstimator(sim))
+        assert pairs[0][0] == 0  # long task D committed first
+
+    def test_completes_cholesky(self):
+        sim = Simulation(cholesky_dag(5), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(), rng=0)
+        mk = run_maxmin(sim)
+        assert sim.done
+        sim.check_trace()
+
+    def test_differs_from_minmin_on_heterogeneous_batch(self):
+        """The two heuristics commit in opposite orders."""
+        g = indep([3, 0, 1])
+        sim = Simulation(g, Platform(1, 1), TABLE, NoNoise(), rng=0)
+        mn = MinMinScheduler().assign_batch(sim, np.arange(3), CompletionEstimator(sim))
+        sim2 = Simulation(g, Platform(1, 1), TABLE, NoNoise(), rng=0)
+        mx = MaxMinScheduler().assign_batch(sim2, np.arange(3), CompletionEstimator(sim2))
+        assert [t for t, _ in mn] != [t for t, _ in mx]
+
+
+class TestBatchLoadBalance:
+    def test_minmin_uses_both_gpus(self):
+        g = indep([0] * 6)
+        sim = Simulation(g, Platform(0, 2), TABLE, NoNoise(), rng=0)
+        run_minmin(sim)
+        procs = {e.proc for e in sim.trace}
+        assert procs == {0, 1}
+
+    def test_makespans_reasonable(self):
+        g = indep([0] * 8)
+        for runner in (run_minmin, run_maxmin):
+            sim = Simulation(g, Platform(0, 2), TABLE, NoNoise(), rng=0)
+            mk = runner(sim)
+            assert mk == pytest.approx(4.0)  # 8 × 1ms over 2 GPUs

@@ -1,0 +1,125 @@
+"""Driver-level behaviour of run_dynamic / run_queued."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.durations import DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.schedulers.base import (
+    CompletionEstimator,
+    DynamicScheduler,
+    QueueScheduler,
+    run_dynamic,
+    run_queued,
+)
+from repro.sim.engine import Simulation
+
+TABLE = DurationTable(("A", "B", "C", "D"), cpu=(10.0, 20.0, 30.0, 40.0), gpu=(1.0, 2.0, 3.0, 4.0))
+
+
+def indep(n):
+    return TaskGraph(n, [], [0] * n, ("A", "B", "C", "D"))
+
+
+class AlwaysIdle(DynamicScheduler):
+    name = "always-idle"
+
+    def select(self, sim, proc):
+        return None
+
+
+class TakeFirst(DynamicScheduler):
+    name = "take-first"
+
+    def __init__(self):
+        self.offered_procs = []
+
+    def select(self, sim, proc):
+        self.offered_procs.append(proc)
+        ready = sim.ready_tasks()
+        return int(ready[0]) if ready.size else None
+
+
+class BadQueue(QueueScheduler):
+    """Returns no assignments — must deadlock the queued driver."""
+
+    name = "bad-queue"
+
+    def assign_batch(self, sim, tasks, estimator):
+        return []
+
+
+class TestRunDynamic:
+    def test_deadlock_detected(self):
+        sim = Simulation(indep(2), Platform(2, 0), TABLE, NoNoise(), rng=0)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_dynamic(sim, AlwaysIdle(), rng=0)
+
+    def test_completes_and_returns_makespan(self):
+        sim = Simulation(indep(4), Platform(2, 0), TABLE, NoNoise(), rng=0)
+        mk = run_dynamic(sim, TakeFirst(), rng=0)
+        assert mk == pytest.approx(20.0)  # 4 × 10ms over 2 CPUs
+        sim.check_trace()
+
+    def test_processor_offer_order_seeded(self):
+        def offered(seed):
+            sched = TakeFirst()
+            sim = Simulation(indep(6), Platform(3, 0), TABLE, NoNoise(), rng=0)
+            run_dynamic(sim, sched, rng=seed)
+            return sched.offered_procs
+
+        assert offered(3) == offered(3)
+
+    def test_reset_called(self):
+        class NeedsReset(DynamicScheduler):
+            name = "needs-reset"
+
+            def __init__(self):
+                self.reset_count = 0
+
+            def reset(self, sim):
+                self.reset_count += 1
+
+            def select(self, sim, proc):
+                ready = sim.ready_tasks()
+                return int(ready[0]) if ready.size else None
+
+        sched = NeedsReset()
+        sim = Simulation(indep(2), Platform(1, 0), TABLE, NoNoise(), rng=0)
+        run_dynamic(sim, sched, rng=0)
+        assert sched.reset_count == 1
+
+
+class TestRunQueued:
+    def test_stalled_queue_detected(self):
+        sim = Simulation(indep(2), Platform(1, 0), TABLE, NoNoise(), rng=0)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_queued(sim, BadQueue())
+
+    def test_fifo_queue_order_preserved(self):
+        class AllToProcZero(QueueScheduler):
+            name = "all-to-zero"
+
+            def assign_batch(self, sim, tasks, estimator):
+                out = []
+                for t in np.sort(tasks):
+                    estimator.commit(int(t), 0)
+                    out.append((int(t), 0))
+                return out
+
+        sim = Simulation(indep(4), Platform(2, 0), TABLE, NoNoise(), rng=0)
+        run_queued(sim, AllToProcZero())
+        starts = sorted((e.start, e.task) for e in sim.trace)
+        assert [t for _, t in starts] == [0, 1, 2, 3]
+        # all on processor 0, serialised
+        assert {e.proc for e in sim.trace} == {0}
+
+    def test_estimator_release_guard(self):
+        sim = Simulation(indep(2), Platform(1, 0), TABLE, NoNoise(), rng=0)
+        est = CompletionEstimator(sim)
+        est.commit(0, 0)
+        est.release(0, 0)
+        est.release(1, 0)  # float drift below zero gets clamped
+        assert est.available_at(0) >= 0.0

@@ -1,0 +1,165 @@
+"""HEFT: upward ranks, insertion-based placement, plan validity."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS, DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.schedulers.heft import (
+    _earliest_slot,
+    heft_makespan,
+    heft_schedule,
+    upward_rank,
+)
+from repro.sim.engine import Simulation
+from repro.schedulers.static_executor import run_static
+
+
+TABLE = DurationTable(("A", "B", "C", "D"), cpu=(10.0, 20.0, 30.0, 40.0), gpu=(1.0, 2.0, 3.0, 4.0))
+
+
+def chain3():
+    return TaskGraph(3, [(0, 1), (1, 2)], [0, 1, 2], ("A", "B", "C", "D"))
+
+
+def diamond():
+    return TaskGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], [0, 1, 1, 0], ("A", "B", "C", "D"))
+
+
+class TestUpwardRank:
+    def test_chain_ranks_decrease(self):
+        ranks = upward_rank(chain3(), Platform(1, 1), TABLE)
+        assert ranks[0] > ranks[1] > ranks[2]
+
+    def test_chain_rank_values(self):
+        # mean durations: A=5.5, B=11, C=16.5
+        ranks = upward_rank(chain3(), Platform(1, 1), TABLE)
+        assert ranks[2] == pytest.approx(16.5)
+        assert ranks[1] == pytest.approx(11 + 16.5)
+        assert ranks[0] == pytest.approx(5.5 + 11 + 16.5)
+
+    def test_rank_uses_max_over_successors(self):
+        ranks = upward_rank(diamond(), Platform(1, 1), TABLE)
+        # rank(0) = w(0) + max(rank(1), rank(2)); both branches identical
+        assert ranks[0] == pytest.approx(5.5 + 11 + 5.5)
+
+    def test_platform_mix_weights_means(self):
+        # all-CPU platform uses pure CPU durations
+        ranks_cpu = upward_rank(chain3(), Platform(2, 0), TABLE)
+        assert ranks_cpu[2] == pytest.approx(30.0)
+        ranks_gpu = upward_rank(chain3(), Platform(0, 2), TABLE)
+        assert ranks_gpu[2] == pytest.approx(3.0)
+
+    def test_sink_rank_is_own_weight(self):
+        ranks = upward_rank(diamond(), Platform(1, 0), TABLE)
+        assert ranks[3] == pytest.approx(10.0)
+
+
+class TestEarliestSlot:
+    def test_empty_timeline(self):
+        assert _earliest_slot([], ready=5.0, length=2.0) == 5.0
+
+    def test_appends_after_busy(self):
+        assert _earliest_slot([(0.0, 10.0)], ready=0.0, length=5.0) == 10.0
+
+    def test_fills_gap(self):
+        timeline = [(0.0, 2.0), (10.0, 12.0)]
+        assert _earliest_slot(timeline, ready=0.0, length=3.0) == 2.0
+
+    def test_gap_too_small_skipped(self):
+        timeline = [(0.0, 2.0), (4.0, 12.0)]
+        assert _earliest_slot(timeline, ready=0.0, length=3.0) == 12.0
+
+    def test_ready_time_respected(self):
+        assert _earliest_slot([], ready=7.0, length=1.0) == 7.0
+
+    def test_ready_inside_gap(self):
+        timeline = [(0.0, 2.0), (10.0, 12.0)]
+        assert _earliest_slot(timeline, ready=5.0, length=3.0) == 5.0
+
+
+class TestHeftSchedule:
+    def test_single_task(self):
+        g = TaskGraph(1, [], [0], ("A", "B", "C", "D"))
+        sched = heft_schedule(g, Platform(1, 1), TABLE)
+        # GPU is faster for type A (1 vs 10)
+        assert sched.makespan == pytest.approx(1.0)
+        assert sched.proc_of[0] == 1
+
+    def test_chain_prefers_gpu(self):
+        sched = heft_schedule(chain3(), Platform(1, 1), TABLE)
+        assert sched.makespan == pytest.approx(1 + 2 + 3)
+        assert (sched.proc_of == 1).all()
+
+    def test_plan_validates(self):
+        for tiles in (2, 4, 6):
+            sched = heft_schedule(cholesky_dag(tiles), Platform(2, 2), CHOLESKY_DURATIONS)
+            sched.validate(cholesky_dag(tiles))
+
+    def test_parallel_tasks_spread_across_procs(self):
+        g = TaskGraph(4, [], [0, 0, 0, 0], ("A", "B", "C", "D"))
+        sched = heft_schedule(g, Platform(0, 2), TABLE)
+        assert sched.makespan == pytest.approx(2.0)  # 4 × 1ms over 2 GPUs
+        assert {0, 1} == set(sched.proc_of)
+
+    def test_deterministic(self):
+        g = cholesky_dag(5)
+        a = heft_schedule(g, Platform(2, 2), CHOLESKY_DURATIONS)
+        b = heft_schedule(g, Platform(2, 2), CHOLESKY_DURATIONS)
+        np.testing.assert_array_equal(a.proc_of, b.proc_of)
+        np.testing.assert_array_equal(a.start, b.start)
+
+    def test_makespan_at_least_critical_path(self):
+        g = cholesky_dag(6)
+        plat = Platform(2, 2)
+        sched = heft_schedule(g, plat, CHOLESKY_DURATIONS)
+        # lower bound: critical path with per-task best durations
+        best = CHOLESKY_DURATIONS.expected_vector(g.task_types).min(axis=1)
+        assert sched.makespan >= g.critical_path_length(best) - 1e-9
+
+    def test_proc_order_sorted_by_start(self):
+        sched = heft_schedule(cholesky_dag(5), Platform(2, 2), CHOLESKY_DURATIONS)
+        for proc, order in enumerate(sched.proc_order):
+            starts = [sched.start[t] for t in order]
+            assert starts == sorted(starts)
+            assert all(sched.proc_of[t] == proc for t in order)
+
+
+class TestPlannedEqualsSimulated:
+    """Under σ=0, replaying the HEFT plan achieves exactly the planned makespan."""
+
+    @pytest.mark.parametrize("tiles", [2, 4, 6])
+    @pytest.mark.parametrize("cpus,gpus", [(2, 2), (4, 0), (0, 4)])
+    def test_cholesky(self, tiles, cpus, gpus):
+        g = cholesky_dag(tiles)
+        plat = Platform(cpus, gpus)
+        planned = heft_schedule(g, plat, CHOLESKY_DURATIONS)
+        sim = Simulation(g, plat, CHOLESKY_DURATIONS, NoNoise(), rng=0)
+        achieved = run_static(sim, planned, rng=0)
+        assert achieved == pytest.approx(planned.makespan)
+        sim.check_trace()
+
+
+class TestHeftMakespanCache:
+    def test_cached_value_stable(self):
+        g = cholesky_dag(4)
+        plat = Platform(2, 2)
+        a = heft_makespan(g, plat, CHOLESKY_DURATIONS)
+        b = heft_makespan(g, plat, CHOLESKY_DURATIONS)
+        assert a == b
+
+    def test_matches_schedule(self):
+        g = cholesky_dag(5)
+        plat = Platform(2, 2)
+        assert heft_makespan(g, plat, CHOLESKY_DURATIONS) == pytest.approx(
+            heft_schedule(g, plat, CHOLESKY_DURATIONS).makespan
+        )
+
+    def test_distinct_platforms_not_conflated(self):
+        g = cholesky_dag(4)
+        a = heft_makespan(g, Platform(4, 0), CHOLESKY_DURATIONS)
+        b = heft_makespan(g, Platform(0, 4), CHOLESKY_DURATIONS)
+        assert a != b

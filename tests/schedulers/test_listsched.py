@@ -1,0 +1,103 @@
+"""Random / greedy-EFT / rank-priority dynamic list schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS, DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.schedulers.listsched import (
+    GreedyScheduler,
+    RandomScheduler,
+    RankPriorityScheduler,
+    run_greedy,
+    run_random,
+    run_rank_priority,
+)
+from repro.sim.engine import Simulation
+
+TABLE = DurationTable(("A", "B", "C", "D"), cpu=(10.0, 20.0, 30.0, 40.0), gpu=(1.0, 2.0, 3.0, 4.0))
+
+
+def chol_sim(tiles=4, cpus=2, gpus=2, rng=0):
+    return Simulation(cholesky_dag(tiles), Platform(cpus, gpus), CHOLESKY_DURATIONS, NoNoise(), rng=rng)
+
+
+class TestRandomScheduler:
+    def test_completes(self):
+        sim = chol_sim()
+        mk = run_random(sim, rng=0)
+        assert sim.done and mk > 0
+        sim.check_trace()
+
+    def test_seeded_reproducible(self):
+        assert run_random(chol_sim(), rng=3) == run_random(chol_sim(), rng=3)
+
+    def test_different_seeds_vary(self):
+        outcomes = {run_random(chol_sim(), rng=s) for s in range(5)}
+        assert len(outcomes) > 1
+
+    def test_never_idles_with_ready_tasks(self):
+        sched = RandomScheduler(rng=0)
+        sim = chol_sim()
+        assert sched.select(sim, 0) is not None
+
+
+class TestGreedyScheduler:
+    def test_completes(self):
+        sim = chol_sim()
+        mk = run_greedy(sim, rng=0)
+        assert sim.done
+        sim.check_trace()
+
+    def test_picks_shortest_on_this_proc(self):
+        g = TaskGraph(2, [], [0, 3], ("A", "B", "C", "D"))  # A: cpu10, D: cpu40
+        sim = Simulation(g, Platform(1, 0), TABLE, NoNoise(), rng=0)
+        sched = GreedyScheduler()
+        assert sched.select(sim, 0) == 0
+
+    def test_gpu_perspective_differs(self):
+        # A: gpu 1, D: gpu 4 → still picks A; but B(2) vs A(1) flips vs CPU? use C/D
+        g = TaskGraph(2, [], [3, 0], ("A", "B", "C", "D"))
+        sim = Simulation(g, Platform(0, 1), TABLE, NoNoise(), rng=0)
+        assert GreedyScheduler().select(sim, 0) == 1  # type A (1ms) first
+
+
+class TestRankPriorityScheduler:
+    def test_completes(self):
+        sim = chol_sim()
+        mk = run_rank_priority(sim, rng=0)
+        assert sim.done
+        sim.check_trace()
+
+    def test_requires_reset(self):
+        sched = RankPriorityScheduler()
+        with pytest.raises(AssertionError):
+            sched.select(chol_sim(), 0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            RankPriorityScheduler(affinity_threshold=0.5)
+
+    def test_cpu_declines_gpu_task_when_gpu_idle(self):
+        # one GEMM-ish task (D: cpu 40, gpu 4, ratio 10 > 3): CPU should pass
+        g = TaskGraph(2, [(0, 1)], [3, 3], ("A", "B", "C", "D"))
+        sim = Simulation(g, Platform(1, 1), TABLE, NoNoise(), rng=0)
+        sched = RankPriorityScheduler(affinity_threshold=3.0)
+        sched.reset(sim)
+        assert sched.select(sim, 0) is None  # CPU waits for the GPU
+        assert sched.select(sim, 1) == 0  # GPU takes it
+
+    def test_takes_task_when_no_better_idle_proc(self):
+        g = TaskGraph(1, [], [3], ("A", "B", "C", "D"))
+        sim = Simulation(g, Platform(1, 0), TABLE, NoNoise(), rng=0)
+        sched = RankPriorityScheduler()
+        sched.reset(sim)
+        assert sched.select(sim, 0) == 0  # nothing running: must not deadlock
+
+    def test_beats_random_on_cholesky(self):
+        rank_mk = run_rank_priority(chol_sim(6), rng=0)
+        random_mks = [run_random(chol_sim(6, rng=s), rng=s) for s in range(3)]
+        assert rank_mk < np.mean(random_mks)

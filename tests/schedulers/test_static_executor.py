@@ -1,0 +1,101 @@
+"""Static-schedule replay under deterministic and noisy durations."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms.noise import GaussianNoise, NoNoise
+from repro.platforms.resources import Platform
+from repro.schedulers.heft import heft_schedule
+from repro.schedulers.static_executor import StaticOrderScheduler, run_heft, run_static
+from repro.sim.engine import Simulation
+
+
+def make(graph_tiles=4, cpus=2, gpus=2, noise=None, rng=0):
+    return Simulation(
+        cholesky_dag(graph_tiles), Platform(cpus, gpus), CHOLESKY_DURATIONS,
+        noise or NoNoise(), rng=rng,
+    )
+
+
+class TestStaticReplay:
+    def test_replay_preserves_assignment(self):
+        g = cholesky_dag(4)
+        plat = Platform(2, 2)
+        plan = heft_schedule(g, plat, CHOLESKY_DURATIONS)
+        sim = make()
+        run_static(sim, plan, rng=0)
+        for entry in sim.trace:
+            assert plan.proc_of[entry.task] == entry.proc
+
+    def test_replay_preserves_per_proc_order(self):
+        g = cholesky_dag(5)
+        plat = Platform(2, 2)
+        plan = heft_schedule(g, plat, CHOLESKY_DURATIONS)
+        sim = Simulation(g, plat, CHOLESKY_DURATIONS, GaussianNoise(0.5), rng=1)
+        run_static(sim, plan, rng=1)
+        by_proc = {}
+        for entry in sorted(sim.trace, key=lambda e: e.start):
+            by_proc.setdefault(entry.proc, []).append(entry.task)
+        for proc, order in by_proc.items():
+            assert order == plan.proc_order[proc]
+
+    def test_requires_reset(self):
+        plan = heft_schedule(cholesky_dag(3), Platform(2, 2), CHOLESKY_DURATIONS)
+        sched = StaticOrderScheduler(plan)
+        with pytest.raises(AssertionError):
+            sched.select(make(3), 0)
+
+    def test_waits_for_unready_planned_task(self):
+        g = cholesky_dag(3)
+        plat = Platform(2, 2)
+        plan = heft_schedule(g, plat, CHOLESKY_DURATIONS)
+        sim = Simulation(g, plat, CHOLESKY_DURATIONS, NoNoise(), rng=0)
+        sched = StaticOrderScheduler(plan)
+        sched.reset(sim)
+        # find a processor whose first planned task is not the root
+        root = g.roots()[0]
+        for proc in range(plat.num_processors):
+            order = plan.proc_order[proc]
+            if order and order[0] != root:
+                assert sched.select(sim, proc) is None
+                break
+
+    def test_exhausted_processor_idles(self):
+        g = cholesky_dag(2)
+        plat = Platform(2, 2)
+        plan = heft_schedule(g, plat, CHOLESKY_DURATIONS)
+        sim = make(2)
+        run_static(sim, plan, rng=0)
+        sched = StaticOrderScheduler(plan)
+        sched.reset(sim)
+        # after completion every cursor is at the end
+        sched._cursor[:] = [len(o) for o in plan.proc_order]
+        assert sched.select(sim, 0) is None
+
+
+class TestRunHeft:
+    def test_deterministic_achieves_plan(self):
+        sim = make(6)
+        plan_mk = heft_schedule(sim.graph, sim.platform, sim.durations).makespan
+        assert run_heft(sim, rng=0) == pytest.approx(plan_mk)
+
+    def test_noise_degrades_makespan_on_average(self):
+        """The static plan's makespan grows with σ (the paper's Fig. 3
+        mechanism: HEFT cannot react to drift)."""
+        g = cholesky_dag(6)
+        plat = Platform(2, 2)
+        base = heft_schedule(g, plat, CHOLESKY_DURATIONS).makespan
+        noisy = []
+        for seed in range(10):
+            sim = Simulation(g, plat, CHOLESKY_DURATIONS, GaussianNoise(0.5), rng=seed)
+            noisy.append(run_heft(sim, rng=seed))
+        assert np.mean(noisy) > base
+
+    def test_valid_trace_under_noise(self):
+        sim = Simulation(
+            cholesky_dag(5), Platform(2, 2), CHOLESKY_DURATIONS, GaussianNoise(0.8), rng=2
+        )
+        run_heft(sim, rng=2)
+        sim.check_trace()

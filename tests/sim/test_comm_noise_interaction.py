@@ -1,0 +1,66 @@
+"""Communication delays combined with duration noise."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms.comm import TypePairComm, UniformComm
+from repro.platforms.noise import GaussianNoise, PerResourceNoise
+from repro.platforms.resources import Platform
+from repro.schedulers import run_heft, run_mct
+from repro.sim.engine import Simulation
+
+
+class TestCommWithNoise:
+    @pytest.mark.parametrize("runner", [run_heft, run_mct])
+    def test_valid_traces(self, runner):
+        sim = Simulation(
+            cholesky_dag(5), Platform(2, 2), CHOLESKY_DURATIONS,
+            GaussianNoise(0.5), rng=3, comm=UniformComm(4.0),
+        )
+        runner(sim, rng=3)
+        sim.check_trace()
+
+    def test_type_pair_comm_with_per_resource_noise(self):
+        comm = TypePairComm([[1.0, 8.0], [8.0, 3.0]])
+        noise = PerResourceNoise([0.4, 0.05])
+        sim = Simulation(
+            cholesky_dag(5), Platform(2, 2), CHOLESKY_DURATIONS,
+            noise, rng=1, comm=comm,
+        )
+        mk = run_mct(sim)
+        assert mk > 0
+        sim.check_trace()
+
+    def test_comm_still_charged_under_noise(self):
+        """Comm inflates the expected makespan even with noisy durations."""
+        def mean_mk(comm):
+            mks = []
+            for seed in range(6):
+                sim = Simulation(
+                    cholesky_dag(5), Platform(2, 2), CHOLESKY_DURATIONS,
+                    GaussianNoise(0.3), rng=seed, comm=comm,
+                )
+                mks.append(run_mct(sim))
+            return np.mean(mks)
+
+        assert mean_mk(UniformComm(15.0)) > mean_mk(UniformComm(0.0))
+
+    def test_start_stall_recorded_in_trace(self):
+        """With comm, trace start times may exceed the decision instants but
+        precedence plus transfer latency is respected."""
+        comm = UniformComm(6.0)
+        sim = Simulation(
+            cholesky_dag(4), Platform(2, 2), CHOLESKY_DURATIONS,
+            GaussianNoise(0.2), rng=0, comm=comm,
+        )
+        run_mct(sim)
+        finish = {e.task: e.finish for e in sim.trace}
+        proc = {e.task: e.proc for e in sim.trace}
+        start = {e.task: e.start for e in sim.trace}
+        g = sim.graph
+        for u, v in g.edges:
+            u, v = int(u), int(v)
+            expected_delay = 0.0 if proc[u] == proc[v] else 6.0
+            assert start[v] >= finish[u] + expected_delay - 1e-9

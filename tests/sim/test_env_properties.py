@@ -1,0 +1,111 @@
+"""Property-based environment tests (hypothesis).
+
+Invariants on random DAGs, policies and noise levels:
+
+* every episode terminates with a valid execution trace;
+* the dense reward telescopes to −makespan/HEFT on every instance;
+* observations are always well-formed (finite features, consistent shapes,
+  at least one legal action).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.durations import GENERIC_DURATIONS
+from repro.graphs.random_dag import erdos_dag, layered_dag
+from repro.platforms.noise import GaussianNoise, NoNoise
+from repro.platforms.resources import Platform
+from repro.sim.env import SchedulingEnv, run_policy
+from repro.utils.seeding import as_generator
+
+
+def random_policy(seed):
+    rng = as_generator(seed)
+
+    def policy(obs):
+        return int(rng.integers(0, obs.num_actions))
+
+    return policy
+
+
+@given(
+    n=st.integers(2, 20),
+    p=st.floats(0.05, 0.5),
+    sigma=st.floats(0.0, 0.8),
+    cpus=st.integers(1, 3),
+    gpus=st.integers(0, 3),
+    window=st.integers(0, 3),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_policy_always_terminates_validly(n, p, sigma, cpus, gpus, window, seed):
+    graph = erdos_dag(n, p=p, rng=seed)
+    noise = GaussianNoise(sigma) if sigma > 0 else NoNoise()
+    env = SchedulingEnv(
+        graph, Platform(cpus, gpus), GENERIC_DURATIONS, noise,
+        window=window, rng=seed,
+    )
+    info = run_policy(env, random_policy(seed))
+    assert info["makespan"] > 0
+    env.sim.check_trace()
+
+
+@given(
+    layers=st.integers(1, 4),
+    width=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_dense_reward_telescopes(layers, width, seed):
+    graph = layered_dag(layers, width, rng=seed)
+    env = SchedulingEnv(
+        graph, Platform(2, 1), GENERIC_DURATIONS, NoNoise(),
+        window=1, rng=seed, reward_mode="dense",
+    )
+    obs = env.reset()
+    total = 0.0
+    done = False
+    policy = random_policy(seed)
+    while not done:
+        obs, r, done, info = env.step(policy(obs))
+        total += r
+    assert total == pytest.approx(-info["makespan"] / info["heft_makespan"])
+
+
+@given(
+    n=st.integers(2, 15),
+    seed=st.integers(0, 10_000),
+    window=st.integers(0, 2),
+)
+@settings(max_examples=30, deadline=None)
+def test_observations_well_formed(n, seed, window):
+    graph = erdos_dag(n, p=0.3, rng=seed)
+    env = SchedulingEnv(
+        graph, Platform(1, 2), GENERIC_DURATIONS, NoNoise(),
+        window=window, rng=seed,
+    )
+    obs = env.reset()
+    policy = random_policy(seed)
+    done = False
+    while not done:
+        assert np.isfinite(obs.features).all()
+        assert obs.norm_adj.shape == (obs.num_nodes, obs.num_nodes)
+        assert len(obs.ready_positions) >= 1
+        assert obs.num_actions >= 1
+        assert 0 <= obs.current_proc < 3
+        obs, _r, done, _info = env.step(policy(obs))
+
+
+@given(seed=st.integers(0, 10_000), sigma=st.floats(0.0, 0.6))
+@settings(max_examples=20, deadline=None)
+def test_terminal_reward_sign_matches_heft_comparison(seed, sigma):
+    graph = erdos_dag(12, p=0.25, rng=seed)
+    noise = GaussianNoise(sigma) if sigma > 0 else NoNoise()
+    env = SchedulingEnv(
+        graph, Platform(2, 2), GENERIC_DURATIONS, noise,
+        window=1, rng=seed, reward_mode="terminal",
+    )
+    info = run_policy(env, random_policy(seed))
+    assert (info["reward"] > 0) == (info["makespan"] < info["heft_makespan"])

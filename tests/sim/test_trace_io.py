@@ -1,0 +1,97 @@
+"""Trace serialization round-trips."""
+
+import csv
+import json
+
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.schedulers import run_mct
+from repro.sim.engine import Simulation
+from repro.sim.trace_io import (
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+    trace_to_dict,
+)
+
+
+def completed_sim():
+    sim = Simulation(cholesky_dag(4), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(), rng=0)
+    run_mct(sim)
+    return sim
+
+
+class TestTraceToDict:
+    def test_requires_completion(self):
+        sim = Simulation(cholesky_dag(3), Platform(1, 1), CHOLESKY_DURATIONS, NoNoise())
+        with pytest.raises(RuntimeError):
+            trace_to_dict(sim)
+
+    def test_metadata(self):
+        sim = completed_sim()
+        payload = trace_to_dict(sim)
+        assert payload["graph"] == "cholesky_T4"
+        assert payload["platform"] == "2CPU_2GPU"
+        assert payload["num_tasks"] == 20
+        assert payload["makespan"] == pytest.approx(sim.makespan)
+
+    def test_one_entry_per_task(self):
+        payload = trace_to_dict(completed_sim())
+        tasks = [e["task"] for e in payload["entries"]]
+        assert sorted(tasks) == list(range(20))
+
+    def test_entries_sorted_by_start(self):
+        payload = trace_to_dict(completed_sim())
+        starts = [e["start"] for e in payload["entries"]]
+        assert starts == sorted(starts)
+
+    def test_kernel_and_resource_names(self):
+        payload = trace_to_dict(completed_sim())
+        kernels = {e["kernel"] for e in payload["entries"]}
+        assert kernels <= {"POTRF", "TRSM", "SYRK", "GEMM"}
+        assert {e["resource"] for e in payload["entries"]} <= {"CPU", "GPU"}
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        sim = completed_sim()
+        path = str(tmp_path / "trace.json")
+        save_trace_json(sim, path)
+        payload = load_trace_json(path)
+        assert payload["makespan"] == pytest.approx(sim.makespan)
+        assert len(payload["tasks"]) == 20
+        finishes = [t.finish for t in payload["tasks"]]
+        assert max(finishes) == pytest.approx(sim.makespan)
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"version": 99, "entries": []}, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_trace_json(path)
+
+    def test_creates_directories(self, tmp_path):
+        save_trace_json(completed_sim(), str(tmp_path / "a" / "b" / "t.json"))
+
+
+class TestCsvExport:
+    def test_csv_rows(self, tmp_path):
+        sim = completed_sim()
+        path = str(tmp_path / "trace.csv")
+        save_trace_csv(sim, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 20
+        assert set(rows[0]) == {"task", "kernel", "proc", "resource", "start", "finish"}
+
+    def test_csv_durations_positive(self, tmp_path):
+        sim = completed_sim()
+        path = str(tmp_path / "trace.csv")
+        save_trace_csv(sim, path)
+        with open(path) as fh:
+            for row in csv.DictReader(fh):
+                assert float(row["finish"]) >= float(row["start"])

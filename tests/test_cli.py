@@ -1,0 +1,67 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.kernel == "cholesky"
+        assert args.tiles == 4
+
+    def test_invalid_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--kernel", "svd"])
+
+
+class TestCommands:
+    def test_info_prints_instance(self, capsys):
+        assert main(["info", "--kernel", "lu", "--tiles", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out and "HEFT" in out
+
+    def test_compare_runs(self, capsys):
+        rc = main([
+            "compare", "--tiles", "3", "--runs", "2",
+            "--baselines", "heft", "mct", "--sigma", "0.2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "heft" in out and "mct" in out
+
+    def test_train_and_evaluate_roundtrip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "agent.npz")
+        rc = main([
+            "train", "--tiles", "2", "--updates", "3", "--out", ckpt,
+        ])
+        assert rc == 0
+        rc = main([
+            "evaluate", "--tiles", "2", "--agent", ckpt, "--runs", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "readys mean" in out
+
+    def test_train_terminal_reward_and_sparse(self, tmp_path, capsys):
+        rc = main([
+            "train", "--tiles", "2", "--updates", "2",
+            "--reward-mode", "terminal", "--sparse-state",
+        ])
+        assert rc == 0
+        assert "trained" in capsys.readouterr().out
+
+    def test_compare_with_agent(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "agent.npz")
+        main(["train", "--tiles", "2", "--updates", "2", "--out", ckpt])
+        rc = main([
+            "compare", "--tiles", "2", "--runs", "1", "--agent", ckpt,
+        ])
+        assert rc == 0
+        assert "improvement over" in capsys.readouterr().out

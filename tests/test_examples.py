@@ -1,0 +1,53 @@
+"""Every example script must run end-to-end (reduced budgets)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+CASES = [
+    ("quickstart.py", ["--tiles", "2", "--updates", "5"]),
+    ("compare_heuristics.py", ["--tiles", "3", "--seeds", "1"]),
+    (
+        "transfer_learning.py",
+        ["--train-tiles", "3", "--test-tiles", "4", "--updates", "5",
+         "--sigmas", "0.0"],
+    ),
+    ("noise_sensitivity.py", ["--tiles", "3", "--seeds", "2"]),
+    ("inference_overhead.py", ["--tiles", "3", "--episodes", "1"]),
+    ("schedule_anatomy.py", ["--tiles", "3"]),
+    (
+        "generalization_training.py",
+        ["--train-tiles", "2", "3", "--eval-tiles", "3", "--updates", "5"],
+    ),
+    (
+        "warm_start.py",
+        ["--tiles", "2", "--updates", "5", "--clone-steps", "16"],
+    ),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_covered():
+    """Every example on disk is exercised by this module."""
+    on_disk = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    covered = {script for script, _ in CASES}
+    assert on_disk == covered, f"uncovered examples: {on_disk - covered}"

@@ -1,0 +1,49 @@
+"""The documented public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing name {name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.nn",
+            "repro.graphs",
+            "repro.platforms",
+            "repro.sim",
+            "repro.schedulers",
+            "repro.rl",
+            "repro.eval",
+            "repro.utils",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    def test_quickstart_objects_compose(self):
+        """The README quickstart types wire together."""
+        env = repro.SchedulingEnv(
+            repro.cholesky_dag(2),
+            repro.Platform(1, 1),
+            repro.CHOLESKY_DURATIONS,
+            repro.GaussianNoise(0.1),
+            window=1,
+            rng=0,
+        )
+        obs = env.reset()
+        assert obs.num_actions >= 1
+
+    def test_runners_registry_exposed(self):
+        assert "heft" in repro.RUNNERS and "mct" in repro.RUNNERS

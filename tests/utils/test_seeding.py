@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.utils.seeding import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(3)
+        a = as_generator(seq).random(3)
+        b = as_generator(np.random.SeedSequence(3)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+    def test_numpy_integer_seed(self):
+        a = as_generator(np.int64(5)).random(3)
+        b = as_generator(5).random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_streams_are_independent(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random(4) for g in gens]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.random(3) for g in spawn_generators(42, 2)]
+        b = [g.random(3) for g in spawn_generators(42, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator_is_deterministic_given_state(self):
+        a = [g.random(2) for g in spawn_generators(np.random.default_rng(9), 2)]
+        b = [g.random(2) for g in spawn_generators(np.random.default_rng(9), 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_adding_consumer_does_not_shift_others(self):
+        first_of_two = spawn_generators(11, 2)[0].random(4)
+        first_of_five = spawn_generators(11, 5)[0].random(4)
+        np.testing.assert_array_equal(first_of_two, first_of_five)

@@ -1,0 +1,43 @@
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "b"], [[1, 2.5], [3, 4.25]])
+        lines = out.split("\n")
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "b" in lines[0]
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456]], floatfmt=".2f")
+        assert "1.23" in out
+        assert "1.2346" not in out
+
+    def test_int_not_float_formatted(self):
+        out = format_table(["v"], [[7]])
+        assert "7" in out and "7.0" not in out
+
+    def test_column_alignment(self):
+        out = format_table(["name", "x"], [["long-name", 1.0], ["s", 22.0]])
+        lines = out.split("\n")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all lines must align to the same width"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert out.split("\n")[0].strip() == "a"
+
+    def test_string_cells(self):
+        out = format_table(["who"], [["heft"], ["mct"]])
+        assert "heft" in out and "mct" in out
+
+    def test_bool_rendered_as_text(self):
+        out = format_table(["flag"], [[True]])
+        assert "True" in out

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -2)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0
+
+    def test_accepts_positive(self):
+        assert check_nonnegative("x", 3) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_nonnegative("x", -0.1)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_in_range("x", 1.5, 0, 1)
+
+    def test_exclusive_interior_ok(self):
+        assert check_in_range("x", 0.5, 0.0, 1.0, inclusive=False) == 0.5
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "s", int)
+
+    def test_error_lists_alternatives(self):
+        with pytest.raises(TypeError, match="int | float"):
+            check_type("x", "s", (int, float))
