@@ -16,9 +16,23 @@ from repro.rl.trainer import ReadysTrainer, default_agent
 from repro.schedulers import heft_schedule, run_mct
 from repro.sim.engine import Simulation
 from repro.sim.env import SchedulingEnv
+from repro.sim.vec_env import VecSchedulingEnv
 from repro.sim.state import StateBuilder
+from repro.utils.seeding import spawn_generators
 
 PLATFORM = Platform(2, 2)
+
+
+def _vec_env(num_envs: int, tiles: int = 6) -> VecSchedulingEnv:
+    return VecSchedulingEnv(
+        [
+            SchedulingEnv(
+                cholesky_dag(tiles), PLATFORM, CHOLESKY_DURATIONS, NoNoise(),
+                window=2, rng=rng,
+            )
+            for rng in spawn_generators(0, num_envs)
+        ]
+    )
 
 
 def test_perf_cholesky_generation(benchmark):
@@ -71,4 +85,44 @@ def test_perf_a2c_update(benchmark):
         return trainer.updater.update(transitions, bootstrap)
 
     stats = benchmark.pedantic(update, rounds=5, iterations=1)
+    assert np.isfinite(stats.policy_loss)
+
+
+# ---------------------------------------------------------------------- #
+# vectorised rollout stack (batched forward / VecEnv unroll+update)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("num_envs", [1, 4, 8])
+def test_perf_batched_forward(benchmark, num_envs):
+    """One greedy decision wave over K lockstep observations.
+
+    K = 1 routes through the single-observation forward (the bit-exact
+    legacy path); K > 1 is one block-diagonal GCN pass.
+    """
+    env = _vec_env(num_envs)
+    agent = default_agent(env, rng=0)
+    obs = env.reset()
+    agent.greedy_actions(obs)  # warm the per-graph caches
+    actions = benchmark(agent.greedy_actions, obs)
+    assert actions.shape == (num_envs,)
+
+
+@pytest.mark.parametrize("num_envs", [1, 4, 8])
+def test_perf_vec_unroll_update(benchmark, num_envs):
+    """One full A2C cycle — collect ``unroll_length`` transitions per member,
+    then one batched update.  Per-transition throughput is
+    ``num_envs * unroll_length / time``; compare across the K parametrisation
+    for the batching speed-up.
+    """
+    trainer = ReadysTrainer(
+        _vec_env(num_envs), config=A2CConfig(unroll_length=20), rng=0
+    )
+    trainer.train_updates(2)  # warm caches, JIT-free steady state
+
+    def cycle():
+        unrolls, bootstraps = trainer._collect_unrolls()
+        return trainer.updater.update_batch(unrolls, bootstraps)
+
+    stats = benchmark.pedantic(cycle, rounds=5, iterations=1)
     assert np.isfinite(stats.policy_loss)

@@ -25,6 +25,8 @@ from repro.rl.trainer import ReadysTrainer, evaluate_agent
 from repro.rl.transfer import load_agent, save_agent
 from repro.schedulers import RUNNERS, heft_makespan
 from repro.sim.env import SchedulingEnv
+from repro.sim.vec_env import VecSchedulingEnv
+from repro.utils.seeding import spawn_generators
 from repro.utils.tables import format_table
 
 
@@ -89,10 +91,24 @@ def cmd_compare(args) -> int:
 
 def cmd_train(args) -> int:
     graph, platform, durations, noise = _instance(args)
-    env = SchedulingEnv(
-        graph, platform, durations, noise, window=args.window, rng=args.seed,
-        reward_mode=args.reward_mode, sparse_state=args.sparse_state,
-    )
+    if args.num_envs < 1:
+        raise SystemExit("--num-envs must be >= 1")
+    if args.num_envs == 1:
+        env = SchedulingEnv(
+            graph, platform, durations, noise, window=args.window, rng=args.seed,
+            reward_mode=args.reward_mode, sparse_state=args.sparse_state,
+        )
+    else:
+        env = VecSchedulingEnv(
+            [
+                SchedulingEnv(
+                    graph, platform, durations, noise, window=args.window,
+                    rng=rng, reward_mode=args.reward_mode,
+                    sparse_state=args.sparse_state,
+                )
+                for rng in spawn_generators(args.seed, args.num_envs)
+            ]
+        )
     config = A2CConfig(entropy_coef=args.entropy, learning_rate=args.lr)
     trainer = ReadysTrainer(env, config=config, rng=args.seed)
     trainer.train_updates(args.updates)
@@ -155,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "terminal = the paper's eq. 1 exactly")
     p_train.add_argument("--sparse-state", action="store_true",
                          help="CSR window adjacency (large instances)")
+    p_train.add_argument("--num-envs", type=int, default=1,
+                         help="K lockstep environments per update "
+                              "(batched rollouts; 1 = historical loop)")
     p_train.add_argument("--out", default=None, help="checkpoint output path")
     p_train.set_defaults(func=cmd_train)
 

@@ -12,7 +12,11 @@ from repro.eval.compare import (
     compare_methods,
     ComparisonResult,
 )
-from repro.eval.profiling import inference_timing, timing_by_window_size
+from repro.eval.profiling import (
+    batched_inference_timing,
+    inference_timing,
+    timing_by_window_size,
+)
 from repro.eval.schedule_analysis import (
     ScheduleStats,
     analyze_schedule,
@@ -36,6 +40,7 @@ __all__ = [
     "evaluate_readys",
     "compare_methods",
     "ComparisonResult",
+    "batched_inference_timing",
     "inference_timing",
     "timing_by_window_size",
     "ScheduleStats",

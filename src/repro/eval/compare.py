@@ -21,6 +21,7 @@ from repro.rl.trainer import evaluate_agent
 from repro.schedulers import make_runner
 from repro.sim.engine import Simulation
 from repro.sim.env import SchedulingEnv
+from repro.sim.vec_env import VecSchedulingEnv
 from repro.utils.seeding import SeedLike, spawn_generators
 
 
@@ -56,17 +57,23 @@ def evaluate_readys(
     seeds: int = 5,
     seed: SeedLike = 0,
 ) -> List[float]:
-    """Makespans of ``seeds`` greedy evaluation episodes of a trained agent."""
+    """Makespans of ``seeds`` greedy evaluation episodes of a trained agent.
+
+    The per-seed environments roll out in lockstep through one
+    :class:`VecSchedulingEnv` — every decision wave is a single batched
+    network pass rather than ``seeds`` independent forwards.
+    """
     noise = noise if noise is not None else NoNoise()
-    makespans: List[float] = []
-    for rng in spawn_generators(seed, seeds):
-        env = SchedulingEnv(graph, platform, durations, noise, window=window, rng=rng)
-        makespans.extend(evaluate_agent(agent, env, episodes=1, rng=rng))
-        if noise.is_deterministic:
-            break  # greedy + deterministic durations: one episode suffices*
-            # (*the random current-processor draw adds tiny variation, but the
-            #  greedy policy's decisions dominate; matching baseline treatment)
-    return makespans
+    rngs = spawn_generators(seed, seeds)
+    if noise.is_deterministic:
+        rngs = rngs[:1]  # greedy + deterministic durations: one episode suffices*
+        # (*the random current-processor draw adds tiny variation, but the
+        #  greedy policy's decisions dominate; matching baseline treatment)
+    envs = [
+        SchedulingEnv(graph, platform, durations, noise, window=window, rng=rng)
+        for rng in rngs
+    ]
+    return evaluate_agent(agent, VecSchedulingEnv(envs), episodes=len(envs))
 
 
 @dataclass

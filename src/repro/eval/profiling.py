@@ -15,6 +15,7 @@ import numpy as np
 from repro.eval.metrics import mean_confidence_interval
 from repro.rl.agent import ReadysAgent
 from repro.sim.env import SchedulingEnv
+from repro.sim.vec_env import VecSchedulingEnv
 from repro.utils.seeding import SeedLike, as_generator
 from repro.utils.timing import Timer
 
@@ -42,6 +43,39 @@ def inference_timing(
             samples.append((obs.num_nodes, timer.total))
             obs, _r, done, _info = env.step(action)
     return samples
+
+
+def batched_inference_timing(
+    agent: ReadysAgent,
+    vec_env: VecSchedulingEnv,
+    steps: int = 50,
+    rng: SeedLike = None,
+) -> Dict[str, float]:
+    """Throughput of batched greedy decisions at K = ``vec_env.num_envs``.
+
+    Times ``steps`` lockstep decision waves (one :meth:`forward_batch` each)
+    and reports decisions per second — the batch-inference companion of
+    Fig. 7's single-decision latency.  Episodes auto-reset, so any ``steps``
+    budget is valid.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    rng = as_generator(rng)
+    obs = vec_env.reset()
+    total = 0.0
+    for _ in range(steps):
+        timer = Timer()
+        with timer:
+            actions = agent.greedy_actions(obs)
+        total += timer.total
+        obs, _rewards, _dones, _infos = vec_env.step(actions)
+    k = vec_env.num_envs
+    return {
+        "num_envs": float(k),
+        "steps": float(steps),
+        "seconds_per_wave": total / steps,
+        "decisions_per_second": (k * steps) / total if total > 0 else float("inf"),
+    }
 
 
 def timing_by_window_size(

@@ -21,6 +21,7 @@ from repro.nn.layers import (
     GCNConv,
     GCNStack,
     gcn_normalize_adjacency,
+    block_diag_adjacency,
 )
 from repro.nn.optim import Optimizer, SGD, Adam, RMSprop, clip_grad_norm
 from repro.nn.serialization import save_state_dict, load_state_dict
@@ -28,6 +29,7 @@ from repro.nn.sparse import (
     sparse_matmul,
     gcn_normalize_adjacency_sparse,
     edges_to_sparse_adjacency,
+    block_diag_adjacency_sparse,
 )
 from repro.nn import init
 
@@ -46,6 +48,7 @@ __all__ = [
     "GCNConv",
     "GCNStack",
     "gcn_normalize_adjacency",
+    "block_diag_adjacency",
     "Optimizer",
     "SGD",
     "Adam",
@@ -56,5 +59,6 @@ __all__ = [
     "sparse_matmul",
     "gcn_normalize_adjacency_sparse",
     "edges_to_sparse_adjacency",
+    "block_diag_adjacency_sparse",
     "init",
 ]

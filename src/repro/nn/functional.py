@@ -79,6 +79,125 @@ def max_pool(node_embeddings: Tensor) -> Tensor:
     return node_embeddings.max(axis=0)
 
 
+# --------------------------------------------------------------------------- #
+# segment (per-graph) reductions — the batching primitives
+# --------------------------------------------------------------------------- #
+#
+# A batch of K window sub-DAGs is processed as one block-diagonal graph whose
+# rows are the concatenated nodes of all members; ``segment_ids[r]`` names the
+# member graph that row r belongs to.  The per-graph poolings of Fig. 2 then
+# become segment reductions, so one GCN pass + one reduction serves the whole
+# batch (Decima-style batching; per-call overhead dominates on these sizes).
+
+
+def _check_segments(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    if ids.ndim != 1 or ids.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"segment_ids must be 1-D with one entry per row, got shape "
+            f"{ids.shape} for {x.shape[0]} rows"
+        )
+    if num_segments < 1:
+        raise ValueError(f"num_segments must be >= 1, got {num_segments}")
+    if ids.size and (ids.min() < 0 or ids.max() >= num_segments):
+        raise ValueError("segment_ids out of range")
+    return ids
+
+
+def _contiguous_starts(
+    ids: np.ndarray, num_segments: int
+) -> Optional[np.ndarray]:
+    """Per-segment start offsets when ids are sorted with no empty segment.
+
+    Block-diagonal batches always produce such ids (``np.repeat(arange, …)``),
+    which unlocks ``np.ufunc.reduceat`` — far faster than the generic
+    ``np.ufunc.at`` scatter path.  Returns None when the layout doesn't apply.
+    """
+    if ids.size == 0 or not bool((ids[1:] >= ids[:-1]).all()):
+        return None
+    counts = np.bincount(ids, minlength=num_segments)
+    if counts.min() == 0:
+        return None
+    return np.concatenate(([0], np.cumsum(counts[:-1])))
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Row-wise sum per segment: out[s] = Σ_{i: ids[i]=s} x[i]."""
+    ids = _check_segments(x, segment_ids, num_segments)
+    starts = _contiguous_starts(ids, num_segments)
+    if starts is not None:
+        out_data = np.add.reduceat(x.data, starts, axis=0)
+    else:
+        out_data = np.zeros((num_segments,) + x.shape[1:], dtype=np.float64)
+        np.add.at(out_data, ids, x.data)
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(np.asarray(g)[ids])
+
+    return x._make(out_data, (x,), backward)
+
+
+def segment_mean_pool(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment :func:`mean_pool` — batched critic pooling.
+
+    Every segment must be non-empty (a window sub-DAG always has nodes).
+    """
+    ids = _check_segments(x, segment_ids, num_segments)
+    counts = np.bincount(ids, minlength=num_segments).astype(np.float64)
+    if (counts == 0).any():
+        raise ValueError("segment_mean_pool requires every segment non-empty")
+    shape = (num_segments,) + (1,) * (x.ndim - 1)
+    return segment_sum(x, ids, num_segments) / counts.reshape(shape)
+
+
+def segment_max_pool(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment :func:`max_pool` — batched ∅-score pooling.
+
+    The gradient is split equally among ties, matching ``Tensor.max``.
+    """
+    ids = _check_segments(x, segment_ids, num_segments)
+    if ids.size == 0 or np.bincount(ids, minlength=num_segments).min() == 0:
+        raise ValueError("segment_max_pool requires every segment non-empty")
+    starts = _contiguous_starts(ids, num_segments)
+    if starts is not None:
+        out_data = np.maximum.reduceat(x.data, starts, axis=0)
+        mask = x.data == out_data[ids]
+        counts = np.add.reduceat(mask.astype(np.float64), starts, axis=0)
+    else:
+        out_data = np.full((num_segments,) + x.shape[1:], -np.inf)
+        np.maximum.at(out_data, ids, x.data)
+        mask = x.data == out_data[ids]
+        counts = np.zeros_like(out_data)
+        np.add.at(counts, ids, mask.astype(np.float64))
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(np.where(mask, np.asarray(g)[ids] / counts[ids], 0.0))
+
+    return x._make(out_data, (x,), backward)
+
+
+def segment_log_softmax(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Log-softmax normalised independently within each segment of a flat vector.
+
+    Batches the per-observation policy normalisation of A2C: the logits of a
+    whole unroll live in one tensor, ``segment_ids`` marking which decision
+    each entry belongs to.  Stable via a detached per-segment max shift.
+    """
+    ids = _check_segments(x, segment_ids, num_segments)
+    if x.ndim != 1:
+        raise ValueError("segment_log_softmax expects a flat 1-D logit vector")
+    starts = _contiguous_starts(ids, num_segments)
+    if starts is not None:
+        shift_data = np.maximum.reduceat(x.data, starts)
+    else:
+        shift_data = np.full(num_segments, -np.inf)
+        np.maximum.at(shift_data, ids, x.data)
+    shift = Tensor(shift_data)  # detached, like logsumexp's max shift
+    z = (x - shift[ids]).exp()
+    lse = segment_sum(z, ids, num_segments).log() + shift
+    return x - lse[ids]
+
+
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean squared error; the critic's Bellman-error loss."""
     diff = prediction - target

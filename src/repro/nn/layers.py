@@ -15,7 +15,7 @@ self-connections added.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -217,6 +217,32 @@ def gcn_normalize_adjacency(adjacency: np.ndarray) -> np.ndarray:
     inv_sqrt = 1.0 / np.sqrt(deg)
     # D^-1/2 A D^-1/2 as two broadcasts (no diag-matrix materialisation).
     return a_tilde * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def block_diag_adjacency(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """Dense block-diagonal matrix from per-graph (normalised) adjacencies.
+
+    Stacking K window sub-DAGs into one disconnected graph lets a single
+    :class:`GCNStack` call process the whole batch: messages cannot cross the
+    zero off-diagonal blocks, so each block's rows are exactly what K separate
+    forwards would produce.  For batches of small sparse windows prefer
+    :func:`repro.nn.sparse.block_diag_adjacency_sparse` — the dense form costs
+    O((Σmᵢ)²) per layer.
+    """
+    mats = [np.asarray(b, dtype=np.float64) for b in blocks]
+    if not mats:
+        raise ValueError("need at least one adjacency block")
+    for m in mats:
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError(f"adjacency blocks must be square, got shape {m.shape}")
+    total = sum(m.shape[0] for m in mats)
+    out = np.zeros((total, total), dtype=np.float64)
+    offset = 0
+    for m in mats:
+        n = m.shape[0]
+        out[offset: offset + n, offset: offset + n] = m
+        offset += n
+    return out
 
 
 class GCNConv(Module):

@@ -7,7 +7,7 @@ remaining hyper-parameters (§V-D); our Adam uses the same defaults
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 
@@ -156,5 +156,7 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad *= scale
+            # out-of-place: stored gradients may alias arrays the autograd
+            # engine handed out elsewhere (see Tensor._accumulate)
+            p.grad = p.grad * scale
     return total

@@ -80,7 +80,10 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents", "name",
+        "_grad_owned",
+    )
 
     def __init__(
         self,
@@ -93,6 +96,7 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
+        self._grad_owned = False
         self.requires_grad = bool(requires_grad)
         self._parents = _parents
         self._backward = _backward
@@ -140,6 +144,7 @@ class Tensor:
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------ #
     # graph construction helpers
@@ -161,12 +166,21 @@ class Tensor:
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # Copy-on-write: the first contribution is stored by reference (it is
+        # almost always a freshly allocated array a backward closure will
+        # never touch again — copying it doubled the allocation traffic of a
+        # batched update); a second contribution allocates the sum instead of
+        # mutating, so an aliased first array can never be corrupted.
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
-        else:
+            self.grad = np.asarray(grad, dtype=np.float64)
+            self._grad_owned = False
+        elif self._grad_owned:
             self.grad += grad
+        else:
+            self.grad = self.grad + grad
+            self._grad_owned = True
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -399,13 +413,27 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        # Decided once at forward time: a duplicate-free 1-D integer gather
+        # (row selections, permutations) can scatter its gradient by direct
+        # assignment, bypassing the much slower np.add.at buffering.
+        no_duplicates = (
+            isinstance(index, np.ndarray)
+            and index.ndim == 1
+            and index.dtype.kind in "iu"
+            and np.unique(index).size == index.size
+        )
 
         def backward(g: np.ndarray) -> None:
             grad = np.zeros_like(self.data)
-            np.add.at(grad, index, g)
+            if no_duplicates:
+                grad[index] = g
+            else:
+                np.add.at(grad, index, g)
             self._accumulate(grad)
 
-        return self._make(np.array(out_data, copy=True), (self,), backward)
+        if out_data.base is not None:  # basic slicing returned a view
+            out_data = np.array(out_data, copy=True)
+        return self._make(out_data, (self,), backward)
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":

@@ -109,38 +109,55 @@ class A2CUpdater:
         ``bootstrap_value`` is ``V(s_T)`` of the observation following the
         last transition (0 if that transition ended the episode).
         """
-        if not transitions:
+        return self.update_batch([transitions], [bootstrap_value])
+
+    def update_batch(
+        self, unrolls: List[List[Transition]], bootstrap_values: List[float]
+    ) -> UpdateStats:
+        """One gradient step from K unrolls (synchronous A2C with K workers).
+
+        Every observation of every unroll goes through *one* batched forward
+        (block-diagonal GCN), and the policy/value/entropy losses are reduced
+        with segment ops — no per-transition network passes.  Returns are
+        computed per unroll with that unroll's own bootstrap; losses average
+        over all K·T transitions, so K = 1 reproduces the single-env update.
+        """
+        if len(unrolls) != len(bootstrap_values):
+            raise ValueError(
+                f"{len(unrolls)} unrolls but {len(bootstrap_values)} bootstrap values"
+            )
+        if not unrolls or any(not u for u in unrolls):
             raise ValueError("cannot update from an empty unroll")
         cfg = self.config
-        returns = self.compute_returns(transitions, bootstrap_value)
+        flat = [t for unroll in unrolls for t in unroll]
+        returns = np.concatenate(
+            [
+                self.compute_returns(unroll, bootstrap)
+                for unroll, bootstrap in zip(unrolls, bootstrap_values)
+            ]
+        )
 
-        # forward every state once; keep graph-connected pieces for the loss
-        logp_terms: List[Tensor] = []
-        value_terms: List[Tensor] = []
-        entropy_terms: List[Tensor] = []
-        values = np.empty(len(transitions), dtype=np.float64)
-        for i, t in enumerate(transitions):
-            logits, value = self.agent.forward(t.obs)
-            logp = F.log_softmax(logits)
-            logp_terms.append(logp[np.array([t.action])])
-            diff = value - float(returns[i])
-            value_terms.append(diff * diff)
-            entropy_terms.append(F.entropy(logits).reshape(1))
-            values[i] = float(value.data[0])
+        # one batched forward over every state of every unroll
+        bf = self.agent.forward_batch_flat([t.obs for t in flat])
+        n = len(flat)
+        values = bf.values  # (n,), graph-connected
+        logp = F.segment_log_softmax(bf.logits, bf.action_segments, n)
+        action_rows = bf.action_offsets[:-1] + np.array(
+            [t.action for t in flat], dtype=np.int64
+        )
+        logp_actions = logp[action_rows]  # (n,)
 
-        advantages = returns - values  # detached from the actor gradient
-        if cfg.normalize_advantage and len(transitions) > 1:
+        advantages = returns - values.data  # detached from the actor gradient
+        if cfg.normalize_advantage and n > 1:
             advantages = (advantages - advantages.mean()) / (
                 advantages.std() + 1e-8
             )
 
-        policy_terms = [
-            logp * float(-adv) for logp, adv in zip(logp_terms, advantages)
-        ]
-        n = float(len(transitions))
-        policy_loss = Tensor.concatenate(policy_terms).sum() / n
-        value_loss = Tensor.concatenate(value_terms).sum() / n
-        entropy = Tensor.concatenate(entropy_terms).sum() / n
+        policy_loss = (logp_actions * Tensor(-advantages)).sum() / float(n)
+        diff = values - Tensor(returns)
+        value_loss = (diff * diff).sum() / float(n)
+        # mean per-decision entropy: total -Σ p·log p over the flat logits / n
+        entropy = -(logp.exp() * logp).sum() / float(n)
         loss = (
             policy_loss
             + cfg.value_coef * value_loss

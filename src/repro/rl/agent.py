@@ -19,12 +19,13 @@ The number of GCN layers defaults to ``max(window, 1)`` — the paper finds
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.layers import GCNStack, Linear, Module
+from repro.nn.sparse import block_diag_adjacency_sparse
 from repro.nn.tensor import Tensor, no_grad
 from repro.sim.state import Observation
 from repro.utils.seeding import SeedLike, as_generator
@@ -50,6 +51,33 @@ class AgentConfig:
             raise ValueError("hidden_dim must be >= 1")
         if self.num_gcn_layers < 1:
             raise ValueError("num_gcn_layers must be >= 1")
+
+
+@dataclass
+class BatchedForward:
+    """Flat result of one batched forward over B observations.
+
+    The logits of every observation live concatenated in one tensor so that a
+    whole unroll's policy losses reduce to a handful of segment ops; callers
+    that want the per-observation view slice with ``action_offsets``.
+    """
+
+    logits: Tensor
+    """(Σ num_actionsᵢ,) per-action scores, observation-major"""
+    values: Tensor
+    """(B,) state values"""
+    action_segments: np.ndarray
+    """observation index of every flat logit entry"""
+    action_offsets: np.ndarray
+    """(B+1,) prefix offsets: obs i's logits are ``logits[off[i]:off[i+1]]``"""
+
+    @property
+    def num_observations(self) -> int:
+        return len(self.action_offsets) - 1
+
+    def logits_of(self, i: int) -> Tensor:
+        """Graph-connected logits slice of observation ``i``."""
+        return self.logits[slice(int(self.action_offsets[i]), int(self.action_offsets[i + 1]))]
 
 
 class ReadysAgent(Module):
@@ -92,6 +120,108 @@ class ReadysAgent(Module):
         return logits, value
 
     # ------------------------------------------------------------------ #
+    # batched forward
+    # ------------------------------------------------------------------ #
+
+    def forward_batch_flat(self, obs_list: Sequence[Observation]) -> BatchedForward:
+        """One GCN pass over B observations stacked block-diagonally.
+
+        Numerically equivalent to B calls of :meth:`forward` (same math; the
+        only differences are floating-point summation orders).  The B == 1
+        case routes through :meth:`forward` so a one-element batch is
+        *bit-identical* to the single-observation path — this is what lets a
+        K=1 vectorised trainer reproduce the legacy trainer exactly.
+        """
+        if len(obs_list) == 0:
+            raise ValueError("forward_batch needs at least one observation")
+        if len(obs_list) == 1:
+            logits, value = self.forward(obs_list[0])
+            n = logits.shape[0]
+            return BatchedForward(
+                logits=logits,
+                values=value,
+                action_segments=np.zeros(n, dtype=np.int64),
+                action_offsets=np.array([0, n], dtype=np.int64),
+            )
+
+        batch = len(obs_list)
+        sizes = [o.num_nodes for o in obs_list]
+        for o in obs_list:
+            if len(o.ready_positions) == 0:
+                raise ValueError("observation has no ready task — not a decision point")
+        feats = np.concatenate([o.features for o in obs_list], axis=0)
+        graph_ids = np.repeat(np.arange(batch), sizes)
+        # CSR block-diagonal regardless of member format: one sparse matmul
+        # costs O(Σ nnz · h) while the dense form grows O((Σm)²).
+        adj = block_diag_adjacency_sparse([o.norm_adj for o in obs_list])
+        h = self.gcn(Tensor(feats), adj)  # (Σm, hidden)
+
+        values = self.value_head(F.segment_mean_pool(h, graph_ids, batch)).reshape(-1)
+
+        num_ready = np.array([len(o.ready_positions) for o in obs_list])
+        node_offsets = np.concatenate(([0], np.cumsum(sizes)))
+        ready_rows = np.concatenate(
+            [np.asarray(o.ready_positions) for o in obs_list]
+        ) + np.repeat(node_offsets[:-1], num_ready)
+        task_logits = self.task_score(h[ready_rows]).reshape(-1)  # (Σ Aᵢ,)
+
+        pass_idx = np.array(
+            [i for i, o in enumerate(obs_list) if o.allow_pass], dtype=np.int64
+        )
+        if pass_idx.size:
+            pooled = F.segment_max_pool(h, graph_ids, batch)  # (B, hidden)
+            ctx = Tensor.concatenate(
+                [
+                    pooled[pass_idx],
+                    Tensor(np.stack([obs_list[i].proc_features for i in pass_idx])),
+                ],
+                axis=1,
+            )
+            pass_logits = self.pass_score(ctx).reshape(-1)  # (n_pass,)
+            combined = Tensor.concatenate([task_logits, pass_logits])
+        else:
+            combined = task_logits
+
+        # reorder [all task logits..., all pass logits...] to observation-major
+        # [obs0 tasks, obs0 pass?, obs1 tasks, ...] with one gather.
+        num_actions = np.array([o.num_actions for o in obs_list])
+        action_offsets = np.concatenate(([0], np.cumsum(num_actions)))
+        task_offsets = np.concatenate(([0], np.cumsum(num_ready)))
+        total_tasks = int(task_offsets[-1])
+        perm = np.empty(int(action_offsets[-1]), dtype=np.int64)
+        # task entry k of obs i sits at output slot action_offsets[i] + k
+        within = np.arange(total_tasks) - np.repeat(task_offsets[:-1], num_ready)
+        perm[np.repeat(action_offsets[:-1], num_ready) + within] = (
+            np.arange(total_tasks)
+        )
+        if pass_idx.size:
+            # the ∅ entry of obs i follows its tasks
+            perm[action_offsets[pass_idx] + num_ready[pass_idx]] = (
+                total_tasks + np.arange(pass_idx.size)
+            )
+        logits = combined[perm]
+
+        return BatchedForward(
+            logits=logits,
+            values=values,
+            action_segments=np.repeat(np.arange(batch), num_actions),
+            action_offsets=action_offsets,
+        )
+
+    def forward_batch(
+        self, obs_list: Sequence[Observation]
+    ) -> Tuple[List[Tensor], Tensor]:
+        """Batched :meth:`forward`: per-observation logits plus a (B,) value tensor.
+
+        ``forward_batch([o1, …, oB])`` matches ``[forward(o1), …, forward(oB)]``
+        to numerical precision; all returned tensors share one autograd graph,
+        so losses built from them backpropagate through a single batched pass.
+        """
+        bf = self.forward_batch_flat(obs_list)
+        logits_list = [bf.logits_of(i) for i in range(bf.num_observations)]
+        return logits_list, bf.values
+
+    # ------------------------------------------------------------------ #
     # policy helpers
     # ------------------------------------------------------------------ #
 
@@ -119,3 +249,53 @@ class ReadysAgent(Module):
         with no_grad():
             _, value = self.forward(obs)
             return float(value.data[0])
+
+    # ------------------------------------------------------------------ #
+    # batched policy helpers (one network pass for K environments)
+    # ------------------------------------------------------------------ #
+
+    def action_distributions(
+        self, obs_list: Sequence[Observation]
+    ) -> List[np.ndarray]:
+        """π(a|s) for every observation via one batched pass (no grad)."""
+        if len(obs_list) == 1:
+            # single-observation route — bit-identical to action_distribution
+            return [self.action_distribution(obs_list[0])]
+        with no_grad():
+            bf = self.forward_batch_flat(obs_list)
+            flat, off = bf.logits.data, bf.action_offsets
+            # all B softmaxes in three segment ops over the flat logits
+            starts = off[:-1]
+            counts = np.diff(off)
+            p = np.exp(flat - np.repeat(np.maximum.reduceat(flat, starts), counts))
+            p /= np.repeat(np.add.reduceat(p, starts), counts)
+            return np.split(p, off[1:-1])
+
+    def sample_actions(
+        self, obs_list: Sequence[Observation], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one action per observation; one rng draw per env, in order."""
+        probs = self.action_distributions(obs_list)
+        return np.array(
+            [int(rng.choice(len(p), p=p)) for p in probs], dtype=np.int64
+        )
+
+    def greedy_actions(self, obs_list: Sequence[Observation]) -> np.ndarray:
+        """Batched :meth:`greedy_action` — deterministic evaluation at scale."""
+        if len(obs_list) == 1:
+            return np.array([self.greedy_action(obs_list[0])], dtype=np.int64)
+        with no_grad():
+            bf = self.forward_batch_flat(obs_list)
+            flat, off = bf.logits.data, bf.action_offsets
+            return np.array(
+                [int(np.argmax(flat[off[i]: off[i + 1]]))
+                 for i in range(bf.num_observations)],
+                dtype=np.int64,
+            )
+
+    def state_values(self, obs_list: Sequence[Observation]) -> np.ndarray:
+        """Batched :meth:`state_value` — bootstrap targets for K unrolls."""
+        if len(obs_list) == 1:
+            return np.array([self.state_value(obs_list[0])])
+        with no_grad():
+            return self.forward_batch_flat(obs_list).values.data.copy()

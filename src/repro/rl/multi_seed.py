@@ -18,8 +18,9 @@ import numpy as np
 from repro.rl.a2c import A2CConfig
 from repro.rl.agent import ReadysAgent
 from repro.rl.callbacks import EvalCallback, train_with_callbacks
-from repro.rl.trainer import ReadysTrainer, default_agent, evaluate_agent
+from repro.rl.trainer import ReadysTrainer, evaluate_agent
 from repro.sim.env import SchedulingEnv
+from repro.sim.vec_env import VecSchedulingEnv
 from repro.utils.seeding import SeedLike, spawn_generators
 
 EnvFactory = Callable[[np.random.Generator], SchedulingEnv]
@@ -84,7 +85,11 @@ def train_multi_seed(
         train_with_callbacks(trainer, updates, [snapshot])
         if snapshot.best_state is not None:
             trainer.agent.load_state_dict(snapshot.best_state)
-        score_env = env_factory(score_rng)
+        # one env per scoring episode, evaluated in lockstep with batched
+        # greedy inference (one network pass per decision wave)
+        score_env = VecSchedulingEnv.from_factory(
+            env_factory, eval_episodes, seed=score_rng
+        )
         score = float(np.mean(
             evaluate_agent(trainer.agent, score_env,
                            episodes=eval_episodes, rng=score_rng)

@@ -1,15 +1,20 @@
-"""Training loop wiring the environment, the agent and the A2C updater.
+"""Training loop wiring the environment(s), the agent and the A2C updater.
 
-One *training step* = collect ``unroll_length`` decisions under the current
-policy (stochastic sampling) and apply one A2C update; episodes continue
-seamlessly across unrolls, being reset transparently when they end (classic
-synchronous A2C).  Evaluation runs full episodes under the greedy policy.
+One *training step* = collect ``unroll_length`` decisions from each of K
+lockstep environments under the current policy (stochastic sampling) and
+apply one batched A2C update; episodes continue seamlessly across unrolls,
+being reset transparently when they end (classic synchronous A2C with K
+workers).  K = 1 consumes exactly the same RNG stream and applies exactly the
+same updates as the historical single-env loop, so seeded runs are
+reproducible across the vectorisation.  Evaluation runs full episodes under
+the greedy policy — batched across member environments when given a
+:class:`~repro.sim.vec_env.VecSchedulingEnv`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -17,7 +22,10 @@ from repro.rl.a2c import A2CConfig, A2CUpdater, Transition, UpdateStats
 from repro.rl.agent import AgentConfig, ReadysAgent
 from repro.sim.env import SchedulingEnv
 from repro.sim.state import PROC_FEATURE_DIM, Observation, observation_feature_dim
+from repro.sim.vec_env import VecSchedulingEnv
 from repro.utils.seeding import SeedLike, as_generator
+
+EnvLike = Union[SchedulingEnv, VecSchedulingEnv]
 
 
 @dataclass
@@ -38,7 +46,7 @@ class TrainResult:
 
 
 def default_agent(
-    env: SchedulingEnv,
+    env: EnvLike,
     hidden_dim: int = 64,
     num_gcn_layers: Optional[int] = None,
     rng: SeedLike = None,
@@ -46,7 +54,8 @@ def default_agent(
     """Build an agent sized for ``env``'s observations.
 
     ``num_gcn_layers`` defaults to ``max(window, 1)`` per the paper's
-    empirical finding that w layers suffice.
+    empirical finding that w layers suffice.  Accepts a single environment or
+    a :class:`VecSchedulingEnv` (members share the observation shape).
     """
     num_types = env.durations.num_kernels
     config = AgentConfig(
@@ -59,53 +68,93 @@ def default_agent(
 
 
 class ReadysTrainer:
-    """Synchronous A2C trainer for one environment."""
+    """Synchronous A2C trainer over K lockstep environments.
+
+    ``env`` may be a single :class:`SchedulingEnv` (wrapped into a K=1
+    :class:`VecSchedulingEnv`) or a pre-built ``VecSchedulingEnv`` whose K
+    members roll out in parallel through batched network passes.
+    """
 
     def __init__(
         self,
-        env: SchedulingEnv,
+        env: EnvLike,
         agent: Optional[ReadysAgent] = None,
         config: Optional[A2CConfig] = None,
         rng: SeedLike = None,
     ) -> None:
-        self.env = env
+        if isinstance(env, VecSchedulingEnv):
+            self.vec_env = env
+        else:
+            self.vec_env = VecSchedulingEnv([env])
+        self.env = self.vec_env.envs[0]
         self.rng = as_generator(rng)
-        self.agent = agent if agent is not None else default_agent(env, rng=self.rng)
+        self.agent = agent if agent is not None else default_agent(self.vec_env, rng=self.rng)
         self.updater = A2CUpdater(self.agent, config)
-        self._obs: Optional[Observation] = None
+        self._obs: Optional[List[Observation]] = None
         self.result = TrainResult()
+
+    @property
+    def num_envs(self) -> int:
+        return self.vec_env.num_envs
 
     # ------------------------------------------------------------------ #
 
-    def _collect_unroll(self) -> tuple:
-        """Gather ``unroll_length`` transitions under the sampling policy."""
-        transitions: List[Transition] = []
-        obs = self._obs if self._obs is not None else self.env.reset()
-        for _ in range(self.updater.config.unroll_length):
-            action = self.agent.sample_action(obs, self.rng)
-            next_obs, reward, done, info = self.env.step(action)
-            transitions.append(Transition(obs, action, reward, done))
-            if done:
-                self.result.episode_rewards.append(reward)
-                self.result.episode_makespans.append(info["makespan"])
-                obs = self.env.reset()
-            else:
-                obs = next_obs
+    def _collect_unrolls(self) -> Tuple[List[List[Transition]], List[float]]:
+        """Gather ``unroll_length`` transitions per member under the sampling policy.
+
+        Episode bookkeeping is time-major (step, then member index), which for
+        K = 1 matches the legacy single-env order exactly.
+        """
+        unroll_length = self.updater.config.unroll_length
+        if unroll_length < 1:
+            # A2CConfig validates this, but guard against hand-built configs:
+            # an unguarded empty unroll would surface as an opaque IndexError.
+            raise ValueError(
+                f"cannot collect an unroll of length {unroll_length}; "
+                "unroll_length must be >= 1"
+            )
+        k = self.num_envs
+        unrolls: List[List[Transition]] = [[] for _ in range(k)]
+        obs = self._obs if self._obs is not None else self.vec_env.reset()
+        for _ in range(unroll_length):
+            actions = self.agent.sample_actions(obs, self.rng)
+            next_obs, rewards, dones, infos = self.vec_env.step(actions)
+            for i in range(k):
+                unrolls[i].append(
+                    Transition(obs[i], int(actions[i]), float(rewards[i]), bool(dones[i]))
+                )
+                if dones[i]:
+                    self.result.episode_rewards.append(float(rewards[i]))
+                    self.result.episode_makespans.append(infos[i]["makespan"])
+            obs = next_obs
         self._obs = obs
-        # bootstrap with V of the observation after the unroll (0 after a
+        # bootstrap with V of the observation after each unroll (0 after a
         # terminal transition, handled inside compute_returns via done flags)
-        bootstrap = (
-            0.0 if transitions[-1].done else self.agent.state_value(obs)
-        )
-        return transitions, bootstrap
+        bootstraps = [0.0] * k
+        open_members = [i for i in range(k) if not unrolls[i][-1].done]
+        if open_members:
+            values = self.agent.state_values([obs[i] for i in open_members])
+            for i, v in zip(open_members, values):
+                bootstraps[i] = float(v)
+        return unrolls, bootstraps
+
+    def _collect_unroll(self) -> Tuple[List[Transition], float]:
+        """Single-env unroll (K = 1 only) — the historical collection API."""
+        if self.num_envs != 1:
+            raise RuntimeError(
+                "_collect_unroll is the single-env API; use _collect_unrolls "
+                f"with {self.num_envs} environments"
+            )
+        unrolls, bootstraps = self._collect_unrolls()
+        return unrolls[0], bootstraps[0]
 
     def train_updates(self, num_updates: int) -> TrainResult:
         """Run ``num_updates`` unroll+update cycles; returns the history."""
         if num_updates < 0:
             raise ValueError("num_updates must be >= 0")
         for _ in range(num_updates):
-            transitions, bootstrap = self._collect_unroll()
-            stats = self.updater.update(transitions, bootstrap)
+            unrolls, bootstraps = self._collect_unrolls()
+            stats = self.updater.update_batch(unrolls, bootstraps)
             self.result.update_stats.append(stats)
         return self.result
 
@@ -115,15 +164,64 @@ class ReadysTrainer:
             raise ValueError("num_episodes must be >= 0")
         target = self.result.num_episodes + num_episodes
         while self.result.num_episodes < target:
-            transitions, bootstrap = self._collect_unroll()
-            stats = self.updater.update(transitions, bootstrap)
+            unrolls, bootstraps = self._collect_unrolls()
+            stats = self.updater.update_batch(unrolls, bootstraps)
             self.result.update_stats.append(stats)
         return self.result
 
 
+# ---------------------------------------------------------------------- #
+# evaluation
+# ---------------------------------------------------------------------- #
+
+
+def _evaluate_vec(
+    agent: ReadysAgent,
+    vec_env: VecSchedulingEnv,
+    episodes: int,
+    greedy: bool,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Lockstep evaluation across member envs with batched inference.
+
+    ``episodes`` are distributed round-robin over the members; makespans are
+    returned grouped by member (member order, then episode order), so K
+    members × 1 episode yields one makespan per member in member order.
+    """
+    k = vec_env.num_envs
+    quotas = [episodes // k + (1 if i < episodes % k else 0) for i in range(k)]
+    makespans: List[List[float]] = [[] for _ in range(k)]
+    active = [i for i in range(k) if quotas[i] > 0]
+    obs: List[Optional[Observation]] = [
+        vec_env.envs[i].reset() if quotas[i] > 0 else None for i in range(k)
+    ]
+    while active:
+        batch = [obs[i] for i in active]
+        if greedy:
+            actions = agent.greedy_actions(batch)
+        else:
+            actions = agent.sample_actions(batch, rng)
+        still_active: List[int] = []
+        for i, action in zip(active, actions):
+            env = vec_env.envs[i]
+            next_obs, _reward, done, info = env.step(int(action))
+            if done:
+                makespans[i].append(info["makespan"])
+                if len(makespans[i]) < quotas[i]:
+                    obs[i] = env.reset()
+                    still_active.append(i)
+                else:
+                    obs[i] = None
+            else:
+                obs[i] = next_obs
+                still_active.append(i)
+        active = still_active
+    return [m for member in makespans for m in member]
+
+
 def evaluate_agent(
     agent: ReadysAgent,
-    env: SchedulingEnv,
+    env: EnvLike,
     episodes: int = 5,
     greedy: bool = True,
     rng: SeedLike = None,
@@ -131,11 +229,15 @@ def evaluate_agent(
     """Makespans of ``episodes`` evaluation rollouts of ``agent`` on ``env``.
 
     ``greedy=True`` uses the policy mode (the paper's evaluation style);
-    otherwise actions are sampled.
+    otherwise actions are sampled.  Passing a :class:`VecSchedulingEnv` runs
+    the member environments in lockstep with batched inference — one network
+    pass per decision wave instead of one per decision.
     """
     if episodes < 1:
         raise ValueError("episodes must be >= 1")
     rng = as_generator(rng)
+    if isinstance(env, VecSchedulingEnv):
+        return _evaluate_vec(agent, env, episodes, greedy, rng)
     makespans: List[float] = []
     for _ in range(episodes):
         obs = env.reset()

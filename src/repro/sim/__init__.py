@@ -3,6 +3,7 @@
 from repro.sim.engine import Simulation, ScheduledTask
 from repro.sim.state import Observation, StateBuilder
 from repro.sim.env import SchedulingEnv, run_policy
+from repro.sim.vec_env import VecSchedulingEnv
 from repro.sim.trace_io import (
     trace_to_dict,
     save_trace_json,
@@ -16,6 +17,7 @@ __all__ = [
     "Observation",
     "StateBuilder",
     "SchedulingEnv",
+    "VecSchedulingEnv",
     "run_policy",
     "trace_to_dict",
     "save_trace_json",

@@ -132,17 +132,119 @@ class StateBuilder:
             graph.__dict__["_cached_dense_adjacency"] = cached
         return cached
 
+    @staticmethod
+    def _static_features(graph: TaskGraph, fractions: np.ndarray) -> np.ndarray:
+        """Raw feature matrix with the ready/running columns left at zero.
+
+        Degrees, type one-hots and descendant fractions never change within
+        an episode; per decision only columns 2–3 are dynamic, so the window
+        rows can be gathered from this constant and patched in place.
+        """
+        cached = graph.__dict__.get("_cached_static_features")
+        if cached is None:
+            cached = node_features(graph, fractions=fractions)
+            graph.__dict__["_cached_static_features"] = cached
+        return cached
+
+    #: graphs above this size skip the dense reachability cache (O(n²) bool
+    #: memory, O(n³·w) one-off construction) and fall back to per-decision BFS
+    _REACH_CACHE_MAX_NODES = 2048
+
+    def _reach_mask(self, graph: TaskGraph) -> Optional[np.ndarray]:
+        """Boolean (n, n) matrix: ``reach[u, v]`` ⇔ v within ``window`` hops of u.
+
+        Graph-static, so the per-decision window computation reduces to one
+        row gather + ``any`` instead of a fresh BFS.  ``None`` for graphs too
+        large to cache densely (the BFS path handles those).
+        """
+        if graph.num_tasks > self._REACH_CACHE_MAX_NODES:
+            return None
+        cache: Dict[int, np.ndarray] = graph.__dict__.setdefault(
+            "_cached_reach_masks", {}
+        )
+        reach = cache.get(self.window)
+        if reach is None:
+            adj = self._adjacency(graph)  # float 0/1
+            n = graph.num_tasks
+            reach = np.zeros((n, n), dtype=bool)
+            frontier = adj
+            for _ in range(self.window):
+                reach |= frontier > 0.0
+                frontier = frontier @ adj  # path counts; > 0 ⇔ reachable
+            cache[self.window] = reach
+        return reach
+
+    def _expected_norm(self, graph: TaskGraph) -> np.ndarray:
+        """Per-task expected durations over resource types, pre-normalised."""
+        cached = graph.__dict__.get("_cached_expected_norm")
+        if cached is None or cached[0] is not self.durations:
+            cached = (
+                self.durations,
+                self.durations.expected_vector(graph.task_types) / self._scale,
+            )
+            graph.__dict__["_cached_expected_norm"] = cached
+        return cached[1]
+
+    def _feature_template(self, graph: TaskGraph) -> tuple:
+        """(n, F) feature matrix with every graph-static column filled in.
+
+        Layout matches :meth:`build`'s observation rows:
+        ``[raw | exp per type | remaining | exp on current | current one-hot]``.
+        Only the ready/running flags (raw columns 2–3), the remaining column
+        and the current-processor block change per decision, so an
+        observation is one row gather plus a handful of column patches
+        instead of a five-part hstack of freshly allocated arrays.
+        """
+        cached = graph.__dict__.get("_cached_feature_template")
+        if cached is None or cached[0] is not self.durations:
+            raw = self._static_features(graph, self._fractions(graph))
+            exp = self._expected_norm(graph)
+            template = np.zeros(
+                (graph.num_tasks, raw.shape[1] + NUM_DYNAMIC_FEATURES),
+                dtype=np.float64,
+            )
+            template[:, : raw.shape[1]] = raw
+            template[:, raw.shape[1]: raw.shape[1] + NUM_RESOURCE_TYPES] = exp
+            cached = (self.durations, template, raw.shape[1])
+            graph.__dict__["_cached_feature_template"] = cached
+        return cached[1], cached[2]
+
+    @staticmethod
+    def _remap_scratch(graph: TaskGraph) -> np.ndarray:
+        """Reusable task-id → window-position vector (-1 outside the window).
+
+        Callers fill ``remap[nodes]`` and must reset those entries to -1
+        before returning, so the scratch stays all -1 between decisions —
+        O(m) bookkeeping instead of an O(n) allocation per decision.
+        """
+        cached = graph.__dict__.get("_cached_window_remap")
+        if cached is None:
+            cached = np.full(graph.num_tasks, -1, dtype=np.int64)
+            graph.__dict__["_cached_window_remap"] = cached
+        return cached
+
     def window_nodes(self, sim: Simulation) -> np.ndarray:
         """Sorted task ids inside the observation window."""
-        sources = np.flatnonzero(sim.ready | sim.running)
+        src_mask = sim.ready | sim.running
+        sources = np.flatnonzero(src_mask)
         if sources.size == 0:
             raise RuntimeError("no ready or running task — episode is over")
         if self.window > 0:
-            desc = sim.graph.descendants_within(sources, self.window)
-            # descendants that already finished cannot appear (they would
-            # be predecessors); keep unfinished ones only for safety.
-            desc = desc[~sim.finished[desc]]
-            nodes = np.union1d(sources, desc)
+            reach = self._reach_mask(sim.graph)
+            if reach is not None:
+                # (reachable ∧ ¬finished) ∨ sources, as one mask: flatnonzero
+                # of a boolean union is already sorted and unique, so the
+                # union1d sort of the BFS path is unnecessary here.
+                mask = reach[sources].any(axis=0)
+                mask &= ~sim.finished
+                mask |= src_mask
+                nodes = np.flatnonzero(mask)
+            else:
+                desc = sim.graph.descendants_within(sources, self.window)
+                # descendants that already finished cannot appear (they would
+                # be predecessors); keep unfinished ones only for safety.
+                desc = desc[~sim.finished[desc]]
+                nodes = np.union1d(sources, desc)
         else:
             nodes = sources
         return nodes
@@ -162,61 +264,82 @@ class StateBuilder:
         graph = sim.graph
         nodes = self.window_nodes(sim)
 
-        raw = node_features(
-            graph,
-            ready=sim.ready,
-            running=sim.running,
-            fractions=self._fractions(graph),
-        )[nodes]
+        # gather the graph-static rows of the full template, patch the
+        # per-decision columns in place
+        template, raw_width = self._feature_template(graph)
+        features = template[nodes]
+        features[:, 2] = sim.ready[nodes]
+        features[:, 3] = sim.running[nodes]
+        col_remaining = raw_width + NUM_RESOURCE_TYPES
+        col_exp_current = col_remaining + 1
 
-        # dynamic enrichment: expected durations per resource type + remaining
-        exp = self.durations.expected_vector(graph.task_types[nodes]) / self._scale
-        remaining = np.zeros(len(nodes), dtype=np.float64)
-        pos_of = {int(t): i for i, t in enumerate(nodes)}
-        for proc in sim.busy_processors():
-            task = int(sim.proc_task[proc])
-            i = pos_of.get(task)
-            if i is not None:
-                remaining[i] = sim.expected_remaining(int(proc)) / self._scale
+        remap = self._remap_scratch(graph)
+        remap[nodes] = np.arange(nodes.size)
+        busy = sim.busy_processors()
+        remaining_all = None
+        if busy.size:
+            remaining_all = sim.expected_remaining_many(busy)
+            pos = remap[sim.proc_task[busy]]
+            inside = pos >= 0
+            if inside.any():
+                features[pos[inside], col_remaining] = (
+                    remaining_all[inside] / self._scale
+                )
         # current-processor context, broadcast to every node
         cur_type = sim.platform.type_of(current_proc)
-        exp_on_current = exp[:, cur_type]
-        cur_onehot = np.zeros((len(nodes), NUM_RESOURCE_TYPES), dtype=np.float64)
-        cur_onehot[:, cur_type] = 1.0
-        features = np.hstack(
-            [raw, exp, remaining[:, None], exp_on_current[:, None], cur_onehot]
-        )
+        features[:, col_exp_current] = features[:, raw_width + cur_type]
+        features[:, col_exp_current + 1 + cur_type] = 1.0
 
-        if self.sparse:
-            from repro.nn.sparse import (
-                edges_to_sparse_adjacency,
-                gcn_normalize_adjacency_sparse,
-            )
+        # the normalised window adjacency depends only on the node set, which
+        # repeats across the decisions of one instant (assignments move tasks
+        # ready→running but both stay in the window) — memoise per set
+        adj_cache: Dict = graph.__dict__.setdefault("_cached_window_norm_adj", {})
+        adj_key = (self.sparse, nodes.tobytes())
+        norm_adj = adj_cache.get(adj_key)
+        if norm_adj is None:
+            if self.sparse:
+                from repro.nn.sparse import (
+                    edges_to_sparse_adjacency,
+                    gcn_normalize_adjacency_sparse,
+                )
 
-            remap = -np.ones(graph.num_tasks, dtype=np.int64)
-            remap[nodes] = np.arange(nodes.size)
-            e = graph.edges
-            if len(e):
-                mask = (remap[e[:, 0]] >= 0) & (remap[e[:, 1]] >= 0)
-                sub_edges = np.column_stack(
-                    (remap[e[mask, 0]], remap[e[mask, 1]])
+                e = graph.edges
+                if len(e):
+                    mask = (remap[e[:, 0]] >= 0) & (remap[e[:, 1]] >= 0)
+                    sub_edges = np.column_stack(
+                        (remap[e[mask, 0]], remap[e[mask, 1]])
+                    )
+                else:
+                    sub_edges = np.zeros((0, 2), dtype=np.int64)
+                norm_adj = gcn_normalize_adjacency_sparse(
+                    edges_to_sparse_adjacency(sub_edges, nodes.size)
                 )
             else:
-                sub_edges = np.zeros((0, 2), dtype=np.int64)
-            norm_adj = gcn_normalize_adjacency_sparse(
-                edges_to_sparse_adjacency(sub_edges, nodes.size)
-            )
-        else:
-            sub_adj = self._adjacency(graph)[np.ix_(nodes, nodes)]
-            norm_adj = gcn_normalize_adjacency(sub_adj)
+                sub_adj = self._adjacency(graph)[np.ix_(nodes, nodes)]
+                norm_adj = gcn_normalize_adjacency(sub_adj)
+            if len(adj_cache) >= 4096:  # bound memory under huge episodes
+                adj_cache.clear()
+            adj_cache[adj_key] = norm_adj
+        remap[nodes] = -1  # restore the all--1 scratch invariant
 
         ready_mask = sim.ready[nodes]
         ready_positions = np.flatnonzero(ready_mask)
         ready_tasks = nodes[ready_positions]
 
-        proc_features = self.proc_descriptor(sim, current_proc)
+        # processor descriptor, sharing busy/remaining computed above
+        p = sim.platform.num_processors
+        proc_features = np.zeros(PROC_FEATURE_DIM, dtype=np.float64)
+        proc_features[cur_type] = 1.0
+        proc_features[NUM_RESOURCE_TYPES] = (p - busy.size) / p
+        proc_features[NUM_RESOURCE_TYPES + 1] = min(
+            1.0, int(sim.ready.sum()) / max(1, p)
+        )
+        if remaining_all is not None:
+            proc_features[NUM_RESOURCE_TYPES + 2] = (
+                float(remaining_all.mean()) / self._scale
+            )
         if allow_pass is None:
-            allow_pass = sim.running_tasks().size > 0
+            allow_pass = bool(sim.running.any())
 
         return Observation(
             features=features,
@@ -239,8 +362,6 @@ class StateBuilder:
         )
         busy = sim.busy_processors()
         if busy.size:
-            mean_remaining = np.mean(
-                [sim.expected_remaining(int(q)) for q in busy]
-            )
+            mean_remaining = float(sim.expected_remaining_many(busy).mean())
             descriptor[NUM_RESOURCE_TYPES + 2] = mean_remaining / self._scale
         return descriptor

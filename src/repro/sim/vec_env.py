@@ -1,0 +1,114 @@
+"""Vectorised scheduling environment: K independent MDPs stepped in lockstep.
+
+Synchronous A2C (and batched greedy evaluation) wants K observations per
+network pass; :class:`VecSchedulingEnv` supplies them by holding K
+independently-seeded :class:`~repro.sim.env.SchedulingEnv` instances and
+stepping them together.  Members are ordinary single environments — they may
+differ in graph source and noise draw but must share the platform/duration
+structure so one agent's feature dimensions fit every member.
+
+Semantics mirror the classic gym ``VecEnv`` contract:
+
+* :meth:`reset` starts a fresh episode in every member and returns the K
+  first observations;
+* :meth:`step` applies one action per member and **auto-resets** any member
+  whose episode ended, returning the post-reset observation in its slot (the
+  terminal ``info`` dict carries the makespan).  A K=1 vectorised rollout
+  therefore consumes exactly the same RNG stream as the legacy single-env
+  loop, which is what makes the vectorised trainer reproduce it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.env import SchedulingEnv
+from repro.sim.state import Observation
+from repro.utils.seeding import SeedLike, spawn_generators
+
+
+class VecSchedulingEnv:
+    """K scheduling environments advanced in lockstep with auto-reset."""
+
+    def __init__(self, envs: Sequence[SchedulingEnv]) -> None:
+        if not envs:
+            raise ValueError("VecSchedulingEnv needs at least one environment")
+        windows = {e.window for e in envs}
+        if len(windows) > 1:
+            raise ValueError(
+                f"member environments disagree on window depth: {sorted(windows)}"
+            )
+        kernels = {e.durations.num_kernels for e in envs}
+        if len(kernels) > 1:
+            raise ValueError(
+                "member environments disagree on duration-table kernel count "
+                f"(observation feature widths would differ): {sorted(kernels)}"
+            )
+        self.envs: List[SchedulingEnv] = list(envs)
+
+    @classmethod
+    def from_factory(
+        cls,
+        factory: Callable[[np.random.Generator], SchedulingEnv],
+        num_envs: int,
+        seed: SeedLike = None,
+    ) -> "VecSchedulingEnv":
+        """Build K members from ``factory(rng)`` with independent seed streams."""
+        if num_envs < 1:
+            raise ValueError(f"num_envs must be >= 1, got {num_envs}")
+        return cls([factory(rng) for rng in spawn_generators(seed, num_envs)])
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    @property
+    def window(self) -> int:
+        return self.envs[0].window
+
+    @property
+    def durations(self):
+        return self.envs[0].durations
+
+    @property
+    def platform(self):
+        return self.envs[0].platform
+
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> List[Observation]:
+        """Start a new episode in every member; returns the K first observations."""
+        return [env.reset() for env in self.envs]
+
+    def step(
+        self, actions: Sequence[int]
+    ) -> Tuple[List[Observation], np.ndarray, np.ndarray, List[dict]]:
+        """Apply one action per member; auto-reset finished members.
+
+        Returns ``(observations, rewards, dones, infos)`` where
+        ``observations[k]`` is the *next decision point* of member k — the
+        first observation of a fresh episode when ``dones[k]`` is true — and
+        ``infos[k]`` is the member's info dict (containing ``"makespan"`` at
+        episode end).
+        """
+        if len(actions) != self.num_envs:
+            raise ValueError(
+                f"expected {self.num_envs} actions, got {len(actions)}"
+            )
+        observations: List[Observation] = []
+        rewards = np.empty(self.num_envs, dtype=np.float64)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: List[dict] = []
+        for k, (env, action) in enumerate(zip(self.envs, actions)):
+            obs, reward, done, info = env.step(int(action))
+            if done:
+                obs = env.reset()
+            observations.append(obs)
+            rewards[k] = reward
+            dones[k] = done
+            infos.append(info)
+        return observations, rewards, dones, infos

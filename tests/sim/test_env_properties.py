@@ -48,7 +48,10 @@ def test_random_policy_always_terminates_validly(n, p, sigma, cpus, gpus, window
         window=window, rng=seed,
     )
     info = run_policy(env, random_policy(seed))
-    assert info["makespan"] > 0
+    # the truncated-Gaussian noise d = max[0, N(E, σE)] can sample zero
+    # durations at high σ, so a tiny episode may legitimately finish at t=0
+    assert info["makespan"] >= 0
+    assert np.isfinite(info["makespan"])
     env.sim.check_trace()
 
 
