@@ -1,0 +1,27 @@
+"""Static analysis for the reproduction — repo-specific correctness lints.
+
+Generic linters (ruff, flake8) cannot know this repo's invariants: all
+randomness must flow through :mod:`repro.utils.seeding`, ``Tensor`` buffers
+may only be mutated by the nn internals, and the simulator must never read
+the wall clock.  :mod:`repro.analysis.lint` enforces those rules over the
+AST; run it as ``python -m repro lint src tests benchmarks examples``.
+
+The runtime half of the correctness tooling (tensor version counters and
+:func:`repro.nn.detect_anomaly`) lives in :mod:`repro.nn.tensor`.
+"""
+
+from repro.analysis.lint import (
+    RULES,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,562 @@
+"""Repo-specific AST linter — ``python -m repro lint <paths>``.
+
+Rules (each can be silenced on its line with ``# repro-lint: disable=RPRxxx``
+or ``disable=all``; add a short reason after the IDs):
+
+========  ==================================================================
+RPR001    Global-state RNG: calls into ``np.random.*`` convenience functions
+          or the stdlib ``random`` module.  All randomness must flow through
+          ``np.random.Generator`` objects built by ``repro.utils.seeding``
+          (``as_generator`` / ``spawn_generators``), or results stop being
+          reproducible from a seed and streams cross-contaminate.
+RPR002    In-place mutation of ``Tensor.data`` / ``Tensor.grad`` outside the
+          nn internals (``src/repro/nn/``).  Backward closures capture those
+          buffers by reference; mutating them from user code silently
+          corrupts gradients.  (The runtime version counters catch this at
+          backward time; the lint catches it at review time.)
+RPR003    Wall-clock reads (``time.time``/``perf_counter``/``monotonic``,
+          ``datetime.now`` …) inside ``sim/``, ``nn/`` or ``rl/`` logic.
+          Simulated time is the only clock those layers may observe;
+          wall-clock reads break replayability.  Measurement utilities
+          (``utils/timing``, ``eval/profiling``) live outside those dirs.
+RPR004    Iteration over a bare ``set`` (set literal, ``set()`` call, set
+          comprehension, or a local assigned one).  Set iteration order
+          depends on hash seeding/history; any scheduling decision fed from
+          it is non-deterministic.  Wrap in ``sorted(...)`` or use arrays.
+RPR005    Mutable default argument (list/dict/set display or constructor).
+          The default is shared across calls — episode state leaks between
+          runs.
+RPR006    Bare ``except:``.  Swallows ``KeyboardInterrupt``/``SystemExit``
+          and hides simulator invariant violations.
+RPR007    Float equality (``==`` / ``!=``) against a float literal on a
+          duration/makespan/time-valued expression.  Accumulated event times
+          are sums of floats; compare with ``pytest.approx`` or
+          ``math.isclose``.  (Comparing two *computed* makespans for exact
+          equality — a determinism check — is allowed.)
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+#: rule id -> (short name, one-line description)
+RULES: Dict[str, Tuple[str, str]] = {
+    "RPR000": (
+        "parse-error",
+        "file does not parse as Python",
+    ),
+    "RPR001": (
+        "global-rng",
+        "use np.random.Generator via repro.utils.seeding, not global-state RNG",
+    ),
+    "RPR002": (
+        "tensor-mutation",
+        "Tensor.data/.grad may only be mutated inside src/repro/nn/",
+    ),
+    "RPR003": (
+        "wall-clock",
+        "no wall-clock reads inside sim/, nn/ or rl/ logic",
+    ),
+    "RPR004": (
+        "set-iteration",
+        "no iteration over bare sets (non-deterministic order)",
+    ),
+    "RPR005": (
+        "mutable-default",
+        "no mutable default arguments",
+    ),
+    "RPR006": (
+        "bare-except",
+        "no bare except clauses",
+    ),
+    "RPR007": (
+        "float-equality",
+        "no float == on duration/makespan values against float literals",
+    ),
+}
+
+#: directory names never linted (fixture trees hold deliberate violations)
+EXCLUDED_DIR_NAMES = {"lint_fixtures", "__pycache__", ".git", ".ruff_cache"}
+
+#: np.random attributes that are *not* the legacy global-state API
+_NP_RANDOM_ALLOWED = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "default_rng",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: wall-clock callables, as fully-resolved dotted names
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: path fragments marking modules that must stay wall-clock free
+_SIM_LOGIC_DIRS = ("repro/sim/", "repro/nn/", "repro/rl/")
+
+#: ndarray methods that mutate their buffer in place
+_NDARRAY_MUTATORS = {
+    "fill",
+    "sort",
+    "partition",
+    "put",
+    "itemset",
+    "resize",
+    "setflags",
+    "byteswap",
+}
+
+#: identifier fragments marking duration-valued expressions (RPR007)
+_DURATION_WORDS = re.compile(
+    r"(makespan|duration|elapsed|remaining|deadline|span"
+    r"|(^|_)time(s)?($|_)|(^|_)start($|_)|(^|_)finish($|_))",
+    re.IGNORECASE,
+)
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+?)(?:\s+--.*|\s*#.*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        name = RULES[self.rule][0]
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{name}] {self.message}"
+
+
+def _parse_disables(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids disabled on that line ('all' wins)."""
+    disables: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip().upper() for part in match.group(1).split(",") if part.strip()}
+        disables[lineno] = {"ALL"} if "ALL" in ids else ids
+    return disables
+
+
+def _is_nn_internal(path: str) -> bool:
+    return "repro/nn/" in Path(path).as_posix()
+
+
+def _is_sim_logic(path: str) -> bool:
+    posix = Path(path).as_posix()
+    return any(fragment in posix for fragment in _SIM_LOGIC_DIRS)
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass AST walk collecting violations for one module."""
+
+    def __init__(self, path: str, disables: Dict[int, Set[str]]) -> None:
+        self.path = Path(path).as_posix()
+        self.disables = disables
+        self.violations: List[Violation] = []
+        #: local import alias -> fully dotted module/object name
+        self.aliases: Dict[str, str] = {}
+        #: stack of per-scope {name: is-a-set} maps for RPR004 local flow
+        self.set_locals: List[Dict[str, bool]] = [{}]
+        self.nn_internal = _is_nn_internal(self.path)
+        self.sim_logic = _is_sim_logic(self.path)
+
+    # -- reporting ------------------------------------------------------ #
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        disabled = self.disables.get(line, ())
+        if "ALL" in disabled or rule in disabled:
+            return
+        self.violations.append(
+            Violation(self.path, line, getattr(node, "col_offset", 0) + 1, rule, message)
+        )
+
+    # -- import alias tracking ------------------------------------------ #
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully dotted name of an attribute chain, through import aliases."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.aliases.get(current.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- RPR001 / RPR003: calls ----------------------------------------- #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is not None:
+            self._check_global_rng(node, resolved)
+            self._check_wall_clock(node, resolved)
+        self._check_data_mutator_call(node)
+        self.generic_visit(node)
+
+    def _check_global_rng(self, node: ast.Call, resolved: str) -> None:
+        if resolved.startswith("numpy.random."):
+            tail = resolved[len("numpy.random."):]
+            if tail.split(".")[0] not in _NP_RANDOM_ALLOWED:
+                self.report(
+                    node,
+                    "RPR001",
+                    f"call to global-state RNG 'np.random.{tail}'; build a "
+                    f"Generator with repro.utils.seeding.as_generator instead",
+                )
+        elif resolved == "random" or resolved.startswith("random."):
+            self.report(
+                node,
+                "RPR001",
+                f"call into the stdlib 'random' module ('{resolved}'); all "
+                f"randomness must flow through np.random.Generator objects",
+            )
+
+    def _check_wall_clock(self, node: ast.Call, resolved: str) -> None:
+        if resolved in _WALL_CLOCK_CALLS and self.sim_logic:
+            self.report(
+                node,
+                "RPR003",
+                f"wall-clock call '{resolved}' inside simulator/nn/rl logic; "
+                f"only simulated time may be observed here",
+            )
+
+    # -- RPR002: Tensor buffer mutation --------------------------------- #
+
+    @staticmethod
+    def _tensor_buffer(node: ast.AST) -> Optional[str]:
+        """Return 'data'/'grad' if ``node`` is an ``<expr>.data``/``.grad``."""
+        if isinstance(node, ast.Attribute) and node.attr in ("data", "grad"):
+            return node.attr
+        return None
+
+    def _report_mutation(self, node: ast.AST, attr: str, how: str) -> None:
+        if self.nn_internal:
+            return
+        self.report(
+            node,
+            "RPR002",
+            f"{how} of '.{attr}' outside src/repro/nn/; backward closures "
+            f"capture tensor buffers by reference — route the change through "
+            f"the nn API or clone first",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = self._tensor_buffer(target)
+            # rebinding `.grad` is the engine's own accumulation contract
+            # (tests seed gradients this way); rebinding `.data` invalidates
+            # every closure that captured the old buffer.
+            if attr == "data":
+                self._report_mutation(target, attr, "rebinding")
+            if isinstance(target, ast.Subscript):
+                attr = self._tensor_buffer(target.value)
+                if attr is not None:
+                    self._report_mutation(target, attr, "indexed write")
+        self._track_set_assign(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target: ast.AST = node.target
+        attr = self._tensor_buffer(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = self._tensor_buffer(target.value)
+        if attr is not None:
+            self._report_mutation(node, attr, "augmented in-place write")
+        self.generic_visit(node)
+
+    def _check_data_mutator_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _NDARRAY_MUTATORS:
+            return
+        attr = self._tensor_buffer(func.value)
+        if attr is not None:
+            self._report_mutation(node, attr, f"mutating call '.{func.attr}()'")
+
+    # -- RPR004: set iteration ------------------------------------------ #
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset") and node.func.id not in self.aliases:
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            for scope in reversed(self.set_locals):
+                if node.id in scope:
+                    return scope[node.id]
+        return False
+
+    def _track_set_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self.set_locals[-1][node.targets[0].id] = self._is_set_expr(node.value)
+
+    def _check_iteration_source(self, node: ast.AST, where: str) -> None:
+        source = node
+        if (
+            isinstance(source, ast.Call)
+            and isinstance(source.func, ast.Name)
+            and source.func.id == "enumerate"
+            and source.args
+        ):
+            source = source.args[0]
+        if self._is_set_expr(source):
+            self.report(
+                node,
+                "RPR004",
+                f"iteration over a bare set in {where}; set order is "
+                f"non-deterministic — wrap in sorted(...) before any "
+                f"decision depends on it",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration_source(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration_source(gen.iter, "a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- RPR005: mutable defaults / scope handling ----------------------- #
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            )
+            if (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "defaultdict", "deque")
+            ):
+                mutable = True
+            if mutable:
+                self.report(
+                    default,
+                    "RPR005",
+                    "mutable default argument is shared across calls; "
+                    "default to None and allocate inside the function",
+                )
+
+    def _visit_function(self, node) -> None:
+        self._check_defaults(node)
+        self.set_locals.append({})
+        self.generic_visit(node)
+        self.set_locals.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- RPR006: bare except -------------------------------------------- #
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "RPR006",
+                "bare 'except:' swallows KeyboardInterrupt and hides "
+                "invariant violations; catch a specific exception",
+            )
+        self.generic_visit(node)
+
+    # -- RPR007: float equality on durations ----------------------------- #
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+        )
+
+    @staticmethod
+    def _duration_flavoured(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            name = None
+            if isinstance(sub, ast.Attribute):
+                name = sub.attr
+            elif isinstance(sub, ast.Name):
+                name = sub.id
+            if name is not None and _DURATION_WORDS.search(name):
+                return True
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for literal, other in ((left, right), (right, left)):
+                if self._is_float_literal(literal) and self._duration_flavoured(other):
+                    self.report(
+                        node,
+                        "RPR007",
+                        "float == on a duration/makespan value against a float "
+                        "literal; event times are float sums — use "
+                        "pytest.approx or math.isclose",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------- #
+# drivers
+# --------------------------------------------------------------------------- #
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint Python ``source``; ``path`` scopes the path-dependent rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                Path(path).as_posix(),
+                exc.lineno or 0,
+                (exc.offset or 0) or 1,
+                "RPR000",
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    checker = _Checker(path, _parse_disables(source))
+    checker.visit(tree)
+    return sorted(checker.violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def lint_file(path: Union[str, Path]) -> List[Violation]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into the sorted list of lintable .py files."""
+    out: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not EXCLUDED_DIR_NAMES.intersection(f.parts):
+                    out.append(f)
+        elif p.suffix == ".py":
+            out.append(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {p}")
+    return out
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> List[Violation]:
+    """Lint every Python file under ``paths`` (dirs are walked recursively)."""
+    violations: List[Violation] = []
+    for f in iter_python_files(paths):
+        violations.extend(lint_file(f))
+    return violations
+
+
+def run(paths: Sequence[str], list_rules: bool = False) -> int:
+    """CLI driver: print findings, return the process exit code."""
+    if list_rules:
+        width = max(len(name) for name, _ in RULES.values())
+        for rule_id, (name, description) in sorted(RULES.items()):
+            print(f"{rule_id}  {name:<{width}}  {description}")
+        return 0
+    if not paths:
+        print("usage: repro lint <paths> (or --list-rules)", file=sys.stderr)
+        return 2
+    try:
+        files = iter_python_files(paths)
+        violations = [v for f in files for v in lint_file(f)]
+    except (FileNotFoundError, OSError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    for v in violations:
+        print(v)
+    summary = f"{len(violations)} finding(s) in {len(files)} file(s)"
+    print(summary if not violations else f"\n{summary}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="repo-specific correctness lints (see repro.analysis.lint)",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(args.paths, list_rules=args.list_rules)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,8 @@ Commands
                 on one (kernel, T, platform, σ) cell and print the table;
 ``train``     — train a READYS agent and optionally checkpoint it;
 ``evaluate``  — evaluate a checkpointed agent against the baselines;
-``info``      — print the problem instance (task counts, HEFT makespan, …).
+``info``      — print the problem instance (task counts, HEFT makespan, …);
+``lint``      — run the repo-specific reproducibility linter (RPR rules).
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis import lint as analysis_lint
 from repro.eval.compare import compare_methods
 from repro.graphs import duration_table_for, make_dag
 from repro.platforms import Platform, make_noise
@@ -139,6 +141,10 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    return analysis_lint.run(args.paths, list_rules=args.list_rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,6 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--runs", type=int, default=5)
     p_eval.add_argument("--window", type=int, default=2)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-specific reproducibility linter"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src tests)"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

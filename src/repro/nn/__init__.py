@@ -8,7 +8,14 @@ checkpointing.  The numerical semantics (Kipf–Welling GCN propagation, Adam
 updates, entropy-regularised actor-critic losses) match the PyTorch reference.
 """
 
-from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import (
+    AnomalyError,
+    Tensor,
+    detect_anomaly,
+    is_anomaly_enabled,
+    is_grad_enabled,
+    no_grad,
+)
 from repro.nn import functional
 from repro.nn.layers import (
     Module,
@@ -34,7 +41,10 @@ from repro.nn.sparse import (
 from repro.nn import init
 
 __all__ = [
+    "AnomalyError",
     "Tensor",
+    "detect_anomaly",
+    "is_anomaly_enabled",
     "no_grad",
     "is_grad_enabled",
     "functional",

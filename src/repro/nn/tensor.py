@@ -13,6 +13,21 @@ Design notes (per the hpc-parallel guides: vectorise, avoid copies):
 
 Only the operations required by the agent and its tests are implemented, but
 each is implemented completely (forward + backward + broadcasting).
+
+Correctness sanitizers (the runtime half of :mod:`repro.analysis`):
+
+* **version counters** — every tensor carries a version counter shared with
+  its detached views; assigning through the ``data`` property (including the
+  ``t.data += …`` idiom) bumps it, and :meth:`Tensor.bump_version` records
+  other sanctioned buffer writes.  Ops snapshot their parents' versions at
+  capture time; :meth:`Tensor.backward` validates the whole graph *before*
+  running any closure and raises naming the offending tensor and op if a
+  captured buffer changed — the PyTorch version-counter semantics, rebuilt
+  on NumPy;
+* **anomaly mode** — inside :func:`detect_anomaly`, every op records its
+  provenance on the tensors it produces, forward outputs are checked for
+  NaN/Inf as they are created, and the backward sweep checks every gradient
+  it propagates, raising :class:`AnomalyError` that names the producing op.
 """
 
 from __future__ import annotations
@@ -69,6 +84,51 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return arr
 
 
+class AnomalyError(RuntimeError):
+    """A NaN/Inf appeared in forward data or backward grads (anomaly mode)."""
+
+
+_ANOMALY_ENABLED = False
+
+
+def is_anomaly_enabled() -> bool:
+    """Whether :func:`detect_anomaly` is currently active."""
+    return _ANOMALY_ENABLED
+
+
+@contextlib.contextmanager
+def detect_anomaly():
+    """Context manager that hunts NaN/Inf through the autograd graph.
+
+    While active, each op stamps its name onto the tensor it produces, checks
+    its forward output for non-finite values, and :meth:`Tensor.backward`
+    checks every gradient as it flows; the first anomaly raises
+    :class:`AnomalyError` naming the producing op and its inputs.  Debug
+    tooling — every array is fully scanned per op, so keep it out of
+    production training loops (mirrors ``torch.autograd.detect_anomaly``).
+    """
+    global _ANOMALY_ENABLED
+    prev = _ANOMALY_ENABLED
+    _ANOMALY_ENABLED = True
+    try:
+        yield
+    finally:
+        _ANOMALY_ENABLED = prev
+
+
+def _op_from_backward(backward: Optional[Callable]) -> str:
+    """Op name from a backward closure's qualname.
+
+    Every op defines its closure as ``<op>.<locals>.backward`` (e.g.
+    ``Tensor.exp.<locals>.backward`` or ``segment_sum.<locals>.backward``),
+    so the producing op can be recovered without any per-op bookkeeping.
+    """
+    if backward is None:
+        return ""
+    qualname = getattr(backward, "__qualname__", "")
+    return qualname.split(".<locals>")[0].rsplit(".", 1)[-1]
+
+
 class Tensor:
     """A NumPy array with reverse-mode autograd.
 
@@ -81,8 +141,8 @@ class Tensor:
     """
 
     __slots__ = (
-        "data", "grad", "requires_grad", "_backward", "_parents", "name",
-        "_grad_owned",
+        "_data", "grad", "requires_grad", "_backward", "_parents", "name",
+        "_grad_owned", "_version", "_parent_versions", "_op",
     )
 
     def __init__(
@@ -94,13 +154,84 @@ class Tensor:
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
     ) -> None:
-        self.data = _as_array(data)
+        self._data = _as_array(data)
+        # Single-element list so detached views share the counter with their
+        # base (they alias the same buffer) — PyTorch's _version semantics.
+        self._version: List[int] = [0]
+        self._parent_versions: Optional[Tuple[int, ...]] = None
+        self._op = ""
         self.grad: Optional[np.ndarray] = None
         self._grad_owned = False
         self.requires_grad = bool(requires_grad)
         self._parents = _parents
         self._backward = _backward
         self.name = name
+
+    # ------------------------------------------------------------------ #
+    # payload access & version counting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying float64 array."""
+        return self._data
+
+    @data.setter
+    def data(self, value: ArrayLike) -> None:
+        # Assignment through the property is the *sanctioned* write path —
+        # it covers both rebinds (``t.data = arr``) and the augmented
+        # in-place idiom (``t.data -= g`` binds the mutated buffer back).
+        # Each write bumps the version counter so backward can detect
+        # mutation of captured buffers.
+        self._data = value if isinstance(value, np.ndarray) else _as_array(value)
+        self._version[0] += 1
+
+    def bump_version(self) -> None:
+        """Record a sanctioned in-place write that bypassed the ``data`` setter.
+
+        nn-internal code that mutates the buffer through a borrowed reference
+        (e.g. a cached view) must call this so stale backward closures still
+        fail loudly instead of silently using corrupted values.
+        """
+        self._version[0] += 1
+
+    @property
+    def version(self) -> int:
+        """Number of sanctioned writes to this tensor's buffer so far."""
+        return self._version[0]
+
+    def op_name(self) -> str:
+        """Name of the op that produced this tensor ('' for leaves)."""
+        return self._op or _op_from_backward(self._backward)
+
+    def _describe(self) -> str:
+        if self.name:
+            return f"tensor '{self.name}'"
+        op = self.op_name()
+        if op:
+            return f"output of op '{op}' (shape {self.shape})"
+        return f"leaf tensor of shape {self.shape}"
+
+    def _check_versions(self) -> None:
+        """Raise if any buffer captured for this node's backward was mutated."""
+        if self._parent_versions is None:
+            return
+        if self._version[0] != 0:
+            raise RuntimeError(
+                f"autograd sanitizer: the {self._describe()} was modified in "
+                f"place {self._version[0]} time(s) after the op produced it; "
+                f"its backward closure would read corrupted values. Clone the "
+                f"tensor before mutating, or mutate after backward()."
+            )
+        for parent, captured in zip(self._parents, self._parent_versions):
+            if parent._version[0] != captured:
+                raise RuntimeError(
+                    f"autograd sanitizer: the {parent._describe()}, captured "
+                    f"by the backward of op '{self.op_name()}', was modified "
+                    f"in place (version {parent._version[0]}, captured at "
+                    f"version {captured}). Clone the tensor before mutating, "
+                    f"or mutate after backward()."
+                )
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -138,8 +269,14 @@ class Tensor:
         return self.data
 
     def detach(self) -> "Tensor":
-        """A view of this tensor cut off from the autograd graph."""
-        return Tensor(self.data, requires_grad=False)
+        """A view of this tensor cut off from the autograd graph.
+
+        The view aliases the same buffer, so it shares this tensor's version
+        counter: writes through either handle are seen by both.
+        """
+        out = Tensor(self._data, requires_grad=False)
+        out._version = self._version
+        return out
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -162,8 +299,19 @@ class Tensor:
     ) -> "Tensor":
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
-            return Tensor(data)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+            out = Tensor(data)
+        else:
+            out = Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+            out._parent_versions = tuple(p._version[0] for p in parents)
+        if _ANOMALY_ENABLED:
+            out._op = op = _op_from_backward(backward)
+            if not np.all(np.isfinite(out._data)):
+                inputs = ", ".join(p._describe() for p in parents) or "no inputs"
+                raise AnomalyError(
+                    f"detect_anomaly: op '{op}' produced non-finite values in "
+                    f"its forward output (shape {out.shape}); inputs: {inputs}"
+                )
+        return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         # Copy-on-write: the first contribution is stored by reference (it is
@@ -502,7 +650,33 @@ class Tensor:
                     stack.pop()
 
         visit(self)
+        # Validate every captured buffer *before* running any closure: a
+        # single corrupted tensor fails the whole pass up front (no partial
+        # gradient state), and the error names the tensor and the op.
+        for node in topo:
+            node._check_versions()
+        anomaly = _ANOMALY_ENABLED
+        if anomaly and not np.all(np.isfinite(grad)):
+            raise AnomalyError(
+                f"detect_anomaly: non-finite seed gradient passed to "
+                f"backward() of the {self._describe()}"
+            )
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if anomaly and not np.all(np.isfinite(node.grad)):
+                    raise AnomalyError(
+                        f"detect_anomaly: non-finite gradient flowing into "
+                        f"the backward of the {node._describe()}"
+                    )
                 node._backward(node.grad)
+                if anomaly:
+                    for parent in node._parents:
+                        if parent.grad is not None and not np.all(
+                            np.isfinite(parent.grad)
+                        ):
+                            raise AnomalyError(
+                                f"detect_anomaly: backward of op "
+                                f"'{node.op_name()}' produced a non-finite "
+                                f"gradient for the {parent._describe()}"
+                            )

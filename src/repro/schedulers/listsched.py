@@ -88,7 +88,7 @@ class RankPriorityScheduler(DynamicScheduler):
         if ready.size == 0:
             return None
         my_type = sim.platform.type_of(proc)
-        platform_types = set(int(t) for t in sim.platform.resource_types)
+        platform_types = sorted(set(int(t) for t in sim.platform.resource_types))
         order = ready[np.argsort(-self._rank[ready], kind="stable")]
         for task in order:
             exp = sim.durations.expected_vector(

@@ -116,11 +116,17 @@ class StateBuilder:
     # factories and could return stale entries when a collected graph's id
     # is reused by a new instance.
 
+    # Memoised arrays are frozen (``setflags(write=False)``) before caching:
+    # they are shared across every observation of an episode, so an aliasing
+    # write from a caller would silently corrupt all later rollouts — frozen,
+    # the write raises at the faulty line instead.
+
     @staticmethod
     def _fractions(graph: TaskGraph) -> np.ndarray:
         cached = graph.__dict__.get("_cached_type_fractions")
         if cached is None:
             cached = descendant_type_fractions(graph)
+            cached.setflags(write=False)
             graph.__dict__["_cached_type_fractions"] = cached
         return cached
 
@@ -129,6 +135,7 @@ class StateBuilder:
         cached = graph.__dict__.get("_cached_dense_adjacency")
         if cached is None:
             cached = graph.adjacency_matrix()
+            cached.setflags(write=False)
             graph.__dict__["_cached_dense_adjacency"] = cached
         return cached
 
@@ -143,6 +150,7 @@ class StateBuilder:
         cached = graph.__dict__.get("_cached_static_features")
         if cached is None:
             cached = node_features(graph, fractions=fractions)
+            cached.setflags(write=False)
             graph.__dict__["_cached_static_features"] = cached
         return cached
 
@@ -171,6 +179,7 @@ class StateBuilder:
             for _ in range(self.window):
                 reach |= frontier > 0.0
                 frontier = frontier @ adj  # path counts; > 0 ⇔ reachable
+            reach.setflags(write=False)
             cache[self.window] = reach
         return reach
 
@@ -178,10 +187,9 @@ class StateBuilder:
         """Per-task expected durations over resource types, pre-normalised."""
         cached = graph.__dict__.get("_cached_expected_norm")
         if cached is None or cached[0] is not self.durations:
-            cached = (
-                self.durations,
-                self.durations.expected_vector(graph.task_types) / self._scale,
-            )
+            expected = self.durations.expected_vector(graph.task_types) / self._scale
+            expected.setflags(write=False)
+            cached = (self.durations, expected)
             graph.__dict__["_cached_expected_norm"] = cached
         return cached[1]
 
@@ -205,6 +213,7 @@ class StateBuilder:
             )
             template[:, : raw.shape[1]] = raw
             template[:, raw.shape[1]: raw.shape[1] + NUM_RESOURCE_TYPES] = exp
+            template.setflags(write=False)
             cached = (self.durations, template, raw.shape[1])
             graph.__dict__["_cached_feature_template"] = cached
         return cached[1], cached[2]
@@ -317,6 +326,13 @@ class StateBuilder:
             else:
                 sub_adj = self._adjacency(graph)[np.ix_(nodes, nodes)]
                 norm_adj = gcn_normalize_adjacency(sub_adj)
+            # freeze the memoised adjacency (CSR: its backing arrays) — it is
+            # shared by every observation with this window node set
+            if self.sparse:
+                for arr in (norm_adj.data, norm_adj.indices, norm_adj.indptr):
+                    arr.setflags(write=False)
+            else:
+                norm_adj.setflags(write=False)
             if len(adj_cache) >= 4096:  # bound memory under huge episodes
                 adj_cache.clear()
             adj_cache[adj_key] = norm_adj

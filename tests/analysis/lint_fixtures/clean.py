@@ -1,0 +1,50 @@
+"""A file the repro linter must accept without findings.
+
+Exercises the *sanctioned* variant of every pattern the rules police.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+
+def sanctioned_rng(seed: Optional[int] = None):
+    rng = np.random.default_rng(seed)  # Generator construction is allowed
+    child = np.random.SeedSequence(seed).spawn(1)[0]
+    return rng.normal(), np.random.default_rng(child)
+
+
+def sanctioned_set_use(items):
+    ordered = sorted(set(items))  # sorted() iteration is deterministic
+    total = 0
+    for x in ordered:
+        total += x
+    membership = 3 in set(items)  # membership tests are order-free
+    return total, membership
+
+
+def immutable_default(history=None, scale=1.0, label=""):
+    if history is None:
+        history = []
+    history.append(scale)
+    return history, label
+
+
+def narrow_except():
+    try:
+        return 1 / 0
+    except ZeroDivisionError:
+        return None
+
+
+def tolerant_time_compare(sim, expected):
+    import math
+
+    close = math.isclose(sim.makespan, 12.5)  # approx compare is the fix
+    exact_determinism = sim.makespan == expected.makespan  # computed == computed
+    return close, exact_determinism
+
+
+def grad_rebinding_is_sanctioned(param, g):
+    param.grad = g  # seeding .grad with a fresh array is the engine contract
+    return param.grad

@@ -1,0 +1,14 @@
+"""Violations silenced with the ``# repro-lint: disable=`` escape hatch."""
+
+import random
+
+import numpy as np
+
+
+def annotated(t, items):
+    a = np.random.rand(3)  # repro-lint: disable=RPR001 -- fuzzing helper, seed irrelevant
+    b = random.random()  # repro-lint: disable=all -- ditto
+    t.data += 1.0  # repro-lint: disable=RPR002 -- test constructs the corruption on purpose
+    for x in set(items):  # repro-lint: disable=RPR004 -- order-free accumulation
+        a = a + x
+    return a, b

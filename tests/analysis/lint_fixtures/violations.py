@@ -1,0 +1,51 @@
+"""Deliberate violations — one per rule — for the repro-lint test suite.
+
+This directory is excluded from ``repro lint`` runs (EXCLUDED_DIR_NAMES) and
+from ruff (pyproject per-file-ignores); the linter tests feed these files in
+explicitly and assert on what is found.
+"""
+
+import random
+
+import numpy as np
+
+
+def global_rng_violations():
+    a = np.random.rand(3)  # RPR001: legacy global-state numpy RNG
+    b = random.randint(0, 10)  # RPR001: stdlib random module
+    np.random.seed(0)  # RPR001: global seeding
+    return a, b
+
+
+def tensor_mutation_violations(t):
+    t.data += 1.0  # RPR002: augmented in-place write outside nn
+    t.data[0] = 5.0  # RPR002: indexed write outside nn
+    t.grad *= 0.5  # RPR002: augmented grad write outside nn
+    t.data = np.zeros(3)  # RPR002: rebinding the buffer outside nn
+    t.data.fill(0.0)  # RPR002: mutating ndarray method outside nn
+
+
+def set_iteration_violations(items):
+    seen = set(items)
+    for x in seen:  # RPR004: iteration over a local set
+        print(x)
+    out = [y for y in {1, 2, 3}]  # RPR004: comprehension over a set literal
+    for i, v in enumerate(set(items)):  # RPR004: enumerate over a set call
+        out.append((i, v))
+    return out
+
+
+def mutable_default_violation(history=[]):  # RPR005
+    history.append(1)
+    return history
+
+
+def bare_except_violation():
+    try:
+        return 1 / 0
+    except:  # RPR006
+        return None
+
+
+def float_equality_violation(sim):
+    return sim.makespan == 12.5  # RPR007

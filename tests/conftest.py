@@ -1,11 +1,30 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.graphs import cholesky_dag, lu_dag, qr_dag
 from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.nn import detect_anomaly
 from repro.platforms import GaussianNoise, NoNoise, Platform
+
+
+@pytest.fixture(autouse=os.environ.get("REPRO_DETECT_ANOMALY", "") != "")
+def _anomaly_mode(request):
+    """Run every test under ``detect_anomaly()`` when REPRO_DETECT_ANOMALY is set.
+
+    CI uses this to sweep the nn suite with NaN/Inf tripwires armed; locally
+    it is off (autouse=False) and the fixture is inert unless requested.
+    Tests that need anomaly mode *off* (they assert the silent default)
+    opt out with ``@pytest.mark.no_auto_anomaly``.
+    """
+    if request.node.get_closest_marker("no_auto_anomaly"):
+        yield
+        return
+    with detect_anomaly():
+        yield
 
 
 @pytest.fixture

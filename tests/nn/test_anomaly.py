@@ -1,0 +1,80 @@
+"""detect_anomaly(): NaN/Inf hunting with op provenance."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import AnomalyError, Tensor, detect_anomaly, is_anomaly_enabled
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+@pytest.mark.no_auto_anomaly  # asserts the flag's resting state is off
+class TestContextManager:
+    def test_flag_toggles_and_restores(self):
+        assert not is_anomaly_enabled()
+        with detect_anomaly():
+            assert is_anomaly_enabled()
+            with detect_anomaly():  # re-entrant
+                assert is_anomaly_enabled()
+            assert is_anomaly_enabled()
+        assert not is_anomaly_enabled()
+
+    def test_flag_restored_after_raise(self):
+        with pytest.raises(AnomalyError):
+            with detect_anomaly():
+                Tensor(np.array([-1.0]), requires_grad=True).log().sum()
+        assert not is_anomaly_enabled()
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestForwardChecks:
+    def test_nan_forward_names_producing_op(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        with detect_anomaly():
+            with pytest.raises(AnomalyError, match=r"op 'log'"):
+                x.log()
+
+    def test_inf_forward_detected(self):
+        x = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+        with detect_anomaly():
+            with pytest.raises(AnomalyError, match=r"__truediv__"):
+                Tensor(np.ones(2)) / x
+
+    def test_provenance_recorded_on_outputs(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with detect_anomaly():
+            y = x.exp()
+            z = y.sum()
+        assert y.op_name() == "exp"
+        assert z.op_name() == "sum"
+
+    @pytest.mark.no_auto_anomaly
+    def test_silent_without_context(self):
+        x = Tensor(np.array([-1.0]), requires_grad=True)
+        y = x.log()  # NaN, but anomaly mode is off
+        assert np.isnan(y.data).all()
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestBackwardChecks:
+    def test_backward_produced_nonfinite_grad_names_op(self):
+        # 0**0.5 is finite forward, but d/dx = 0.5*x^-0.5 = inf at 0
+        x = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+        loss = (x**0.5).sum()
+        with detect_anomaly():
+            with pytest.raises(AnomalyError, match=r"__pow__"):
+                loss.backward()
+
+    def test_nonfinite_seed_grad_rejected(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        loss = (x * 2.0).sum()
+        with detect_anomaly():
+            with pytest.raises(AnomalyError, match=r"seed gradient"):
+                loss.backward(np.array(np.inf))
+
+    def test_clean_graph_passes_under_anomaly_mode(self):
+        x = Tensor(np.linspace(0.1, 1.0, 12).reshape(3, 4), requires_grad=True)
+        with detect_anomaly():
+            loss = F.log_softmax(x.log(), axis=1).sum() + F.entropy(x.flatten()).sum()
+            loss.backward()
+        assert np.all(np.isfinite(x.grad))

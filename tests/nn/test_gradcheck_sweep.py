@@ -1,0 +1,225 @@
+"""Numeric gradcheck sweep over *every* public differentiable op.
+
+Two jobs:
+
+1. every public op in ``repro.nn.functional`` and every differentiable
+   ``Tensor`` method is verified against central differences (including the
+   segment ops' reduceat and scatter paths, and the CSR ``sparse_matmul``);
+2. coverage guards fail the suite if a new public op lands in either module
+   without a gradcheck case here — gradients cannot silently go untested.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.nn import functional as F
+from repro.nn.sparse import sparse_matmul
+from repro.nn.tensor import Tensor
+
+from tests.nn.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(20260806)
+
+
+def _coeffs(shape):
+    """Fixed non-uniform weights so reductions see distinct output grads."""
+    size = int(np.prod(shape)) if shape else 1
+    return np.linspace(0.5, 1.5, size).reshape(shape)
+
+
+def scalarize(out: Tensor) -> Tensor:
+    """Reduce any op output to a scalar loss with non-uniform weights."""
+    if out.size == 1:
+        return out.sum()
+    return (out * Tensor(_coeffs(out.shape))).sum()
+
+
+def _mat(rows, cols, low=0.2, high=1.8):
+    # positive, well-separated values: safe for log/pow, no max/relu ties
+    vals = RNG.uniform(low, high, size=rows * cols)
+    return (vals + np.linspace(0, 0.013 * rows * cols, rows * cols)).reshape(rows, cols)
+
+
+A = _mat(3, 4)
+B = _mat(3, 4, low=0.4)
+V = _mat(1, 6)[0]
+W = _mat(1, 6, low=0.3)[0]
+SQ = _mat(4, 4)
+SEG_IDS = np.array([0, 0, 1, 1, 1, 2], dtype=np.int64)  # contiguous -> reduceat
+SEG_IDS_SCATTERED = np.array([2, 0, 1, 0, 2, 1], dtype=np.int64)  # -> np.add.at
+MASK = np.array([True, False, True, True, False, True])
+CSR = sp.csr_matrix(
+    np.array(
+        [
+            [1.0, 0.0, 0.5, 0.0],
+            [0.0, 2.0, 0.0, 0.0],
+            [0.3, 0.0, 0.0, 1.5],
+            [0.0, 0.7, 0.0, 1.0],
+        ]
+    )
+)
+
+# (case id "opname-variant", build(t...) -> Tensor, input arrays)
+TENSOR_CASES = [
+    ("__add__", lambda a, b: a + b, [A, B]),
+    ("__add__-broadcast", lambda a, v: a + v.reshape(1, 4), [A, B[0].reshape(1, 4)]),
+    ("__radd__", lambda a: 1.5 + a, [A]),
+    ("__neg__", lambda a: -a, [A]),
+    ("__sub__", lambda a, b: a - b, [A, B]),
+    ("__rsub__", lambda a: 2.0 - a, [A]),
+    ("__mul__", lambda a, b: a * b, [A, B]),
+    ("__rmul__", lambda a: 3.0 * a, [A]),
+    ("__truediv__", lambda a, b: a / b, [A, B]),
+    ("__rtruediv__", lambda a: 1.0 / a, [A]),
+    ("__pow__-square", lambda a: a**2, [A]),
+    ("__pow__-fractional", lambda a: a**1.7, [A]),
+    ("__matmul__-mat-mat", lambda a, b: a @ b, [A, _mat(4, 2)]),
+    ("__matmul__-vec-vec", lambda u, w: u @ w, [V, W]),
+    ("__matmul__-vec-mat", lambda u, m: u @ m, [V[:3], A]),
+    ("__matmul__-mat-vec", lambda m, w: m @ w, [A, W[:4]]),
+    ("exp", lambda a: a.exp(), [A]),
+    ("log", lambda a: a.log(), [A]),
+    ("relu", lambda a: a.relu(), [A - 1.0]),  # mixed signs, no exact zeros
+    ("tanh", lambda a: a.tanh(), [A]),
+    ("sigmoid", lambda a: a.sigmoid(), [A]),
+    ("abs", lambda a: a.abs(), [A - 1.0]),
+    ("sum-all", lambda a: a.sum(), [A]),
+    ("sum-axis", lambda a: a.sum(axis=0), [A]),
+    ("sum-keepdims", lambda a: a.sum(axis=1, keepdims=True), [A]),
+    ("mean-all", lambda a: a.mean(), [A]),
+    ("mean-axis", lambda a: a.mean(axis=1), [A]),
+    ("max-all", lambda a: a.max(), [A]),
+    ("max-axis", lambda a: a.max(axis=0), [A]),
+    ("min-axis", lambda a: a.min(axis=1), [A]),
+    ("reshape", lambda a: a.reshape(4, 3), [A]),
+    ("flatten", lambda a: a.flatten(), [A]),
+    ("transpose", lambda a: a.transpose(), [A]),
+    ("T", lambda a: a.T, [A]),
+    ("__getitem__-slice", lambda a: a[1:, :2], [A]),
+    ("__getitem__-fancy-unique", lambda a: a[np.array([2, 0])], [A]),
+    ("__getitem__-fancy-dup", lambda a: a[np.array([1, 1, 0])], [A]),
+    ("concatenate", lambda a, b: Tensor.concatenate([a, b], axis=1), [A, B]),
+    ("stack", lambda a, b: Tensor.stack([a, b], axis=0), [A, B]),
+]
+
+FUNCTIONAL_CASES = [
+    ("relu", lambda a: F.relu(a), [A - 1.0]),
+    ("tanh", lambda a: F.tanh(a), [A]),
+    ("sigmoid", lambda a: F.sigmoid(a), [A]),
+    ("logsumexp", lambda a: F.logsumexp(a, axis=1), [A]),
+    ("logsumexp-keepdims", lambda a: F.logsumexp(a, axis=0, keepdims=True), [A]),
+    ("softmax", lambda a: F.softmax(a, axis=1), [A]),
+    ("log_softmax", lambda a: F.log_softmax(a, axis=1), [A]),
+    ("entropy", lambda a: F.entropy(a, axis=1), [A]),
+    ("mean_pool", lambda a: F.mean_pool(a), [A]),
+    ("max_pool", lambda a: F.max_pool(a), [A]),
+    ("segment_sum", lambda v: F.segment_sum(v, SEG_IDS, 3), [W]),
+    ("segment_sum-scattered", lambda v: F.segment_sum(v, SEG_IDS_SCATTERED, 3), [W]),
+    ("segment_sum-2d", lambda a: F.segment_sum(a, np.array([0, 0, 1]), 2), [A]),
+    ("segment_mean_pool", lambda a: F.segment_mean_pool(a, np.array([0, 1, 1]), 2), [A]),
+    ("segment_max_pool", lambda v: F.segment_max_pool(v, SEG_IDS, 3), [W]),
+    (
+        "segment_max_pool-scattered",
+        lambda v: F.segment_max_pool(v, SEG_IDS_SCATTERED, 3),
+        [W],
+    ),
+    ("segment_log_softmax", lambda v: F.segment_log_softmax(v, SEG_IDS, 3), [W]),
+    (
+        "segment_log_softmax-scattered",
+        lambda v: F.segment_log_softmax(v, SEG_IDS_SCATTERED, 3),
+        [W],
+    ),
+    ("mse_loss", lambda p, t: F.mse_loss(p, t), [V, W]),
+    ("huber_loss-quadratic", lambda p, t: F.huber_loss(p, t), [V, V + 0.3]),
+    ("huber_loss-linear", lambda p, t: F.huber_loss(p, t), [V, V + 2.5]),
+    # weight out the ~-1e9 masked log-probs: they are constants w.r.t. the
+    # inputs but their magnitude wrecks central-difference precision
+    (
+        "masked_log_softmax",
+        lambda v: (F.masked_log_softmax(v, MASK) * Tensor(_coeffs((6,)) * MASK)).sum(),
+        [W],
+    ),
+    ("masked_log_softmax-nomask", lambda v: F.masked_log_softmax(v, None), [W]),
+]
+
+SPARSE_CASES = [
+    ("sparse_matmul", lambda h: sparse_matmul(CSR, h), [SQ]),
+]
+
+ALL_CASES = TENSOR_CASES + FUNCTIONAL_CASES + SPARSE_CASES
+
+
+@pytest.mark.parametrize(
+    "build,arrays", [pytest.param(b, arrs, id=name) for name, b, arrs in ALL_CASES]
+)
+def test_gradcheck(build, arrays):
+    assert_grad_matches(
+        lambda *ts: scalarize(build(*ts)), [a.copy() for a in arrays]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# coverage guards — new public ops must appear in the sweep above
+# --------------------------------------------------------------------------- #
+
+#: Tensor attributes that are admin/introspection API, not differentiable ops
+TENSOR_ADMIN = {
+    "__init__",
+    "__len__",
+    "__repr__",
+    "item",
+    "numpy",
+    "detach",
+    "zero_grad",
+    "backward",
+    "bump_version",
+    "op_name",
+    "data",
+    "grad",
+    "version",
+    "shape",
+    "ndim",
+    "size",
+}
+
+
+def _covered(cases):
+    return {name.split("-")[0] for name, _, _ in cases}
+
+
+def test_every_public_functional_op_is_gradchecked():
+    public = {
+        name
+        for name, obj in vars(F).items()
+        if callable(obj)
+        and not name.startswith("_")
+        and getattr(obj, "__module__", "") == "repro.nn.functional"
+    }
+    missing = public - _covered(FUNCTIONAL_CASES)
+    assert not missing, (
+        f"public ops in repro.nn.functional without a gradcheck case: "
+        f"{sorted(missing)} — add them to FUNCTIONAL_CASES"
+    )
+
+
+def test_every_public_tensor_op_is_gradchecked():
+    public = set()
+    for name, obj in vars(Tensor).items():
+        if not (
+            inspect.isfunction(obj)
+            or isinstance(obj, (property, staticmethod))
+        ):
+            continue  # slot descriptors and class attributes
+        if name.startswith("_") and not (name.startswith("__") and name.endswith("__")):
+            continue  # private helpers
+        if name in TENSOR_ADMIN:
+            continue
+        public.add(name)
+    missing = public - _covered(TENSOR_CASES)
+    assert not missing, (
+        f"public Tensor ops without a gradcheck case: {sorted(missing)} — "
+        f"add them to TENSOR_CASES"
+    )

@@ -71,7 +71,7 @@ class TestTrainerMechanics:
 
     def test_best_makespan(self):
         result = TrainResult(episode_makespans=[5.0, 3.0, 4.0])
-        assert result.best_makespan() == 3.0
+        assert result.best_makespan() == pytest.approx(3.0)
         assert TrainResult().best_makespan() == float("inf")
 
     def test_deterministic_training(self):

@@ -100,7 +100,7 @@ class TestAdvance:
         freed = sim.advance()
         np.testing.assert_array_equal(freed, [0])
         assert sim.finished[0]
-        assert sim.time == 10.0
+        assert sim.time == pytest.approx(10.0)
 
     def test_advance_releases_successors(self):
         sim = make_sim()
@@ -151,28 +151,28 @@ class TestFullEpisodes:
                     sim.start(t, sim.idle_processors()[0])
             if not sim.done:
                 sim.advance()
-        assert sim.makespan == 60.0  # 10 + 20 + 30
+        assert sim.makespan == pytest.approx(60.0)  # 10 + 20 + 30
         sim.check_trace()
 
     def test_expected_remaining(self):
         sim = make_sim()
         sim.start(0, 0)  # expects 10
-        assert sim.expected_remaining(0) == 10.0
-        assert sim.expected_remaining(1) == 0.0  # idle proc
+        assert sim.expected_remaining(0) == pytest.approx(10.0)
+        assert sim.expected_remaining(1) == pytest.approx(0.0)  # idle proc
 
     def test_expected_remaining_clamped_under_noise(self):
         # overdue tasks report 0 remaining, never negative
         sim = Simulation(chain3(), Platform(1, 0), TABLE, GaussianNoise(2.0), rng=3)
         sim.start(0, 0)
         sim.time = sim.start_time[0] + 1000.0  # force far beyond estimate
-        assert sim.expected_remaining(0) == 0.0
+        assert sim.expected_remaining(0) == pytest.approx(0.0)
 
     def test_trace_records_entries(self):
         sim = make_sim(chain3(), cpus=1, gpus=0)
         sim.start(0, 0)
         sim.advance()
         assert sim.trace == [ScheduledTask(0, 0, 0.0, 10.0)]
-        assert sim.trace[0].duration == 10.0
+        assert sim.trace[0].duration == pytest.approx(10.0)
 
     def test_noise_changes_durations(self):
         lengths = set()

@@ -193,3 +193,41 @@ class TestCaching:
         gc.collect()
         mk5 = heft_makespan(cholesky_dag(5), plat, CHOLESKY_DURATIONS)
         assert mk4 != mk5
+
+
+class TestFrozenMemos:
+    """Memoised per-graph arrays are read-only: aliasing writes must raise."""
+
+    def test_cached_arrays_are_write_protected(self):
+        sim = fresh_sim()
+        builder = StateBuilder(CHOLESKY_DURATIONS, window=2)
+        builder.build(sim, current_proc=0)  # populate the memo caches
+        graph = sim.graph
+        memos = {
+            key: graph.__dict__[key]
+            for key in (
+                "_cached_type_fractions",
+                "_cached_dense_adjacency",
+                "_cached_static_features",
+            )
+        }
+        memos["_cached_expected_norm"] = graph.__dict__["_cached_expected_norm"][1]
+        for key, cached in memos.items():
+            assert not cached.flags.writeable, key
+            with pytest.raises(ValueError):
+                cached[(0,) * cached.ndim] = 99.0
+
+    def test_window_adjacency_memo_is_write_protected(self):
+        sim = fresh_sim()
+        builder = StateBuilder(CHOLESKY_DURATIONS, window=2)
+        obs = builder.build(sim, current_proc=0)
+        assert not obs.norm_adj.flags.writeable
+        with pytest.raises(ValueError):
+            obs.norm_adj[0, 0] = 99.0
+
+    def test_observation_features_stay_writable(self):
+        # the per-observation feature matrix is a fresh buffer, not a memo
+        sim = fresh_sim()
+        builder = StateBuilder(CHOLESKY_DURATIONS, window=2)
+        obs = builder.build(sim, current_proc=0)
+        obs.features[0, 0] = 0.5  # must not raise
