@@ -9,6 +9,7 @@ pass, and one A2C update.  Useful as a performance-regression net.
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.graphs import CHOLESKY_DURATIONS, cholesky_dag
 from repro.platforms import NoNoise, Platform
 from repro.rl.a2c import A2CConfig
@@ -126,3 +127,53 @@ def test_perf_vec_unroll_update(benchmark, num_envs):
 
     stats = benchmark.pedantic(cycle, rounds=5, iterations=1)
     assert np.isfinite(stats.policy_loss)
+
+
+# ---------------------------------------------------------------------- #
+# observability overhead (repro.obs)
+#
+# The obs layer's contract: with tracing disabled, instrumentation on a hot
+# path costs one global load and one attribute read.  The pair of episode
+# benchmarks below measures the end-to-end cost either way; the guard
+# benchmark isolates the disabled-path primitive.  Run with
+# ``pytest benchmarks/test_microbench.py -k obs`` and compare the off/on
+# rows; the README documents a representative number.
+# ---------------------------------------------------------------------- #
+
+
+def _mct_episode() -> float:
+    sim = Simulation(cholesky_dag(6), PLATFORM, CHOLESKY_DURATIONS, NoNoise(), rng=0)
+    return run_mct(sim)
+
+
+def test_perf_obs_guard_disabled(benchmark):
+    """The raw off-path guard: one enabled check + a no-op end(None)."""
+    tracer = obs.TRACER
+    assert not tracer.enabled
+
+    def guarded():
+        handle = tracer.begin("decision") if tracer.enabled else None
+        if handle is not None:
+            tracer.end(handle)
+        return handle
+
+    assert benchmark(guarded) is None
+
+
+def test_perf_mct_episode_obs_off(benchmark):
+    """Baseline episode with all observability off (the shipping default)."""
+    assert not obs.TRACER.enabled and not obs.METRICS.enabled
+    assert benchmark(_mct_episode) > 0
+
+
+def test_perf_mct_episode_obs_on(benchmark, tmp_path):
+    """Same episode, fully observed (spans to JSONL + counters/timers)."""
+    obs.start_trace(str(tmp_path / "bench.jsonl"))
+    obs.METRICS.enabled = True
+    obs.METRICS.reset()
+    try:
+        assert benchmark(_mct_episode) > 0
+    finally:
+        obs.stop_trace()
+        obs.METRICS.enabled = False
+        obs.METRICS.reset()

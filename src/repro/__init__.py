@@ -52,7 +52,14 @@ from repro.platforms import (
     GammaNoise,
     make_noise,
 )
-from repro.sim import Simulation, SchedulingEnv, Observation
+from repro.sim import (
+    Simulation,
+    SchedulingEnv,
+    Observation,
+    StepResult,
+    VecSchedulingEnv,
+    VecStepResult,
+)
 from repro.schedulers import (
     heft_schedule,
     heft_makespan,
@@ -60,7 +67,11 @@ from repro.schedulers import (
     run_mct,
     make_runner,
     RUNNERS,
+    available,
+    get,
+    get_entry,
 )
+from repro.spec import ExperimentSpec
 from repro.rl import (
     ReadysAgent,
     AgentConfig,
@@ -106,6 +117,9 @@ __all__ = [
     "Simulation",
     "SchedulingEnv",
     "Observation",
+    "StepResult",
+    "VecSchedulingEnv",
+    "VecStepResult",
     # schedulers
     "heft_schedule",
     "heft_makespan",
@@ -113,6 +127,11 @@ __all__ = [
     "run_mct",
     "make_runner",
     "RUNNERS",
+    "available",
+    "get",
+    "get_entry",
+    # spec
+    "ExperimentSpec",
     # RL
     "ReadysAgent",
     "AgentConfig",

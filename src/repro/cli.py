@@ -2,59 +2,94 @@
 
 Commands
 --------
-``compare``   — run baseline schedulers (and optionally a checkpointed agent)
-                on one (kernel, T, platform, σ) cell and print the table;
-``train``     — train a READYS agent and optionally checkpoint it;
-``evaluate``  — evaluate a checkpointed agent against the baselines;
-``info``      — print the problem instance (task counts, HEFT makespan, …);
-``lint``      — run the repo-specific reproducibility linter (RPR rules).
+``compare``    — run baseline schedulers (and optionally a checkpointed agent)
+                 on one (kernel, T, platform, σ) cell and print the table;
+``train``      — train a READYS agent and optionally checkpoint it;
+``evaluate``   — evaluate a checkpointed agent against the baselines;
+``info``       — print the problem instance (task counts, HEFT makespan, …);
+``report-run`` — render a recorded trace (+ optional metrics) as markdown;
+``lint``       — run the repo-specific reproducibility linter (RPR rules).
+
+``compare``/``train``/``evaluate`` accept ``--trace FILE`` (structured JSONL
+trace of spans and events, headed by the run's :class:`ExperimentSpec`) and
+``--metrics FILE`` (metrics-registry dump, ``.csv`` or ``.jsonl``); both are
+off by default and add no measurable overhead when unused.  Instance
+arguments are gathered into an :class:`repro.spec.ExperimentSpec`, the single
+description of the experiment cell shared by every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.analysis import lint as analysis_lint
-from repro.eval.compare import compare_methods
-from repro.graphs import duration_table_for, make_dag
-from repro.platforms import Platform, make_noise
+from repro.eval.compare import compare_spec
 from repro.rl.a2c import A2CConfig
 from repro.rl.trainer import ReadysTrainer, evaluate_agent
 from repro.rl.transfer import load_agent, save_agent
-from repro.schedulers import RUNNERS, heft_makespan
-from repro.sim.env import SchedulingEnv
-from repro.sim.vec_env import VecSchedulingEnv
-from repro.utils.seeding import spawn_generators
+from repro.schedulers import available, heft_makespan
+from repro.spec import KERNELS, NOISE_MODELS, ExperimentSpec
 from repro.utils.tables import format_table
 
 
 def _add_instance_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--kernel", default="cholesky", choices=["cholesky", "lu", "qr"])
+    parser.add_argument("--kernel", default="cholesky", choices=list(KERNELS))
     parser.add_argument("--tiles", type=int, default=4, help="T, tiles per dimension")
     parser.add_argument("--cpus", type=int, default=2)
     parser.add_argument("--gpus", type=int, default=2)
     parser.add_argument("--sigma", type=float, default=0.0, help="relative noise level")
-    parser.add_argument(
-        "--noise", default="gaussian",
-        choices=["gaussian", "lognormal", "uniform", "gamma", "none"],
-    )
+    parser.add_argument("--noise", default="gaussian", choices=list(NOISE_MODELS))
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _instance(args):
-    graph = make_dag(args.kernel, args.tiles)
-    platform = Platform(args.cpus, args.gpus)
-    durations = duration_table_for(args.kernel)
-    noise = make_noise(args.noise if args.sigma > 0 else "none", args.sigma)
-    return graph, platform, durations, noise
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a structured span/event trace (JSONL) of this run",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the metrics registry on exit (.csv or .jsonl)",
+    )
+
+
+@contextmanager
+def _observed(args: argparse.Namespace, spec: ExperimentSpec, command: str) -> Iterator[None]:
+    """Enable tracing/metrics for the body when the flags ask for them.
+
+    The trace file is headed by the command name and the full spec, so a
+    recorded run carries its instance description; the metrics registry is
+    reset on entry and dumped on exit (even when the body raises, so a
+    failed run still leaves its partial telemetry behind).
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path:
+        obs.start_trace(
+            trace_path, metadata={"command": command, "spec": spec.to_dict()}
+        )
+    if metrics_path:
+        obs.METRICS.reset()
+        obs.METRICS.enabled = True
+    try:
+        yield
+    finally:
+        if trace_path:
+            obs.stop_trace()
+        if metrics_path:
+            obs.METRICS.write(metrics_path)
+            obs.METRICS.enabled = False
 
 
 def cmd_info(args) -> int:
-    graph, platform, durations, _ = _instance(args)
+    spec = ExperimentSpec.from_args(args)
+    graph, platform, durations, _ = spec.make_instance()
     rows = [
         ["tasks", graph.num_tasks],
         ["edges", graph.num_edges],
@@ -72,17 +107,19 @@ def cmd_info(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    graph, platform, durations, noise = _instance(args)
+    spec = ExperimentSpec.from_args(args)
     agent = load_agent(args.agent) if args.agent else None
-    result = compare_methods(
-        graph, platform, durations, noise,
-        baselines=tuple(args.baselines), agent=agent,
-        window=args.window, seeds=args.runs, seed=args.seed,
-    )
+    with _observed(args, spec, "compare"):
+        result = compare_spec(
+            spec, baselines=tuple(args.baselines), agent=agent, seeds=args.runs
+        )
     rows = []
     for method in result.methods():
         rows.append([method, result.mean(method), min(result.makespans[method])])
-    print(f"instance: {graph.name} on {platform.name}, sigma={args.sigma}")
+    print(
+        f"instance: {result.label} on {spec.cpus}CPU_{spec.gpus}GPU, "
+        f"sigma={spec.sigma}"
+    )
     print(format_table(["scheduler", "mean makespan", "best"], rows, floatfmt=".2f"))
     if agent is not None:
         for base in args.baselines:
@@ -92,28 +129,15 @@ def cmd_compare(args) -> int:
 
 
 def cmd_train(args) -> int:
-    graph, platform, durations, noise = _instance(args)
     if args.num_envs < 1:
         raise SystemExit("--num-envs must be >= 1")
-    if args.num_envs == 1:
-        env = SchedulingEnv(
-            graph, platform, durations, noise, window=args.window, rng=args.seed,
-            reward_mode=args.reward_mode, sparse_state=args.sparse_state,
-        )
-    else:
-        env = VecSchedulingEnv(
-            [
-                SchedulingEnv(
-                    graph, platform, durations, noise, window=args.window,
-                    rng=rng, reward_mode=args.reward_mode,
-                    sparse_state=args.sparse_state,
-                )
-                for rng in spawn_generators(args.seed, args.num_envs)
-            ]
-        )
+    spec = ExperimentSpec.from_args(args)
+    graph, platform, durations, _ = spec.make_instance()
+    env = spec.make_train_env()
     config = A2CConfig(entropy_coef=args.entropy, learning_rate=args.lr)
-    trainer = ReadysTrainer(env, config=config, rng=args.seed)
-    trainer.train_updates(args.updates)
+    trainer = ReadysTrainer(env, config=config, rng=spec.seed)
+    with _observed(args, spec, "train"):
+        trainer.train_updates(args.updates)
     ms = trainer.result.episode_makespans
     print(
         f"trained {args.updates} updates / {len(ms)} episodes; "
@@ -121,23 +145,44 @@ def cmd_train(args) -> int:
         f"HEFT {heft_makespan(graph, platform, durations):.2f}"
     )
     if args.out:
-        save_agent(trainer.agent, args.out, kernel=args.kernel, tiles=str(args.tiles))
+        save_agent(trainer.agent, args.out, kernel=spec.kernel, tiles=str(spec.tiles))
         print(f"checkpoint written to {args.out}")
     return 0
 
 
 def cmd_evaluate(args) -> int:
-    graph, platform, durations, noise = _instance(args)
+    spec = ExperimentSpec.from_args(args)
+    graph, platform, durations, _ = spec.make_instance()
     agent = load_agent(args.agent)
-    env = SchedulingEnv(
-        graph, platform, durations, noise, window=args.window, rng=args.seed
-    )
-    mks = evaluate_agent(agent, env, episodes=args.runs, rng=args.seed)
+    env = spec.make_env()
+    with _observed(args, spec, "evaluate"):
+        mks = evaluate_agent(agent, env, episodes=args.runs, rng=spec.seed)
     heft = heft_makespan(graph, platform, durations)
     print(
         f"readys mean {np.mean(mks):.2f} over {len(mks)} episodes "
         f"(HEFT σ=0 plan: {heft:.2f}, ratio {heft / np.mean(mks):.3f})"
     )
+    return 0
+
+
+def cmd_report_run(args) -> int:
+    try:
+        report = obs.render_report(args.trace_file, metrics_path=args.metrics)
+    except (OSError, ValueError) as exc:
+        print(f"report-run: {exc}", file=sys.stderr)
+        return 1
+    if not report.strip():
+        print("report-run: empty report", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.out}")
+    else:
+        try:
+            print(report)
+        except BrokenPipeError:  # e.g. `report-run ... | head`
+            pass
     return 0
 
 
@@ -159,10 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="compare schedulers on one instance")
     _add_instance_args(p_cmp)
     p_cmp.add_argument("--baselines", nargs="+", default=["heft", "mct"],
-                       choices=sorted(RUNNERS))
+                       choices=available())
     p_cmp.add_argument("--agent", default=None, help="checkpoint (.npz) to include")
     p_cmp.add_argument("--runs", type=int, default=5)
     p_cmp.add_argument("--window", type=int, default=2)
+    _add_obs_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_train = sub.add_parser("train", help="train a READYS agent")
@@ -181,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="K lockstep environments per update "
                               "(batched rollouts; 1 = historical loop)")
     p_train.add_argument("--out", default=None, help="checkpoint output path")
+    _add_obs_args(p_train)
     p_train.set_defaults(func=cmd_train)
 
     p_eval = sub.add_parser("evaluate", help="evaluate a trained agent")
@@ -188,7 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--agent", required=True)
     p_eval.add_argument("--runs", type=int, default=5)
     p_eval.add_argument("--window", type=int, default=2)
+    _add_obs_args(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_report = sub.add_parser(
+        "report-run", help="render a recorded --trace file as markdown"
+    )
+    p_report.add_argument("trace_file", help="trace JSONL written by --trace")
+    p_report.add_argument(
+        "--metrics", default=None,
+        help="metrics dump written by --metrics (adds learning-curve and "
+             "utilization sections)",
+    )
+    p_report.add_argument("--out", default=None, help="write markdown here "
+                          "instead of stdout")
+    p_report.set_defaults(func=cmd_report_run)
 
     p_lint = sub.add_parser(
         "lint", help="run the repo-specific reproducibility linter"

@@ -10,6 +10,7 @@ from repro.eval.compare import (
     evaluate_baseline,
     evaluate_readys,
     compare_methods,
+    compare_spec,
     ComparisonResult,
 )
 from repro.eval.profiling import (
@@ -39,6 +40,7 @@ __all__ = [
     "evaluate_baseline",
     "evaluate_readys",
     "compare_methods",
+    "compare_spec",
     "ComparisonResult",
     "batched_inference_timing",
     "inference_timing",

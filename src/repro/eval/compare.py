@@ -8,7 +8,10 @@ are averaged over several seeds (the paper uses 5 when σ > 0).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec builds envs)
+    from repro.spec import ExperimentSpec
 
 import numpy as np
 
@@ -18,7 +21,7 @@ from repro.platforms.noise import NoiseModel, NoNoise
 from repro.platforms.resources import Platform
 from repro.rl.agent import ReadysAgent
 from repro.rl.trainer import evaluate_agent
-from repro.schedulers import make_runner
+from repro.schedulers import get as get_runner
 from repro.sim.engine import Simulation
 from repro.sim.env import SchedulingEnv
 from repro.sim.vec_env import VecSchedulingEnv
@@ -34,8 +37,13 @@ def evaluate_baseline(
     seeds: int = 5,
     seed: SeedLike = 0,
 ) -> List[float]:
-    """Makespans of ``seeds`` runs of the named baseline scheduler."""
-    runner = make_runner(name)
+    """Makespans of ``seeds`` runs of the named baseline scheduler.
+
+    ``name`` is looked up in the scheduler registry
+    (:func:`repro.schedulers.get`); unknown names raise ``KeyError`` listing
+    the available schedulers.
+    """
+    runner = get_runner(name)
     noise = noise if noise is not None else NoNoise()
     if noise.is_deterministic:
         seeds = 1  # deterministic run, repeated seeds are identical
@@ -118,3 +126,31 @@ def compare_methods(
             window=window, seeds=seeds, seed=seed,
         )
     return result
+
+
+def compare_spec(
+    spec: "ExperimentSpec",
+    baselines: Sequence[str] = ("heft", "mct"),
+    agent: Optional[ReadysAgent] = None,
+    seeds: int = 5,
+    label: str = "",
+) -> ComparisonResult:
+    """Run :func:`compare_methods` on the instance described by ``spec``.
+
+    The spec supplies the graph/platform/durations/noise cell plus the
+    window and master seed, so every CLI surface and script compares the
+    same instance the spec would train on.
+    """
+    graph, platform, durations, noise = spec.make_instance()
+    return compare_methods(
+        graph,
+        platform,
+        durations,
+        noise,
+        baselines=baselines,
+        agent=agent,
+        window=spec.window,
+        seeds=seeds,
+        seed=spec.seed,
+        label=label,
+    )

@@ -1,0 +1,41 @@
+"""The repo's single wall-clock shim.
+
+The RPR003 lint bans wall-clock reads inside ``sim/``, ``nn/`` and ``rl/``
+logic: simulated time is the only clock those layers may *observe*.
+Measurement, however, has to read a real clock somewhere — this module is
+that somewhere.  Every timer, span and throughput gauge in the codebase
+obtains timestamps through :func:`now`, so instrumented code in the logic
+layers never names ``time.perf_counter`` itself and the lint stays
+enforceable (``repro.obs`` is outside the RPR003 directories).
+
+The clock is monotonic (``perf_counter``): trace timestamps are meaningful
+only as differences within one process, never as wall-clock dates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: the active clock callable; tests may swap it for a fake via
+#: :func:`set_clock` to make recorded durations deterministic.
+_clock: Callable[[], float] = time.perf_counter
+
+
+def now() -> float:
+    """Seconds on the process-wide monotonic clock."""
+    return _clock()
+
+
+def set_clock(clock: Callable[[], float]) -> Callable[[], float]:
+    """Replace the clock source (tests only); returns the previous one."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+def reset_clock() -> None:
+    """Restore the real monotonic clock."""
+    global _clock
+    _clock = time.perf_counter

@@ -9,6 +9,7 @@ from repro.rl.callbacks import (
     Callback,
     EvalCallback,
     EarlyStopping,
+    LearningCurveCallback,
     train_with_callbacks,
 )
 from repro.rl.imitation import (
@@ -39,6 +40,7 @@ __all__ = [
     "Callback",
     "EvalCallback",
     "EarlyStopping",
+    "LearningCurveCallback",
     "train_with_callbacks",
     "mct_expert",
     "collect_expert_decisions",

@@ -23,6 +23,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.nn import functional as F
 from repro.nn.layers import GCNStack, Linear, Module
 from repro.nn.sparse import block_diag_adjacency_sparse
@@ -227,9 +228,18 @@ class ReadysAgent(Module):
 
     def action_distribution(self, obs: Observation) -> np.ndarray:
         """π(a|s) as a plain probability vector (no grad)."""
+        tracer = _obs.TRACER
+        handle = (
+            tracer.begin("forward", batch=1, nodes=obs.num_nodes)
+            if tracer.enabled
+            else None
+        )
         with no_grad():
             logits, _ = self.forward(obs)
-            return F.softmax(logits).data
+            probs = F.softmax(logits).data
+        if handle is not None:
+            tracer.end(handle)
+        return probs
 
     def sample_action(
         self, obs: Observation, rng: np.random.Generator
@@ -240,9 +250,18 @@ class ReadysAgent(Module):
 
     def greedy_action(self, obs: Observation) -> int:
         """The mode of π(a|s) — used for deterministic evaluation."""
+        tracer = _obs.TRACER
+        handle = (
+            tracer.begin("forward", batch=1, nodes=obs.num_nodes)
+            if tracer.enabled
+            else None
+        )
         with no_grad():
             logits, _ = self.forward(obs)
-            return int(np.argmax(logits.data))
+            action = int(np.argmax(logits.data))
+        if handle is not None:
+            tracer.end(handle)
+        return action
 
     def state_value(self, obs: Observation) -> float:
         """V(s) as a float (no grad) — the bootstrap target for unrolls."""
@@ -261,6 +280,12 @@ class ReadysAgent(Module):
         if len(obs_list) == 1:
             # single-observation route — bit-identical to action_distribution
             return [self.action_distribution(obs_list[0])]
+        tracer = _obs.TRACER
+        handle = (
+            tracer.begin("forward", batch=len(obs_list))
+            if tracer.enabled
+            else None
+        )
         with no_grad():
             bf = self.forward_batch_flat(obs_list)
             flat, off = bf.logits.data, bf.action_offsets
@@ -269,7 +294,10 @@ class ReadysAgent(Module):
             counts = np.diff(off)
             p = np.exp(flat - np.repeat(np.maximum.reduceat(flat, starts), counts))
             p /= np.repeat(np.add.reduceat(p, starts), counts)
-            return np.split(p, off[1:-1])
+            result = np.split(p, off[1:-1])
+        if handle is not None:
+            tracer.end(handle)
+        return result
 
     def sample_actions(
         self, obs_list: Sequence[Observation], rng: np.random.Generator
@@ -284,14 +312,23 @@ class ReadysAgent(Module):
         """Batched :meth:`greedy_action` — deterministic evaluation at scale."""
         if len(obs_list) == 1:
             return np.array([self.greedy_action(obs_list[0])], dtype=np.int64)
+        tracer = _obs.TRACER
+        handle = (
+            tracer.begin("forward", batch=len(obs_list))
+            if tracer.enabled
+            else None
+        )
         with no_grad():
             bf = self.forward_batch_flat(obs_list)
             flat, off = bf.logits.data, bf.action_offsets
-            return np.array(
+            actions = np.array(
                 [int(np.argmax(flat[off[i]: off[i + 1]]))
                  for i in range(bf.num_observations)],
                 dtype=np.int64,
             )
+        if handle is not None:
+            tracer.end(handle)
+        return actions
 
     def state_values(self, obs_list: Sequence[Observation]) -> np.ndarray:
         """Batched :meth:`state_value` — bootstrap targets for K unrolls."""

@@ -11,12 +11,12 @@ signal a stop by returning ``True``.
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.rl.trainer import ReadysTrainer, evaluate_agent
 from repro.sim.env import SchedulingEnv
 from repro.utils.seeding import SeedLike, as_generator
@@ -77,6 +77,52 @@ class EvalCallback(Callback):
             self.best_makespan = mean
             self.best_state = trainer.agent.state_dict()
         return False
+
+
+class LearningCurveCallback(Callback):
+    """Persist the training learning curve through the metrics registry.
+
+    Every ``every`` updates (and on :meth:`flush`) the callback rebuilds a
+    private :class:`~repro.obs.metrics.MetricsRegistry` from the trainer's
+    history and writes it to ``path`` — the same row schema as the global
+    ``--metrics`` sink, so ``repro.obs.load_metrics_rows`` /
+    ``iter_series`` read both.  Series written: ``episode/makespan``,
+    ``episode/reward`` (step = episode index) and ``train/mean_return``,
+    ``train/policy_loss``, ``train/value_loss``, ``train/entropy``,
+    ``train/grad_norm`` (step = update index).  The file is rewritten
+    atomically-enough for a curve (full overwrite each time), never appended.
+    """
+
+    def __init__(self, path: str, every: int = 10) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.path = path
+        self.every = every
+        self.writes = 0
+
+    def __call__(self, trainer: ReadysTrainer, update_index: int) -> bool:
+        if (update_index + 1) % self.every == 0:
+            self.flush(trainer)
+        return False
+
+    def flush(self, trainer: ReadysTrainer) -> None:
+        """Write the curve now (call once after training for the final state)."""
+        registry = MetricsRegistry()
+        registry.enabled = True
+        result = trainer.result
+        for episode, (makespan, reward) in enumerate(
+            zip(result.episode_makespans, result.episode_rewards)
+        ):
+            registry.record("episode/makespan", makespan, step=episode)
+            registry.record("episode/reward", reward, step=episode)
+        for update, stats in enumerate(result.update_stats):
+            registry.record("train/mean_return", stats.mean_return, step=update)
+            registry.record("train/policy_loss", stats.policy_loss, step=update)
+            registry.record("train/value_loss", stats.value_loss, step=update)
+            registry.record("train/entropy", stats.entropy, step=update)
+            registry.record("train/grad_norm", stats.grad_norm, step=update)
+        registry.write(self.path)
+        self.writes += 1
 
 
 class EarlyStopping(Callback):

@@ -18,6 +18,8 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
+from repro.obs import clock as obs_clock
 from repro.rl.a2c import A2CConfig, A2CUpdater, Transition, UpdateStats
 from repro.rl.agent import AgentConfig, ReadysAgent
 from repro.sim.env import SchedulingEnv
@@ -114,26 +116,42 @@ class ReadysTrainer:
                 "unroll_length must be >= 1"
             )
         k = self.num_envs
+        tracer = obs.TRACER
         unrolls: List[List[Transition]] = [[] for _ in range(k)]
-        obs = self._obs if self._obs is not None else self.vec_env.reset()
+        observations = self._obs if self._obs is not None else self.vec_env.reset()
         for _ in range(unroll_length):
-            actions = self.agent.sample_actions(obs, self.rng)
-            next_obs, rewards, dones, infos = self.vec_env.step(actions)
+            actions = self.agent.sample_actions(observations, self.rng)
+            step = self.vec_env.step(actions)
             for i in range(k):
                 unrolls[i].append(
-                    Transition(obs[i], int(actions[i]), float(rewards[i]), bool(dones[i]))
+                    Transition(
+                        observations[i],
+                        int(actions[i]),
+                        float(step.rewards[i]),
+                        bool(step.dones[i]),
+                    )
                 )
-                if dones[i]:
-                    self.result.episode_rewards.append(float(rewards[i]))
-                    self.result.episode_makespans.append(infos[i]["makespan"])
-            obs = next_obs
-        self._obs = obs
+                if step.dones[i]:
+                    self.result.episode_rewards.append(float(step.rewards[i]))
+                    self.result.episode_makespans.append(step.infos[i]["makespan"])
+                    if tracer.enabled:
+                        tracer.event(
+                            "episode_end",
+                            episode=len(self.result.episode_makespans) - 1,
+                            member=i,
+                            makespan=step.infos[i]["makespan"],
+                            reward=float(step.rewards[i]),
+                        )
+            observations = step.obs
+        self._obs = observations
         # bootstrap with V of the observation after each unroll (0 after a
         # terminal transition, handled inside compute_returns via done flags)
         bootstraps = [0.0] * k
         open_members = [i for i in range(k) if not unrolls[i][-1].done]
         if open_members:
-            values = self.agent.state_values([obs[i] for i in open_members])
+            values = self.agent.state_values(
+                [observations[i] for i in open_members]
+            )
             for i, v in zip(open_members, values):
                 bootstraps[i] = float(v)
         return unrolls, bootstraps
@@ -148,14 +166,68 @@ class ReadysTrainer:
         unrolls, bootstraps = self._collect_unrolls()
         return unrolls[0], bootstraps[0]
 
+    def _one_update(self) -> UpdateStats:
+        """One unroll+update cycle, instrumented when tracing/metrics are on.
+
+        The off path is the bare historical loop body — the only added cost
+        with observability disabled is two attribute checks per update.
+        """
+        tracer = obs.TRACER
+        registry = obs.METRICS
+        if not (tracer.enabled or registry.enabled):
+            unrolls, bootstraps = self._collect_unrolls()
+            stats = self.updater.update_batch(unrolls, bootstraps)
+            self.result.update_stats.append(stats)
+            return stats
+
+        update_index = len(self.result.update_stats)
+        episodes_before = self.result.num_episodes
+        started = obs_clock.now()
+        update_handle = tracer.begin("update", update=update_index)
+        unroll_handle = tracer.begin("unroll", update=update_index)
+        unrolls, bootstraps = self._collect_unrolls()
+        tracer.end(unroll_handle)
+        stats = self.updater.update_batch(unrolls, bootstraps)
+        tracer.end(
+            update_handle,
+            policy_loss=stats.policy_loss,
+            value_loss=stats.value_loss,
+            entropy=stats.entropy,
+            grad_norm=stats.grad_norm,
+        )
+        self.result.update_stats.append(stats)
+        if registry.enabled:
+            duration = obs_clock.now() - started
+            env_steps = self.num_envs * self.updater.config.unroll_length
+            registry.timer("train/update_time").record(duration)
+            if duration > 0:
+                registry.gauge("train/env_steps_per_second").set(
+                    env_steps / duration
+                )
+            registry.record("train/policy_loss", stats.policy_loss, step=update_index)
+            registry.record("train/value_loss", stats.value_loss, step=update_index)
+            registry.record("train/entropy", stats.entropy, step=update_index)
+            registry.record("train/grad_norm", stats.grad_norm, step=update_index)
+            registry.record("train/mean_return", stats.mean_return, step=update_index)
+            for episode in range(episodes_before, self.result.num_episodes):
+                registry.record(
+                    "episode/makespan",
+                    self.result.episode_makespans[episode],
+                    step=episode,
+                )
+                registry.record(
+                    "episode/reward",
+                    self.result.episode_rewards[episode],
+                    step=episode,
+                )
+        return stats
+
     def train_updates(self, num_updates: int) -> TrainResult:
         """Run ``num_updates`` unroll+update cycles; returns the history."""
         if num_updates < 0:
             raise ValueError("num_updates must be >= 0")
         for _ in range(num_updates):
-            unrolls, bootstraps = self._collect_unrolls()
-            stats = self.updater.update_batch(unrolls, bootstraps)
-            self.result.update_stats.append(stats)
+            self._one_update()
         return self.result
 
     def train_episodes(self, num_episodes: int) -> TrainResult:
@@ -164,9 +236,7 @@ class ReadysTrainer:
             raise ValueError("num_episodes must be >= 0")
         target = self.result.num_episodes + num_episodes
         while self.result.num_episodes < target:
-            unrolls, bootstraps = self._collect_unrolls()
-            stats = self.updater.update_batch(unrolls, bootstraps)
-            self.result.update_stats.append(stats)
+            self._one_update()
         return self.result
 
 
@@ -192,11 +262,11 @@ def _evaluate_vec(
     quotas = [episodes // k + (1 if i < episodes % k else 0) for i in range(k)]
     makespans: List[List[float]] = [[] for _ in range(k)]
     active = [i for i in range(k) if quotas[i] > 0]
-    obs: List[Optional[Observation]] = [
+    observations: List[Optional[Observation]] = [
         vec_env.envs[i].reset() if quotas[i] > 0 else None for i in range(k)
     ]
     while active:
-        batch = [obs[i] for i in active]
+        batch = [observations[i] for i in active]
         if greedy:
             actions = agent.greedy_actions(batch)
         else:
@@ -204,16 +274,16 @@ def _evaluate_vec(
         still_active: List[int] = []
         for i, action in zip(active, actions):
             env = vec_env.envs[i]
-            next_obs, _reward, done, info = env.step(int(action))
-            if done:
-                makespans[i].append(info["makespan"])
+            result = env.step(int(action))
+            if result.done:
+                makespans[i].append(result.info["makespan"])
                 if len(makespans[i]) < quotas[i]:
-                    obs[i] = env.reset()
+                    observations[i] = env.reset()
                     still_active.append(i)
                 else:
-                    obs[i] = None
+                    observations[i] = None
             else:
-                obs[i] = next_obs
+                observations[i] = result.obs
                 still_active.append(i)
         active = still_active
     return [m for member in makespans for m in member]
@@ -240,13 +310,14 @@ def evaluate_agent(
         return _evaluate_vec(agent, env, episodes, greedy, rng)
     makespans: List[float] = []
     for _ in range(episodes):
-        obs = env.reset()
+        observation = env.reset()
         done = False
         while not done:
             if greedy:
-                action = agent.greedy_action(obs)
+                action = agent.greedy_action(observation)
             else:
-                action = agent.sample_action(obs, rng)
-            obs, _reward, done, info = env.step(action)
-        makespans.append(info["makespan"])
+                action = agent.sample_action(observation, rng)
+            result = env.step(action)
+            observation, done = result.obs, result.done
+        makespans.append(result.info["makespan"])
     return makespans

@@ -2,8 +2,10 @@
 
 The public entry points are the ``run_*`` functions, each taking a fresh
 :class:`repro.sim.engine.Simulation` and returning the achieved makespan, and
-:func:`make_runner` which resolves a scheduler by name for the CLI/eval
-harness.
+the name registry — :func:`get` resolves a scheduler by name for the
+CLI/eval harness and :func:`available` lists the options.  ``RUNNERS`` and
+:func:`make_runner` survive as thin views over the registry for historical
+callers.
 """
 
 from typing import Callable, Dict
@@ -49,29 +51,46 @@ from repro.schedulers.peft import (
     run_peft,
 )
 
-#: name → runner(sim, rng=None) -> makespan
-RUNNERS: Dict[str, Callable] = {
-    "heft": run_heft,
-    "mct": run_mct,
-    "random": run_random,
-    "greedy-eft": run_greedy,
-    "rank-priority": run_rank_priority,
-    "min-min": run_minmin,
-    "max-min": run_maxmin,
-    "sufferage": run_sufferage,
-    "fifo": run_fifo,
-    "peft": run_peft,
-}
+from repro.schedulers.registry import (
+    SchedulerEntry,
+    available,
+    entries,
+    get,
+    get_entry,
+    register,
+    runners,
+)
+
+# The canonical scheduler catalogue.  Classes are registered alongside their
+# runner where one exists; registration validates the class's ``name``
+# attribute against the registry key so the two spellings cannot drift.
+register("heft", run_heft, description="static HEFT plan, replayed dynamically")
+register("peft", run_peft, description="static PEFT plan (optimistic cost table)")
+register("mct", run_mct, cls=MCTScheduler,
+         description="minimum completion time, queue-driven (paper §V-C)")
+register("random", run_random, cls=RandomScheduler,
+         description="uniform random ready task")
+register("greedy-eft", run_greedy, cls=GreedyScheduler,
+         description="greedy earliest finish time")
+register("rank-priority", run_rank_priority, cls=RankPriorityScheduler,
+         description="upward-rank priority list scheduling")
+register("min-min", run_minmin, cls=MinMinScheduler,
+         description="min-min batch heuristic")
+register("max-min", run_maxmin, cls=MaxMinScheduler,
+         description="max-min batch heuristic")
+register("sufferage", run_sufferage, cls=SufferageScheduler,
+         description="sufferage batch heuristic")
+register("fifo", run_fifo, cls=FIFOScheduler,
+         description="first ready, first served")
+
+#: legacy view: name → runner(sim, rng=None) -> makespan.  A snapshot of the
+#: registry taken at import time; new code should call ``get``/``available``.
+RUNNERS: Dict[str, Callable] = runners()
 
 
 def make_runner(name: str) -> Callable:
-    """Resolve a scheduler runner by name (raises with the list of options)."""
-    try:
-        return RUNNERS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduler {name!r}; options: {sorted(RUNNERS)}"
-        ) from None
+    """Resolve a scheduler runner by name (legacy alias of :func:`get`)."""
+    return get(name)
 
 
 __all__ = [
@@ -108,4 +127,11 @@ __all__ = [
     "run_peft",
     "RUNNERS",
     "make_runner",
+    "SchedulerEntry",
+    "available",
+    "entries",
+    "get",
+    "get_entry",
+    "register",
+    "runners",
 ]

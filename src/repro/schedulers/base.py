@@ -23,6 +23,7 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.sim.engine import Simulation
 from repro.utils.seeding import SeedLike, as_generator
 
@@ -58,6 +59,13 @@ def run_dynamic(
     """
     rng = as_generator(rng)
     scheduler.reset(sim)
+    tracer = obs.TRACER
+    registry = obs.METRICS
+    timer = (
+        registry.timer("scheduler/decision_time", scheduler=scheduler.name)
+        if registry.enabled
+        else None
+    )
     while not sim.done:
         # Offer every idle processor (in random order) until all pass.
         while True:
@@ -69,7 +77,20 @@ def run_dynamic(
             for proc in idle:
                 if sim.ready_tasks().size == 0:
                     break
-                task = scheduler.select(sim, int(proc))
+                handle = (
+                    tracer.begin(
+                        "decision", scheduler=scheduler.name, proc=int(proc)
+                    )
+                    if tracer.enabled
+                    else None
+                )
+                if timer is not None:
+                    with timer:
+                        task = scheduler.select(sim, int(proc))
+                else:
+                    task = scheduler.select(sim, int(proc))
+                if handle is not None:
+                    tracer.end(handle, passed=task is None)
                 if task is not None:
                     sim.start(int(task), int(proc))
                     launched = True
@@ -149,13 +170,32 @@ def run_queued(sim: Simulation, scheduler: QueueScheduler) -> float:
     queues: List[Deque[int]] = [deque() for _ in range(p)]
     estimator = CompletionEstimator(sim)
     assigned = np.zeros(sim.graph.num_tasks, dtype=bool)
+    tracer = obs.TRACER
+    registry = obs.METRICS
+    timer = (
+        registry.timer("scheduler/decision_time", scheduler=scheduler.name)
+        if registry.enabled
+        else None
+    )
 
     def flush() -> None:
         ready = sim.ready_tasks()
         new = ready[~assigned[ready]]
         if new.size == 0:
             return
-        for task, proc in scheduler.assign_batch(sim, new, estimator):
+        handle = (
+            tracer.begin("decision", scheduler=scheduler.name, batch=int(new.size))
+            if tracer.enabled
+            else None
+        )
+        if timer is not None:
+            with timer:
+                assignments = scheduler.assign_batch(sim, new, estimator)
+        else:
+            assignments = scheduler.assign_batch(sim, new, estimator)
+        if handle is not None:
+            tracer.end(handle)
+        for task, proc in assignments:
             queues[proc].append(task)
             assigned[task] = True
 

@@ -1,0 +1,83 @@
+"""Scheduler registry: one canonical name → runner mapping.
+
+The CLI, the evaluation harness and the benchmarks all resolve baseline
+schedulers by name; this registry is the single source of truth they share
+(the old per-module ``name → callable`` dicts duplicated it).  Entries pair
+the runner (``runner(sim, rng=None) -> makespan``) with the scheduler class
+when one exists — classes carry their canonical name as a ``name`` class
+attribute, and registration cross-checks the two so they cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+#: runner signature: drive a fresh Simulation to completion, return makespan
+Runner = Callable[..., float]
+
+
+@dataclass(frozen=True)
+class SchedulerEntry:
+    """One registered scheduler."""
+
+    name: str
+    runner: Runner
+    cls: Optional[type] = None
+    description: str = ""
+
+
+_REGISTRY: Dict[str, SchedulerEntry] = {}
+
+
+def register(
+    name: str,
+    runner: Runner,
+    cls: Optional[type] = None,
+    description: str = "",
+) -> None:
+    """Register ``runner`` (and optionally its scheduler class) under ``name``.
+
+    Raises ``ValueError`` on duplicate names and when ``cls.name`` disagrees
+    with the registry name — the class attribute is the canonical spelling.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"scheduler {name!r} is already registered")
+    if cls is not None:
+        cls_name = getattr(cls, "name", None)
+        if cls_name != name:
+            raise ValueError(
+                f"scheduler class {cls.__name__} declares name={cls_name!r} "
+                f"but is being registered as {name!r}"
+            )
+    _REGISTRY[name] = SchedulerEntry(name, runner, cls, description)
+
+
+def get(name: str) -> Runner:
+    """The runner registered under ``name``; unknown names raise with the list."""
+    return get_entry(name).runner
+
+
+def get_entry(name: str) -> SchedulerEntry:
+    """The full registry entry for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {available()}"
+        ) from None
+
+
+def available() -> List[str]:
+    """Sorted names of every registered scheduler."""
+    return sorted(_REGISTRY)
+
+
+def entries() -> List[SchedulerEntry]:
+    """Every registry entry, sorted by name."""
+    return [_REGISTRY[name] for name in available()]
+
+
+def runners() -> Dict[str, Runner]:
+    """A name → runner snapshot (the legacy ``RUNNERS`` dict shape)."""
+    return {name: _REGISTRY[name].runner for name in available()}

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.durations import DurationTable
 from repro.graphs.taskgraph import TaskGraph
 from repro.platforms.comm import CommunicationModel, NoComm
@@ -212,6 +213,9 @@ class Simulation:
         self.executed_on[task] = proc
         self.proc_task[proc] = task
         self.proc_finish[proc] = begin + actual
+        registry = obs.METRICS
+        if registry.enabled:
+            registry.counter("sim/tasks_started").inc()
         return actual
 
     def advance(self) -> np.ndarray:
@@ -228,6 +232,20 @@ class Simulation:
             )
         t_next = float(self.proc_finish[busy].min())
         finishing = busy[self.proc_finish[busy] <= t_next]
+        registry = obs.METRICS
+        if registry.enabled:
+            # busy/idle processor-seconds over the interval being skipped —
+            # the utilization accounting the run report renders.
+            dt = t_next - self.time
+            num_procs = self.platform.num_processors
+            busy_counter = registry.counter("sim/busy_time")
+            idle_counter = registry.counter("sim/idle_time")
+            busy_counter.inc(dt * busy.size)
+            idle_counter.inc(dt * (num_procs - busy.size))
+            registry.counter("sim/events").inc()
+            total = busy_counter.value + idle_counter.value
+            if total > 0:
+                registry.gauge("sim/utilization").set(busy_counter.value / total)
         self.time = t_next
         freed = []
         for proc in finishing:
@@ -247,6 +265,8 @@ class Simulation:
                 newly_ready = succs[self.remaining_preds[succs] == 0]
                 self.ready[newly_ready] = True
             freed.append(int(proc))
+        if registry.enabled:
+            registry.counter("sim/task_completions").inc(len(freed))
         return np.asarray(freed, dtype=np.int64)
 
     # ------------------------------------------------------------------ #

@@ -19,10 +19,11 @@ with HEFT's makespan computed on the same instance under expected durations
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple, Union
+from typing import Callable, NamedTuple, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.durations import DurationTable
 from repro.graphs.taskgraph import TaskGraph
 from repro.platforms.noise import NoNoise, NoiseModel
@@ -33,6 +34,21 @@ from repro.sim.state import Observation, StateBuilder
 from repro.utils.seeding import SeedLike, as_generator
 
 GraphSource = Union[TaskGraph, Callable[[np.random.Generator], TaskGraph]]
+
+
+class StepResult(NamedTuple):
+    """Typed result of :meth:`SchedulingEnv.step`.
+
+    A ``NamedTuple``, so the historical 4-tuple unpacking
+    ``obs, reward, done, info = env.step(a)`` keeps working; new code should
+    prefer field access (``result.done``, ``result.info["makespan"]``).
+    """
+
+    obs: Optional[Observation]
+    """the next decision point, or ``None`` at the terminal state"""
+    reward: float
+    done: bool
+    info: dict
 
 
 class SchedulingEnv:
@@ -150,6 +166,14 @@ class SchedulingEnv:
                     # task is running (a future event will re-open decisions)
                     # or another idle processor is still waiting to be asked.
                     allow_pass = bool(sim.running.any()) or candidates.size > 1
+                    tracer = obs.TRACER
+                    if tracer.enabled:
+                        handle = tracer.begin("state_build", proc=proc)
+                        built = self.state_builder.build(
+                            sim, proc, allow_pass=allow_pass
+                        )
+                        tracer.end(handle, nodes=built.num_nodes)
+                        return built
                     return self.state_builder.build(sim, proc, allow_pass=allow_pass)
             if not sim.running.any():
                 raise RuntimeError(
@@ -159,28 +183,40 @@ class SchedulingEnv:
             sim.advance()
             self._passed[:] = False  # a new instant: everyone may be asked again
 
-    def step(self, action: int) -> Tuple[Optional[Observation], float, bool, dict]:
+    def step(self, action: int) -> StepResult:
         """Apply ``action`` to the pending decision.
 
         ``action`` indexes the current observation's ready tasks; the value
         ``num_ready`` (i.e. the last index) is the ∅ action when
-        ``allow_pass`` is true.  Returns ``(obs, reward, done, info)`` with
+        ``allow_pass`` is true.  Returns a :class:`StepResult` (unpackable as
+        the historical ``(obs, reward, done, info)`` 4-tuple) with
         ``obs=None`` at the terminal state.
         """
-        obs = self._current_obs
+        current = self._current_obs
         sim = self.sim
-        if obs is None or sim is None:
+        if current is None or sim is None:
             raise RuntimeError("call reset() before step()")
-        num_ready = len(obs.ready_tasks)
-        if not 0 <= action < obs.num_actions:
+        num_ready = len(current.ready_tasks)
+        if not 0 <= action < current.num_actions:
             raise ValueError(
-                f"action {action} out of range [0, {obs.num_actions})"
+                f"action {action} out of range [0, {current.num_actions})"
             )
+        tracer = obs.TRACER
+        handle = (
+            tracer.begin(
+                "decision",
+                proc=current.current_proc,
+                num_ready=num_ready,
+                num_nodes=current.num_nodes,
+            )
+            if tracer.enabled
+            else None
+        )
         if action < num_ready:
-            sim.start(int(obs.ready_tasks[action]), obs.current_proc)
+            sim.start(int(current.ready_tasks[action]), current.current_proc)
         else:  # ∅: this processor declines until the next event
-            assert obs.allow_pass
-            self._passed[obs.current_proc] = True
+            assert current.allow_pass
+            self._passed[current.current_proc] = True
 
         next_obs = self._next_decision()
         self._current_obs = next_obs
@@ -196,10 +232,16 @@ class SchedulingEnv:
                 "makespan": makespan,
                 "heft_makespan": self._baseline_makespan,
             }
-            return None, float(reward), True, info
-        if self.reward_mode == "dense":
-            return next_obs, float(-elapsed / self._baseline_makespan), False, {}
-        return next_obs, 0.0, False, {}
+            result = StepResult(None, float(reward), True, info)
+        elif self.reward_mode == "dense":
+            result = StepResult(
+                next_obs, float(-elapsed / self._baseline_makespan), False, {}
+            )
+        else:
+            result = StepResult(next_obs, 0.0, False, {})
+        if handle is not None:
+            tracer.end(handle, passed=action >= num_ready, done=result.done)
+        return result
 
 
 def run_policy(
@@ -212,12 +254,13 @@ def run_policy(
     ``policy`` maps an observation to an action index.  Raises if the episode
     exceeds ``max_steps`` decisions (a runaway-pass guard for buggy policies).
     """
-    obs = env.reset()
+    observation = env.reset()
     for _ in range(max_steps):
-        action = policy(obs)
-        obs, _reward, done, info = env.step(action)
-        if done:
-            info = dict(info)
-            info["reward"] = _reward
+        action = policy(observation)
+        result = env.step(action)
+        if result.done:
+            info = dict(result.info)
+            info["reward"] = result.reward
             return info
+        observation = result.obs
     raise RuntimeError(f"episode exceeded {max_steps} decisions")

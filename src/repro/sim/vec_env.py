@@ -20,13 +20,28 @@ Semantics mirror the classic gym ``VecEnv`` contract:
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, NamedTuple, Sequence
 
 import numpy as np
 
 from repro.sim.env import SchedulingEnv
 from repro.sim.state import Observation
 from repro.utils.seeding import SeedLike, spawn_generators
+
+
+class VecStepResult(NamedTuple):
+    """Typed result of :meth:`VecSchedulingEnv.step`.
+
+    A ``NamedTuple``, so the historical 4-tuple unpacking
+    ``obs, rewards, dones, infos = vec_env.step(a)`` keeps working; new code
+    should prefer field access.
+    """
+
+    obs: List[Observation]
+    """next decision point per member (post-reset observation when done)"""
+    rewards: np.ndarray
+    dones: np.ndarray
+    infos: List[dict]
 
 
 class VecSchedulingEnv:
@@ -84,12 +99,11 @@ class VecSchedulingEnv:
         """Start a new episode in every member; returns the K first observations."""
         return [env.reset() for env in self.envs]
 
-    def step(
-        self, actions: Sequence[int]
-    ) -> Tuple[List[Observation], np.ndarray, np.ndarray, List[dict]]:
+    def step(self, actions: Sequence[int]) -> VecStepResult:
         """Apply one action per member; auto-reset finished members.
 
-        Returns ``(observations, rewards, dones, infos)`` where
+        Returns a :class:`VecStepResult` (unpackable as the historical
+        ``(observations, rewards, dones, infos)`` 4-tuple) where
         ``observations[k]`` is the *next decision point* of member k — the
         first observation of a fresh episode when ``dones[k]`` is true — and
         ``infos[k]`` is the member's info dict (containing ``"makespan"`` at
@@ -104,11 +118,12 @@ class VecSchedulingEnv:
         dones = np.zeros(self.num_envs, dtype=bool)
         infos: List[dict] = []
         for k, (env, action) in enumerate(zip(self.envs, actions)):
-            obs, reward, done, info = env.step(int(action))
-            if done:
+            result = env.step(int(action))
+            obs = result.obs
+            if result.done:
                 obs = env.reset()
             observations.append(obs)
-            rewards[k] = reward
-            dones[k] = done
-            infos.append(info)
-        return observations, rewards, dones, infos
+            rewards[k] = result.reward
+            dones[k] = result.done
+            infos.append(result.info)
+        return VecStepResult(observations, rewards, dones, infos)

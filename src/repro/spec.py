@@ -1,0 +1,148 @@
+"""One experiment cell as a value: :class:`ExperimentSpec`.
+
+Every CLI subcommand and the evaluation harness used to re-plumb the same
+argparse fields (kernel, tiles, platform shape, noise, seed, …) into
+constructors by hand; the spec centralises that plumbing.  It is also the
+run-metadata header of every trace file (``--trace``), so a recorded run
+carries its full instance description and can be re-materialised with
+:meth:`ExperimentSpec.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.graphs import duration_table_for, make_dag
+from repro.graphs.durations import DurationTable
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms import Platform, make_noise
+from repro.platforms.noise import NoiseModel
+
+#: kernels make_dag understands (mirrors the CLI choices)
+KERNELS = ("cholesky", "lu", "qr")
+NOISE_MODELS = ("gaussian", "lognormal", "uniform", "gamma", "none")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one (instance, environment, run) cell."""
+
+    kernel: str = "cholesky"
+    tiles: int = 4
+    cpus: int = 2
+    gpus: int = 2
+    sigma: float = 0.0
+    noise: str = "gaussian"
+    seed: int = 0
+    window: int = 2
+    sparse_state: bool = False
+    num_envs: int = 1
+    reward_mode: str = "dense"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.noise not in NOISE_MODELS:
+            raise ValueError(f"noise must be one of {NOISE_MODELS}, got {self.noise!r}")
+        if self.tiles < 1:
+            raise ValueError(f"tiles must be >= 1, got {self.tiles}")
+        if self.cpus < 0 or self.gpus < 0 or self.cpus + self.gpus < 1:
+            raise ValueError(
+                f"platform needs >= 1 processor, got cpus={self.cpus} gpus={self.gpus}"
+            )
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if self.window < 0:
+            raise ValueError(f"window must be >= 0, got {self.window}")
+        if self.num_envs < 1:
+            raise ValueError(f"num_envs must be >= 1, got {self.num_envs}")
+        if self.reward_mode not in ("dense", "terminal"):
+            raise ValueError(
+                f"reward_mode must be 'dense' or 'terminal', got {self.reward_mode!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_args(cls, args: Any) -> "ExperimentSpec":
+        """Build a spec from an argparse namespace (or any attribute bag).
+
+        Only the attributes present on ``args`` are consumed — subcommands
+        that lack e.g. ``--num-envs`` fall back to the field default, so one
+        constructor serves every CLI surface.
+        """
+        kwargs = {
+            f.name: getattr(args, f.name)
+            for f in fields(cls)
+            if getattr(args, f.name, None) is not None and hasattr(args, f.name)
+        }
+        return cls(**kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form — the run-metadata header of trace files."""
+        return asdict(self)
+
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        merged = {**self.to_dict(), **changes}
+        return ExperimentSpec(**merged)
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+
+    def make_instance(
+        self,
+    ) -> Tuple[TaskGraph, Platform, DurationTable, NoiseModel]:
+        """Build ``(graph, platform, durations, noise)`` for this cell."""
+        graph = make_dag(self.kernel, self.tiles)
+        platform = Platform(self.cpus, self.gpus)
+        durations = duration_table_for(self.kernel)
+        noise = make_noise(self.noise if self.sigma > 0 else "none", self.sigma)
+        return graph, platform, durations, noise
+
+    def make_env(self, rng: Optional[Any] = None):
+        """A single :class:`~repro.sim.env.SchedulingEnv` for this cell.
+
+        ``rng`` defaults to :attr:`seed`; pass a generator for members of a
+        vectorised environment.
+        """
+        from repro.sim.env import SchedulingEnv  # local: avoid import cycle
+
+        graph, platform, durations, noise = self.make_instance()
+        return SchedulingEnv(
+            graph,
+            platform,
+            durations,
+            noise,
+            window=self.window,
+            rng=self.seed if rng is None else rng,
+            reward_mode=self.reward_mode,
+            sparse_state=self.sparse_state,
+        )
+
+    def make_train_env(self):
+        """The training environment: single env, or K lockstep members.
+
+        Returns a :class:`~repro.sim.env.SchedulingEnv` when
+        ``num_envs == 1`` (the bit-exact historical path) and a
+        :class:`~repro.sim.vec_env.VecSchedulingEnv` otherwise, with member
+        seeds spawned from :attr:`seed`.
+        """
+        from repro.sim.vec_env import VecSchedulingEnv
+        from repro.utils.seeding import spawn_generators
+
+        if self.num_envs == 1:
+            return self.make_env()
+        return VecSchedulingEnv(
+            [self.make_env(rng=rng) for rng in spawn_generators(self.seed, self.num_envs)]
+        )

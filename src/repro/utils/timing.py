@@ -1,55 +1,15 @@
-"""Lightweight wall-clock timing used by the inference-overhead experiments."""
+"""Back-compat shim: the timer primitive moved to :mod:`repro.obs.metrics`.
+
+``Timer`` is now owned by the observability layer (it is the sample store
+behind ``MetricsRegistry.timer`` and shares the monotonic clock shim with
+the tracer); this module re-exports it so historical imports keep working::
+
+    from repro.utils.timing import Timer   # still fine
+    from repro.obs import Timer            # preferred
+"""
 
 from __future__ import annotations
 
-import time
-from typing import List, Optional
+from repro.obs.metrics import Timer
 
-
-class Timer:
-    """Accumulating wall-clock timer.
-
-    Usage::
-
-        t = Timer()
-        with t:
-            do_work()
-        t.mean, t.total, t.count
-
-    Each ``with`` block records one sample; statistics are computed over all
-    recorded samples.  Used to measure per-decision scheduling overhead
-    (paper Fig. 7).
-    """
-
-    def __init__(self) -> None:
-        self.samples: List[float] = []
-        self._start: Optional[float] = None
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        assert self._start is not None, "Timer.__exit__ without __enter__"
-        self.samples.append(time.perf_counter() - self._start)
-        self._start = None
-
-    @property
-    def count(self) -> int:
-        """Number of recorded samples."""
-        return len(self.samples)
-
-    @property
-    def total(self) -> float:
-        """Total recorded time in seconds."""
-        return float(sum(self.samples))
-
-    @property
-    def mean(self) -> float:
-        """Mean sample duration in seconds (0.0 when empty)."""
-        return self.total / self.count if self.samples else 0.0
-
-    def reset(self) -> None:
-        """Forget all samples."""
-        self.samples.clear()
-        self._start = None
+__all__ = ["Timer"]

@@ -1,0 +1,24 @@
+"""Fixtures for the observability suite: keep the global switches clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Guarantee tracer and registry are off and empty around every test.
+
+    The tracer and the default metrics registry are process-global; a test
+    that enables them and fails mid-way must not leak state into the next
+    test (or, worse, into the rest of the suite's timing).
+    """
+    if obs.TRACER.enabled:
+        obs.TRACER.stop()
+    obs.METRICS.enabled = False
+    obs.METRICS.reset()
+    yield
+    if obs.TRACER.enabled:
+        obs.TRACER.stop()
+    obs.METRICS.enabled = False
+    obs.METRICS.reset()

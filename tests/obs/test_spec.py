@@ -1,0 +1,91 @@
+"""ExperimentSpec: the shared declarative description of one experiment cell."""
+
+import argparse
+
+import pytest
+
+from repro.sim.env import SchedulingEnv
+from repro.sim.vec_env import VecSchedulingEnv
+from repro.spec import ExperimentSpec
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        spec = ExperimentSpec()
+        assert spec.kernel == "cholesky" and spec.num_envs == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kernel": "svd"},
+            {"noise": "cauchy"},
+            {"tiles": 0},
+            {"cpus": 0, "gpus": 0},
+            {"sigma": -0.1},
+            {"window": -1},
+            {"num_envs": 0},
+            {"reward_mode": "shaped"},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentSpec(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExperimentSpec().tiles = 5  # type: ignore[misc]
+
+
+class TestConversions:
+    def test_dict_round_trip(self):
+        spec = ExperimentSpec(kernel="lu", tiles=5, sigma=0.2, num_envs=4)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_ignores_unknown_keys(self):
+        spec = ExperimentSpec.from_dict({"kernel": "qr", "command": "train"})
+        assert spec.kernel == "qr"
+
+    def test_from_args_partial_namespace(self):
+        args = argparse.Namespace(kernel="lu", tiles=3, seed=9)
+        spec = ExperimentSpec.from_args(args)
+        assert (spec.kernel, spec.tiles, spec.seed) == ("lu", 3, 9)
+        assert spec.window == 2  # absent attrs fall back to field defaults
+
+    def test_from_args_skips_none(self):
+        args = argparse.Namespace(kernel=None, tiles=6)
+        assert ExperimentSpec.from_args(args).kernel == "cholesky"
+
+    def test_replace(self):
+        spec = ExperimentSpec().replace(tiles=7)
+        assert spec.tiles == 7
+        assert ExperimentSpec().tiles == 4
+
+
+class TestMaterialisation:
+    def test_make_instance_shapes(self):
+        graph, platform, durations, noise = ExperimentSpec(
+            tiles=3, cpus=1, gpus=1
+        ).make_instance()
+        assert graph.num_tasks > 0
+        assert platform.num_processors == 2
+        assert durations.num_kernels >= graph.num_types
+        assert noise.is_deterministic  # sigma = 0 forces the none model
+
+    def test_sigma_selects_noise_model(self):
+        _, _, _, noise = ExperimentSpec(sigma=0.2).make_instance()
+        assert not noise.is_deterministic
+
+    def test_make_env(self):
+        env = ExperimentSpec(tiles=2, window=1, sparse_state=True).make_env()
+        assert isinstance(env, SchedulingEnv)
+        assert env.window == 1
+        obs = env.reset()
+        assert obs.num_actions >= 1
+
+    def test_make_train_env_single(self):
+        assert isinstance(ExperimentSpec(tiles=2).make_train_env(), SchedulingEnv)
+
+    def test_make_train_env_vectorised(self):
+        env = ExperimentSpec(tiles=2, num_envs=3).make_train_env()
+        assert isinstance(env, VecSchedulingEnv)
+        assert env.num_envs == 3

@@ -1,0 +1,192 @@
+"""Trace layer: JSONL round-trip, span nesting invariants, the off switch."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import clock
+from repro.obs.report import check_span_nesting, load_trace
+
+
+class TestDisabledPath:
+    def test_disabled_begin_returns_none(self):
+        tracer = obs.Tracer()
+        assert tracer.begin("anything") is None
+
+    def test_disabled_end_accepts_none(self):
+        tracer = obs.Tracer()
+        assert tracer.end(None) == 0.0
+        assert tracer.end(None, extra=1) == 0.0
+
+    def test_disabled_event_is_noop(self):
+        obs.TRACER.event("nothing", x=1)  # must not raise nor write
+
+    def test_global_tracer_disabled_by_default(self):
+        assert not obs.tracing_enabled()
+
+    def test_span_contextmanager_disabled(self):
+        with obs.TRACER.span("cold") as handle:
+            assert handle is None
+
+
+class TestLifecycle:
+    def test_start_twice_raises(self, tmp_path):
+        obs.start_trace(str(tmp_path / "a.jsonl"))
+        with pytest.raises(RuntimeError, match="already active"):
+            obs.start_trace(str(tmp_path / "b.jsonl"))
+
+    def test_stop_returns_path_and_disables(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path)
+        assert obs.tracing_enabled()
+        assert obs.stop_trace() == path
+        assert not obs.tracing_enabled()
+
+    def test_stop_without_start_is_noop(self):
+        assert obs.stop_trace() is None
+
+    def test_trace_to_contextmanager(self, tmp_path):
+        path = tmp_path / "ctx.jsonl"
+        with obs.trace_to(path) as tracer:
+            assert tracer.enabled
+            with tracer.span("outer"):
+                tracer.event("tick")
+        assert not obs.tracing_enabled()
+        trace = load_trace(str(path))
+        assert trace.span_names() == ["outer"]
+        assert len(trace.events_named("tick")) == 1
+
+
+class TestRoundTrip:
+    def test_header_and_metadata(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path, metadata={"command": "test", "spec": {"tiles": 3}})
+        obs.stop_trace()
+        trace = load_trace(path)
+        assert trace.meta["version"] == obs.TRACE_FORMAT_VERSION
+        assert trace.meta["run"]["command"] == "test"
+        assert trace.meta["run"]["spec"]["tiles"] == 3
+
+    def test_span_round_trip_with_attrs(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path)
+        h = obs.TRACER.begin("work", proc=np.int64(2))
+        obs.TRACER.end(h, passed=False)
+        obs.stop_trace()
+        (span,) = load_trace(path).spans
+        assert span["name"] == "work"
+        # numpy scalars must serialise as JSON numbers, not strings
+        assert span["attrs"] == {"proc": 2, "passed": False}
+        assert span["dur"] >= 0
+
+    def test_nesting_reconstructed_from_ids(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path)
+        outer = obs.TRACER.begin("outer")
+        inner = obs.TRACER.begin("inner")
+        obs.TRACER.end(inner)
+        sibling = obs.TRACER.begin("sibling")
+        obs.TRACER.end(sibling)
+        obs.TRACER.end(outer)
+        obs.stop_trace()
+        trace = load_trace(path)
+        check_span_nesting(trace)
+        by_name = {s["name"]: s for s in trace.spans}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["sibling"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+        # children are written before their parent (spans emit at end time)
+        names = [s["name"] for s in trace.spans]
+        assert names.index("inner") < names.index("outer")
+
+    def test_event_records_parent_span(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path)
+        h = obs.TRACER.begin("outer")
+        obs.TRACER.event("tick", n=1)
+        obs.TRACER.end(h)
+        obs.stop_trace()
+        trace = load_trace(path)
+        (event,) = trace.events
+        assert event["parent"] == trace.spans[0]["id"]
+        assert event["attrs"] == {"n": 1}
+
+    def test_every_line_is_json(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path, metadata={"spec": {"kernel": "cholesky"}})
+        with obs.TRACER.span("a"):
+            obs.TRACER.event("e")
+        obs.stop_trace()
+        with open(path) as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert [rec["type"] for rec in lines] == ["meta", "event", "span"]
+
+
+class TestRobustness:
+    def test_stop_closes_leaked_spans(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path)
+        obs.TRACER.begin("leaked-outer")
+        obs.TRACER.begin("leaked-inner")
+        obs.stop_trace()
+        trace = load_trace(path)
+        check_span_nesting(trace)
+        assert trace.span_names() == ["leaked-inner", "leaked-outer"]
+        assert all(s["attrs"]["leaked"] for s in trace.spans)
+
+    def test_end_pops_unclosed_children(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path)
+        outer = obs.TRACER.begin("outer")
+        obs.TRACER.begin("child")  # never explicitly ended
+        obs.TRACER.end(outer)
+        obs.stop_trace()
+        trace = load_trace(path)
+        check_span_nesting(trace)
+        by_name = {s["name"]: s for s in trace.spans}
+        assert by_name["child"]["attrs"]["leaked"] is True
+
+    def test_end_foreign_span_is_noop(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.start_trace(path)
+        stale = obs.Span("stale", 99, None, clock.now(), None)
+        assert obs.TRACER.end(stale) == 0.0
+        obs.stop_trace()
+        assert load_trace(path).spans == []
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_trace(str(path))
+
+    def test_load_trace_requires_header(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text('{"type": "span", "name": "x", "id": 1, '
+                        '"parent": null, "ts": 0.0, "dur": 1.0}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_trace(str(path))
+
+
+class TestClockShim:
+    def test_set_clock_round_trip(self, tmp_path):
+        ticks = iter(float(i) for i in range(100))
+        previous = clock.set_clock(lambda: next(ticks))
+        try:
+            path = str(tmp_path / "t.jsonl")
+            obs.start_trace(path)
+            h = obs.TRACER.begin("step")
+            duration = obs.TRACER.end(h)
+            obs.stop_trace()
+        finally:
+            clock.set_clock(previous)
+        assert duration == pytest.approx(1.0)
+        (span,) = load_trace(path).spans
+        assert span["dur"] == pytest.approx(1.0)
+
+    def test_reset_clock_restores_default(self):
+        clock.set_clock(lambda: 0.0)
+        clock.reset_clock()
+        assert clock.now() != clock.now() or clock.now() >= 0.0

@@ -1,0 +1,84 @@
+"""The scheduler registry: lookup, listing, registration invariants."""
+
+import pytest
+
+from repro.schedulers import (
+    RUNNERS,
+    SchedulerEntry,
+    available,
+    entries,
+    get,
+    get_entry,
+    make_runner,
+    register,
+    run_heft,
+    runners,
+)
+from repro.schedulers.mct import MCTScheduler
+
+EXPECTED = {
+    "heft", "mct", "random", "greedy-eft", "rank-priority",
+    "min-min", "max-min", "sufferage", "fifo", "peft",
+}
+
+
+class TestLookup:
+    def test_available_is_sorted_and_complete(self):
+        names = available()
+        assert names == sorted(names)
+        assert set(names) == EXPECTED
+
+    def test_get_returns_runner(self):
+        assert get("heft") is run_heft
+
+    def test_get_entry_carries_class_and_description(self):
+        entry = get_entry("mct")
+        assert isinstance(entry, SchedulerEntry)
+        assert entry.name == "mct"
+        assert entry.cls is MCTScheduler
+        assert entry.cls.name == "mct"
+        assert entry.description
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError) as excinfo:
+            get("round-robin")
+        message = str(excinfo.value)
+        assert "round-robin" in message
+        assert "heft" in message and "mct" in message
+
+    def test_entries_matches_available(self):
+        assert [e.name for e in entries()] == available()
+
+    def test_class_names_match_registry_keys(self):
+        for entry in entries():
+            if entry.cls is not None:
+                assert entry.cls.name == entry.name
+
+
+class TestLegacyViews:
+    def test_make_runner_is_registry_get(self):
+        assert make_runner("heft") is get("heft")
+
+    def test_runners_snapshot(self):
+        snapshot = runners()
+        assert set(snapshot) == EXPECTED
+        assert snapshot["heft"] is run_heft
+        # mutating the snapshot must not touch the registry
+        snapshot["bogus"] = None
+        assert "bogus" not in available()
+
+    def test_module_level_RUNNERS_kept(self):
+        assert set(RUNNERS) == EXPECTED
+
+
+class TestRegister:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("heft", run_heft)
+
+    def test_class_name_mismatch_rejected(self):
+        class Misnamed(MCTScheduler):
+            name = "something-else"
+
+        with pytest.raises(ValueError, match="name"):
+            register("not-its-name", run_heft, cls=Misnamed)

@@ -65,3 +65,79 @@ class TestCommands:
         ])
         assert rc == 0
         assert "improvement over" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_train_trace_metrics_report_roundtrip(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs.report import check_span_nesting, load_trace
+
+        trace = str(tmp_path / "run.jsonl")
+        metrics = str(tmp_path / "run.csv")
+        rc = main([
+            "train", "--tiles", "2", "--updates", "2", "--num-envs", "2",
+            "--trace", trace, "--metrics", metrics,
+        ])
+        assert rc == 0
+        # the CLI must leave the global switches off afterwards
+        assert not obs.TRACER.enabled and not obs.METRICS.enabled
+        parsed = load_trace(trace)
+        check_span_nesting(parsed)
+        assert {"update", "unroll", "decision", "state_build", "forward"} <= set(
+            parsed.span_names()
+        )
+        assert parsed.meta["run"]["command"] == "train"
+        assert parsed.meta["run"]["spec"]["tiles"] == 2
+
+        capsys.readouterr()
+        rc = main(["report-run", trace, "--metrics", metrics])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## Span latencies" in out
+        assert "p99 ms" in out
+        assert "## Learning curve" in out
+
+    def test_report_run_to_file(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        out_md = str(tmp_path / "report.md")
+        main(["compare", "--tiles", "2", "--runs", "1",
+              "--baselines", "mct", "--trace", trace])
+        rc = main(["report-run", trace, "--out", out_md])
+        assert rc == 0
+        with open(out_md) as fh:
+            assert "decision" in fh.read()
+
+    def test_report_run_missing_file_fails(self, tmp_path, capsys):
+        rc = main(["report-run", str(tmp_path / "nope.jsonl")])
+        assert rc == 1
+        assert "report-run:" in capsys.readouterr().err
+
+    def test_report_run_empty_trace_fails(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = str(tmp_path / "empty.jsonl")
+        obs.start_trace(trace)
+        obs.stop_trace()
+        rc = main(["report-run", trace])
+        assert rc == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--baselines", "round-robin"]
+            )
+
+    def test_evaluate_with_metrics(self, tmp_path, capsys):
+        from repro.obs.metrics import load_metrics_rows, scalar_value
+
+        ckpt = str(tmp_path / "agent.npz")
+        main(["train", "--tiles", "2", "--updates", "2", "--out", ckpt])
+        metrics = str(tmp_path / "eval.csv")
+        rc = main([
+            "evaluate", "--tiles", "2", "--agent", ckpt, "--runs", "1",
+            "--metrics", metrics,
+        ])
+        assert rc == 0
+        rows = load_metrics_rows(metrics)
+        assert scalar_value(rows, "sim/tasks_started", "counter") > 0

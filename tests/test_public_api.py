@@ -27,6 +27,8 @@ class TestPublicAPI:
             "repro.eval",
             "repro.utils",
             "repro.cli",
+            "repro.obs",
+            "repro.spec",
         ],
     )
     def test_subpackages_import(self, module):
@@ -47,3 +49,17 @@ class TestPublicAPI:
 
     def test_runners_registry_exposed(self):
         assert "heft" in repro.RUNNERS and "mct" in repro.RUNNERS
+
+    def test_scheduler_registry_exposed(self):
+        assert "heft" in repro.available()
+        assert callable(repro.get("mct"))
+
+    def test_obs_defaults_off(self):
+        from repro import obs
+
+        assert obs.TRACER.enabled is False
+        assert obs.METRICS.enabled is False
+
+    def test_experiment_spec_exposed(self):
+        spec = repro.ExperimentSpec(tiles=3)
+        assert spec.to_dict()["tiles"] == 3
