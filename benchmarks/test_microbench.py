@@ -70,7 +70,7 @@ def test_perf_agent_forward(benchmark):
         cholesky_dag(8), PLATFORM, CHOLESKY_DURATIONS, NoNoise(), window=2, rng=0
     )
     agent = default_agent(env, rng=0)
-    obs = env.reset()
+    obs = env.reset().obs
     probs = benchmark(agent.action_distribution, obs)
     assert probs.sum() == pytest.approx(1.0)
 
@@ -79,7 +79,7 @@ def test_perf_a2c_update(benchmark):
     env = SchedulingEnv(
         cholesky_dag(4), PLATFORM, CHOLESKY_DURATIONS, NoNoise(), window=2, rng=0
     )
-    trainer = ReadysTrainer(env, config=A2CConfig(unroll_length=20), rng=0)
+    trainer = ReadysTrainer.from_components(env, config=A2CConfig(unroll_length=20), rng=0)
     transitions, bootstrap = trainer._collect_unroll()
 
     def update():
@@ -103,7 +103,7 @@ def test_perf_batched_forward(benchmark, num_envs):
     """
     env = _vec_env(num_envs)
     agent = default_agent(env, rng=0)
-    obs = env.reset()
+    obs = env.reset().obs
     agent.greedy_actions(obs)  # warm the per-graph caches
     actions = benchmark(agent.greedy_actions, obs)
     assert actions.shape == (num_envs,)
@@ -116,7 +116,7 @@ def test_perf_vec_unroll_update(benchmark, num_envs):
     ``num_envs * unroll_length / time``; compare across the K parametrisation
     for the batching speed-up.
     """
-    trainer = ReadysTrainer(
+    trainer = ReadysTrainer.from_components(
         _vec_env(num_envs), config=A2CConfig(unroll_length=20), rng=0
     )
     trainer.train_updates(2)  # warm caches, JIT-free steady state
@@ -177,3 +177,33 @@ def test_perf_mct_episode_obs_on(benchmark, tmp_path):
         obs.stop_trace()
         obs.METRICS.enabled = False
         obs.METRICS.reset()
+
+
+# ---------------------------------------------------------------------- #
+# multiprocess rollout pool (repro.rl.workers)
+#
+# One broadcast/rollout/update round at N = 1 (in-process reference) vs
+# N = 2/4 worker processes, Cholesky T=6.  Per-transition throughput is
+# ``workers * num_envs * unroll_length / time``; the speed-up over N = 1
+# tracks the machine's free core count (a 1-core container shows pure
+# serialisation overhead instead — see README "Parallel training").
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_perf_parallel_unroll_update(benchmark, workers):
+    from repro.spec import ExperimentSpec
+
+    spec = ExperimentSpec(tiles=6, workers=workers, num_envs=2, seed=0)
+    trainer = ReadysTrainer.from_spec(spec, config=A2CConfig(unroll_length=20))
+    trainer.train_updates(1)  # spawn the pool / warm caches outside the clock
+    try:
+        stats = benchmark.pedantic(
+            lambda: trainer.train_updates(1).update_stats[-1],
+            rounds=3, iterations=1,
+        )
+        assert np.isfinite(stats.policy_loss)
+    finally:
+        close = getattr(trainer, "close", None)
+        if close is not None:
+            close()

@@ -7,18 +7,17 @@ Cholesky/LU/QR), a discrete-event simulator of heterogeneous CPU+GPU nodes
 with stochastic task durations, HEFT/MCT and further baseline schedulers, and
 the READYS agent itself — a from-scratch NumPy GCN trained with A2C.
 
-Quickstart::
+Quickstart (spec-first — the one true entrypoint)::
 
-    from repro import (
-        cholesky_dag, Platform, CHOLESKY_DURATIONS, GaussianNoise,
-        SchedulingEnv, ReadysTrainer, evaluate_agent,
-    )
+    from repro import ExperimentSpec, ReadysTrainer, evaluate_agent, make_env
 
-    env = SchedulingEnv(cholesky_dag(4), Platform(2, 2), CHOLESKY_DURATIONS,
-                        GaussianNoise(0.2), window=2, rng=0)
-    trainer = ReadysTrainer(env, rng=0)
+    spec = ExperimentSpec(kernel="cholesky", tiles=4, sigma=0.2, seed=0)
+    trainer = ReadysTrainer.from_spec(spec)     # spec.workers > 1 -> process pool
     trainer.train_episodes(100)
-    print(evaluate_agent(trainer.agent, env, episodes=5, rng=1))
+    print(evaluate_agent(trainer.agent, make_env(spec), episodes=5, rng=1))
+
+Custom environments/agents compose via ``ReadysTrainer.from_components``;
+the loose-kwarg ``ReadysTrainer(env, ...)`` constructor is a deprecated shim.
 """
 
 __version__ = "1.0.0"
@@ -56,8 +55,10 @@ from repro.sim import (
     Simulation,
     SchedulingEnv,
     Observation,
+    ResetResult,
     StepResult,
     VecSchedulingEnv,
+    VecResetResult,
     VecStepResult,
 )
 from repro.schedulers import (
@@ -70,13 +71,20 @@ from repro.schedulers import (
     available,
     get,
     get_entry,
+    register,
 )
-from repro.spec import ExperimentSpec
+from repro.spec import ExperimentSpec, make_env, make_train_env
 from repro.rl import (
     ReadysAgent,
     AgentConfig,
     A2CConfig,
     ReadysTrainer,
+    ParallelRolloutTrainer,
+    WorkerPoolConfig,
+    TrainingCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    trainer_from_checkpoint,
     evaluate_agent,
     save_agent,
     load_agent,
@@ -117,8 +125,10 @@ __all__ = [
     "Simulation",
     "SchedulingEnv",
     "Observation",
+    "ResetResult",
     "StepResult",
     "VecSchedulingEnv",
+    "VecResetResult",
     "VecStepResult",
     # schedulers
     "heft_schedule",
@@ -130,13 +140,22 @@ __all__ = [
     "available",
     "get",
     "get_entry",
-    # spec
+    "register",
+    # spec (spec-first construction: the one true entrypoints)
     "ExperimentSpec",
+    "make_env",
+    "make_train_env",
     # RL
     "ReadysAgent",
     "AgentConfig",
     "A2CConfig",
     "ReadysTrainer",
+    "ParallelRolloutTrainer",
+    "WorkerPoolConfig",
+    "TrainingCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "trainer_from_checkpoint",
     "evaluate_agent",
     "save_agent",
     "load_agent",

@@ -132,15 +132,42 @@ def cmd_train(args) -> int:
     if args.num_envs < 1:
         raise SystemExit("--num-envs must be >= 1")
     spec = ExperimentSpec.from_args(args)
+    if spec.checkpoint_every and not args.checkpoint:
+        raise SystemExit("--checkpoint-every needs --checkpoint PATH")
     graph, platform, durations, _ = spec.make_instance()
-    env = spec.make_train_env()
-    config = A2CConfig(entropy_coef=args.entropy, learning_rate=args.lr)
-    trainer = ReadysTrainer(env, config=config, rng=spec.seed)
-    with _observed(args, spec, "train"):
-        trainer.train_updates(args.updates)
+    if spec.resume:
+        # the checkpoint carries its own spec/config/RNG state; --updates is
+        # the *total* budget of the logical run, not an increment
+        from repro.rl.checkpoint import (
+            load_checkpoint,
+            resume_target_updates,
+            trainer_from_checkpoint,
+        )
+
+        trainer = trainer_from_checkpoint(load_checkpoint(spec.resume))
+        remaining = resume_target_updates(trainer.completed_updates, args.updates)
+        print(
+            f"resumed from {spec.resume} at update {trainer.completed_updates}; "
+            f"{remaining} updates remaining"
+        )
+    else:
+        config = A2CConfig(entropy_coef=args.entropy, learning_rate=args.lr)
+        trainer = ReadysTrainer.from_spec(spec, config=config)
+        remaining = args.updates
+    try:
+        with _observed(args, spec, "train"):
+            trainer.train_updates(
+                remaining,
+                checkpoint_every=spec.checkpoint_every,
+                checkpoint_path=args.checkpoint,
+            )
+    finally:
+        close = getattr(trainer, "close", None)  # worker pools need teardown
+        if close is not None:
+            close()
     ms = trainer.result.episode_makespans
     print(
-        f"trained {args.updates} updates / {len(ms)} episodes; "
+        f"trained {remaining} updates / {len(ms)} episodes; "
         f"last-10 mean makespan {np.mean(ms[-10:]):.2f}, "
         f"HEFT {heft_makespan(graph, platform, durations):.2f}"
     )
@@ -226,7 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--num-envs", type=int, default=1,
                          help="K lockstep environments per update "
                               "(batched rollouts; 1 = historical loop)")
-    p_train.add_argument("--out", default=None, help="checkpoint output path")
+    p_train.add_argument("--workers", type=int, default=1,
+                         help="rollout worker processes (each owning "
+                              "--num-envs environments); 1 = in-process "
+                              "training, bit-identical to earlier releases")
+    p_train.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="training-checkpoint file (model + optimizer + "
+                              "RNG + env state); written per --checkpoint-every")
+    p_train.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                         help="write --checkpoint every N updates (0 = never)")
+    p_train.add_argument("--resume", default=None, metavar="PATH",
+                         help="resume a run from a training checkpoint; "
+                              "--updates is the total budget of the logical "
+                              "run, instance/config flags are taken from the "
+                              "checkpoint")
+    p_train.add_argument("--out", default=None,
+                         help="weight-only agent checkpoint (.npz) output path")
     _add_obs_args(p_train)
     p_train.set_defaults(func=cmd_train)
 

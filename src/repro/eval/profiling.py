@@ -34,7 +34,7 @@ def inference_timing(
     rng = as_generator(rng)
     samples: List[Tuple[int, float]] = []
     for _ in range(episodes):
-        obs = env.reset()
+        obs = env.reset().obs
         done = False
         while not done:
             timer = Timer()
@@ -61,7 +61,7 @@ def batched_inference_timing(
     if steps < 1:
         raise ValueError("steps must be >= 1")
     rng = as_generator(rng)
-    obs = vec_env.reset()
+    obs = vec_env.reset().obs
     total = 0.0
     for _ in range(steps):
         timer = Timer()

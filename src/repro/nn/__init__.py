@@ -31,7 +31,12 @@ from repro.nn.layers import (
     block_diag_adjacency,
 )
 from repro.nn.optim import Optimizer, SGD, Adam, RMSprop, clip_grad_norm
-from repro.nn.serialization import save_state_dict, load_state_dict
+from repro.nn.serialization import (
+    save_state_dict,
+    load_state_dict,
+    state_dict_to_bytes,
+    state_dict_from_bytes,
+)
 from repro.nn.sparse import (
     sparse_matmul,
     gcn_normalize_adjacency_sparse,
@@ -66,6 +71,8 @@ __all__ = [
     "clip_grad_norm",
     "save_state_dict",
     "load_state_dict",
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
     "sparse_matmul",
     "gcn_normalize_adjacency_sparse",
     "edges_to_sparse_adjacency",

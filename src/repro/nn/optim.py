@@ -3,11 +3,15 @@
 The paper trains with Adam at learning rate 0.01 and PyTorch defaults for the
 remaining hyper-parameters (§V-D); our Adam uses the same defaults
 (β₁=0.9, β₂=0.999, ε=1e-8) and the same bias-corrected update rule.
+
+Every optimiser exposes ``state_dict()``/``load_state_dict()`` for its slot
+buffers (Adam moments, momentum velocities, …), so training checkpoints can
+freeze and resume mid-run without perturbing the update trajectory.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Any, Dict, Iterable, List
 
 import numpy as np
 
@@ -35,6 +39,42 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Copy of the optimiser's slot state (empty for stateless optimisers).
+
+        Parameter identity is positional: the dict is only meaningful for an
+        optimiser constructed over the same parameter list in the same order.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` (positional match)."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the checkpoint "
+                f"carries state keys {sorted(state)}"
+            )
+
+    def _load_slots(self, slots: List[np.ndarray], saved: List[np.ndarray]) -> None:
+        """Overwrite slot buffers in place after shape validation."""
+        if len(saved) != len(slots):
+            raise ValueError(
+                f"checkpoint has {len(saved)} slot buffers, optimiser "
+                f"expects {len(slots)}"
+            )
+        for i, (slot, arr) in enumerate(zip(slots, saved)):
+            arr = np.asarray(arr)
+            if arr.shape != slot.shape:
+                raise ValueError(
+                    f"slot {i} shape mismatch: checkpoint {arr.shape}, "
+                    f"optimiser {slot.shape}"
+                )
+            slot[...] = arr
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -55,6 +95,12 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._load_slots(self._velocity, state["velocity"])
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
@@ -95,6 +141,18 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._load_slots(self._m, state["m"])
+        self._load_slots(self._v, state["v"])
+        self._t = int(state["t"])
+
     def step(self) -> None:
         self._t += 1
         b1, b2, t = self.beta1, self.beta2, self._t
@@ -134,6 +192,12 @@ class RMSprop(Optimizer):
         self.alpha = alpha
         self.eps = eps
         self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"sq": [sq.copy() for sq in self._sq]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._load_slots(self._sq, state["sq"])
 
     def step(self) -> None:
         for p, sq in zip(self.params, self._sq):

@@ -1,11 +1,15 @@
 """Checkpointing: save/load module state dicts as ``.npz`` archives.
 
 Used by the transfer-learning experiments (paper §V-F): an agent trained on
-Cholesky T=6 is checkpointed and re-loaded to schedule T=10/12 DAGs.
+Cholesky T=6 is checkpointed and re-loaded to schedule T=10/12 DAGs, and by
+the multiprocess rollout pool (:mod:`repro.rl.workers`), which broadcasts
+parameters to worker replicas as :func:`state_dict_to_bytes` payloads — the
+same ``.npz`` container, written to memory instead of disk.
 """
 
 from __future__ import annotations
 
+import io
 import os
 from typing import Dict
 
@@ -14,6 +18,23 @@ import numpy as np
 from repro.nn.layers import Module
 
 _META_PREFIX = "__meta__"
+
+
+def state_dict_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    """Serialise a state dict to an in-memory ``.npz`` payload.
+
+    The wire format of the worker-pool weight broadcast: pure arrays, no
+    pickled code objects, loadable with ``allow_pickle=False``.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **state)
+    return buffer.getvalue()
+
+
+def state_dict_from_bytes(payload: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_dict_to_bytes`."""
+    with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
 
 
 def save_state_dict(module: Module, path: str, **metadata: str) -> None:

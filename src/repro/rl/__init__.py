@@ -2,7 +2,24 @@
 
 from repro.rl.agent import ReadysAgent, AgentConfig
 from repro.rl.a2c import A2CConfig, A2CUpdater, Transition
-from repro.rl.trainer import ReadysTrainer, TrainResult, evaluate_agent
+from repro.rl.trainer import (
+    ReadysTrainer,
+    TrainResult,
+    agent_config_for_spec,
+    evaluate_agent,
+)
+from repro.rl.checkpoint import (
+    TrainingCheckpoint,
+    load_checkpoint,
+    resume_target_updates,
+    save_checkpoint,
+    trainer_from_checkpoint,
+)
+from repro.rl.workers import (
+    ParallelRolloutTrainer,
+    WorkerCrashError,
+    WorkerPoolConfig,
+)
 from repro.rl.transfer import save_agent, load_agent, transfer_evaluate
 from repro.rl.ppo import PPOConfig, PPOTrainer, PPOTransition, compute_gae
 from repro.rl.callbacks import (
@@ -29,7 +46,16 @@ __all__ = [
     "Transition",
     "ReadysTrainer",
     "TrainResult",
+    "agent_config_for_spec",
     "evaluate_agent",
+    "TrainingCheckpoint",
+    "load_checkpoint",
+    "resume_target_updates",
+    "save_checkpoint",
+    "trainer_from_checkpoint",
+    "ParallelRolloutTrainer",
+    "WorkerCrashError",
+    "WorkerPoolConfig",
     "save_agent",
     "load_agent",
     "transfer_evaluate",

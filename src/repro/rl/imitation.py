@@ -68,13 +68,13 @@ def collect_expert_decisions(
     if num_steps < 1:
         raise ValueError("num_steps must be >= 1")
     dataset: List[Tuple[Observation, int]] = []
-    obs = env.reset()
+    obs = env.reset().obs
     while len(dataset) < num_steps:
         action = expert(obs)
         dataset.append((obs, action))
         obs, _r, done, _info = env.step(action)
         if done:
-            obs = env.reset()
+            obs = env.reset().obs
     return dataset
 
 

@@ -42,7 +42,7 @@ def extract_static_schedule(
         graph, env.platform, env.durations, NoNoise(),
         window=env.window, rng=0,
     )
-    obs = det_env.reset()
+    obs = det_env.reset().obs
     done = False
     while not done:
         obs, _r, done, _info = det_env.step(agent.greedy_action(obs))

@@ -135,7 +135,7 @@ class PPOTrainer:
     def collect_rollout(self) -> tuple:
         """Gather ``rollout_length`` transitions; returns (transitions, bootstrap)."""
         transitions: List[PPOTransition] = []
-        obs = self._obs if self._obs is not None else self.env.reset()
+        obs = self._obs if self._obs is not None else self.env.reset().obs
         for _ in range(self.config.rollout_length):
             action, logp, value = self._policy_stats(obs)
             next_obs, reward, done, info = self.env.step(action)
@@ -145,7 +145,7 @@ class PPOTrainer:
             if done:
                 self.episode_rewards.append(reward)
                 self.episode_makespans.append(info["makespan"])
-                obs = self.env.reset()
+                obs = self.env.reset().obs
             else:
                 obs = next_obs
         self._obs = obs

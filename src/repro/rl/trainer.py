@@ -13,8 +13,9 @@ the greedy policy — batched across member environments when given a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -27,7 +28,33 @@ from repro.sim.state import PROC_FEATURE_DIM, Observation, observation_feature_d
 from repro.sim.vec_env import VecSchedulingEnv
 from repro.utils.seeding import SeedLike, as_generator
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.rl.checkpoint import TrainingCheckpoint
+    from repro.spec import ExperimentSpec
+
 EnvLike = Union[SchedulingEnv, VecSchedulingEnv]
+
+
+def agent_config_for_spec(
+    spec: "ExperimentSpec", hidden_dim: int = 64, num_gcn_layers: Optional[int] = None
+) -> AgentConfig:
+    """The :class:`AgentConfig` a default agent would get for ``spec``'s envs.
+
+    Worker processes need the architecture *before* any environment exists in
+    the parent, so this derives it from the spec alone (duration table width
+    and window depth fix every dimension).
+    """
+    from repro.graphs import duration_table_for
+
+    num_types = duration_table_for(spec.kernel).num_kernels
+    return AgentConfig(
+        feature_dim=observation_feature_dim(num_types),
+        proc_feature_dim=PROC_FEATURE_DIM,
+        hidden_dim=hidden_dim,
+        num_gcn_layers=(
+            num_gcn_layers if num_gcn_layers is not None else max(spec.window, 1)
+        ),
+    )
 
 
 @dataclass
@@ -72,6 +99,13 @@ def default_agent(
 class ReadysTrainer:
     """Synchronous A2C trainer over K lockstep environments.
 
+    Construction is **spec-first**: :meth:`from_spec` is the one true
+    entrypoint (it also dispatches to the multiprocess
+    :class:`~repro.rl.workers.ParallelRolloutTrainer` when
+    ``spec.workers > 1``), and :meth:`from_components` composes a trainer
+    from pre-built parts.  Calling ``ReadysTrainer(env, ...)`` directly still
+    works as a deprecated loose-kwarg shim.
+
     ``env`` may be a single :class:`SchedulingEnv` (wrapped into a K=1
     :class:`VecSchedulingEnv`) or a pre-built ``VecSchedulingEnv`` whose K
     members roll out in parallel through batched network passes.
@@ -83,7 +117,17 @@ class ReadysTrainer:
         agent: Optional[ReadysAgent] = None,
         config: Optional[A2CConfig] = None,
         rng: SeedLike = None,
+        *,
+        _via_factory: bool = False,
     ) -> None:
+        if not _via_factory:
+            warnings.warn(
+                "constructing ReadysTrainer(env, ...) directly is deprecated; "
+                "use ReadysTrainer.from_spec(spec) or "
+                "ReadysTrainer.from_components(env, ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if isinstance(env, VecSchedulingEnv):
             self.vec_env = env
         else:
@@ -94,10 +138,77 @@ class ReadysTrainer:
         self.updater = A2CUpdater(self.agent, config)
         self._obs: Optional[List[Observation]] = None
         self.result = TrainResult()
+        self.spec: Optional["ExperimentSpec"] = None
+        """the spec this trainer was built from (None for component builds)"""
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_spec(
+        cls, spec: "ExperimentSpec", config: Optional[A2CConfig] = None
+    ):
+        """Build the trainer described by ``spec`` — the one true entrypoint.
+
+        Returns a :class:`ReadysTrainer` when ``spec.workers == 1`` (the
+        in-process loop, bit-identical to the historical trainer) and a
+        :class:`~repro.rl.workers.ParallelRolloutTrainer` otherwise; both
+        expose the same ``train_updates``/``result``/``agent`` surface.
+        """
+        if spec.workers > 1:
+            from repro.rl.workers import ParallelRolloutTrainer
+
+            return ParallelRolloutTrainer.from_spec(spec, config=config)
+        trainer = cls.from_components(
+            spec.make_train_env(), config=config, rng=spec.seed
+        )
+        trainer.spec = spec
+        return trainer
+
+    @classmethod
+    def from_components(
+        cls,
+        env: EnvLike,
+        agent: Optional[ReadysAgent] = None,
+        config: Optional[A2CConfig] = None,
+        rng: SeedLike = None,
+    ) -> "ReadysTrainer":
+        """Compose a trainer from pre-built parts (env/agent/config/rng).
+
+        The supported composition API for custom environments and agents;
+        prefer :meth:`from_spec` when an :class:`~repro.spec.ExperimentSpec`
+        describes the run.
+        """
+        return cls(env, agent, config, rng, _via_factory=True)
+
+    @classmethod
+    def from_checkpoint(cls, path: str) -> "ReadysTrainer":
+        """Revive a trainer from a :mod:`repro.rl.checkpoint` file.
+
+        The restored trainer continues the interrupted run bit-identically:
+        model weights, optimizer slots, RNG streams, environment state and
+        the learning-curve history all resume where the checkpoint left off.
+        """
+        from repro.rl.checkpoint import load_checkpoint, trainer_from_checkpoint
+
+        trainer = trainer_from_checkpoint(load_checkpoint(path))
+        if not isinstance(trainer, cls):
+            raise TypeError(
+                f"checkpoint {path!r} was written by a "
+                f"{type(trainer).__name__}; load it with "
+                "trainer_from_checkpoint() or the matching class"
+            )
+        return trainer
 
     @property
     def num_envs(self) -> int:
         return self.vec_env.num_envs
+
+    @property
+    def completed_updates(self) -> int:
+        """Unroll+update cycles applied so far (the checkpoint ``step``)."""
+        return len(self.result.update_stats)
 
     # ------------------------------------------------------------------ #
 
@@ -118,7 +229,7 @@ class ReadysTrainer:
         k = self.num_envs
         tracer = obs.TRACER
         unrolls: List[List[Transition]] = [[] for _ in range(k)]
-        observations = self._obs if self._obs is not None else self.vec_env.reset()
+        observations = self._obs if self._obs is not None else self.vec_env.reset().obs
         for _ in range(unroll_length):
             actions = self.agent.sample_actions(observations, self.rng)
             step = self.vec_env.step(actions)
@@ -222,13 +333,40 @@ class ReadysTrainer:
                 )
         return stats
 
-    def train_updates(self, num_updates: int) -> TrainResult:
-        """Run ``num_updates`` unroll+update cycles; returns the history."""
+    def train_updates(
+        self,
+        num_updates: int,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ) -> TrainResult:
+        """Run ``num_updates`` unroll+update cycles; returns the history.
+
+        With ``checkpoint_every=N`` and a ``checkpoint_path``, a full
+        training checkpoint (model + optimizer + RNG + env state + history)
+        is written atomically every N cycles and after the final cycle, so a
+        killed run loses at most N updates and ``from_checkpoint`` resumes
+        the learning curve seamlessly.
+        """
         if num_updates < 0:
             raise ValueError("num_updates must be >= 0")
-        for _ in range(num_updates):
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and not checkpoint_path:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
+        for i in range(num_updates):
             self._one_update()
+            if checkpoint_every and (
+                (i + 1) % checkpoint_every == 0 or i + 1 == num_updates
+            ):
+                self.save_checkpoint(checkpoint_path)
         return self.result
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write a resumable checkpoint of the full training state to ``path``."""
+        from repro.rl.checkpoint import checkpoint_of_trainer, save_checkpoint
+
+        save_checkpoint(checkpoint_of_trainer(self), path)
 
     def train_episodes(self, num_episodes: int) -> TrainResult:
         """Train until ``num_episodes`` additional episodes have completed."""
@@ -263,7 +401,7 @@ def _evaluate_vec(
     makespans: List[List[float]] = [[] for _ in range(k)]
     active = [i for i in range(k) if quotas[i] > 0]
     observations: List[Optional[Observation]] = [
-        vec_env.envs[i].reset() if quotas[i] > 0 else None for i in range(k)
+        vec_env.envs[i].reset().obs if quotas[i] > 0 else None for i in range(k)
     ]
     while active:
         batch = [observations[i] for i in active]
@@ -278,7 +416,7 @@ def _evaluate_vec(
             if result.done:
                 makespans[i].append(result.info["makespan"])
                 if len(makespans[i]) < quotas[i]:
-                    observations[i] = env.reset()
+                    observations[i] = env.reset().obs
                     still_active.append(i)
                 else:
                     observations[i] = None
@@ -310,7 +448,7 @@ def evaluate_agent(
         return _evaluate_vec(agent, env, episodes, greedy, rng)
     makespans: List[float] = []
     for _ in range(episodes):
-        observation = env.reset()
+        observation = env.reset().obs
         done = False
         while not done:
             if greedy:

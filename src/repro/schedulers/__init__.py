@@ -61,27 +61,9 @@ from repro.schedulers.registry import (
     runners,
 )
 
-# The canonical scheduler catalogue.  Classes are registered alongside their
-# runner where one exists; registration validates the class's ``name``
-# attribute against the registry key so the two spellings cannot drift.
-register("heft", run_heft, description="static HEFT plan, replayed dynamically")
-register("peft", run_peft, description="static PEFT plan (optimistic cost table)")
-register("mct", run_mct, cls=MCTScheduler,
-         description="minimum completion time, queue-driven (paper §V-C)")
-register("random", run_random, cls=RandomScheduler,
-         description="uniform random ready task")
-register("greedy-eft", run_greedy, cls=GreedyScheduler,
-         description="greedy earliest finish time")
-register("rank-priority", run_rank_priority, cls=RankPriorityScheduler,
-         description="upward-rank priority list scheduling")
-register("min-min", run_minmin, cls=MinMinScheduler,
-         description="min-min batch heuristic")
-register("max-min", run_maxmin, cls=MaxMinScheduler,
-         description="max-min batch heuristic")
-register("sufferage", run_sufferage, cls=SufferageScheduler,
-         description="sufferage batch heuristic")
-register("fifo", run_fifo, cls=FIFOScheduler,
-         description="first ready, first served")
+# Built-in schedulers register themselves via the ``@register("name")``
+# decorator in their defining modules (imported above), so registration lives
+# next to the scheduler code; this package only re-exports the registry API.
 
 #: legacy view: name → runner(sim, rng=None) -> makespan.  A snapshot of the
 #: registry taken at import time; new code should call ``get``/``available``.

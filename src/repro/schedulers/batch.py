@@ -22,6 +22,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.schedulers.base import CompletionEstimator, QueueScheduler, run_queued
+from repro.schedulers.registry import register
 from repro.sim.engine import Simulation
 from repro.utils.seeding import SeedLike
 
@@ -71,11 +72,15 @@ class MaxMinScheduler(_BatchCompletionScheduler):
     take_max = True
 
 
+@register("min-min", cls=MinMinScheduler,
+          description="min-min batch heuristic")
 def run_minmin(sim: Simulation, rng: SeedLike = None) -> float:
     """Min-Min baseline; returns the makespan."""
     return run_queued(sim, MinMinScheduler())
 
 
+@register("max-min", cls=MaxMinScheduler,
+          description="max-min batch heuristic")
 def run_maxmin(sim: Simulation, rng: SeedLike = None) -> float:
     """Max-Min baseline; returns the makespan."""
     return run_queued(sim, MaxMinScheduler())

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.schedulers.base import DynamicScheduler, run_dynamic
 from repro.schedulers.heft import upward_rank
+from repro.schedulers.registry import register
 from repro.sim.engine import Simulation
 from repro.utils.seeding import SeedLike, as_generator
 
@@ -103,17 +104,23 @@ class RankPriorityScheduler(DynamicScheduler):
         return None
 
 
+@register("random", cls=RandomScheduler,
+          description="uniform random ready task")
 def run_random(sim: Simulation, rng: SeedLike = None) -> float:
     """Random scheduling baseline; returns the makespan."""
     rng = as_generator(rng)
     return run_dynamic(sim, RandomScheduler(rng=rng), rng=rng)
 
 
+@register("greedy-eft", cls=GreedyScheduler,
+          description="greedy earliest finish time")
 def run_greedy(sim: Simulation, rng: SeedLike = None) -> float:
     """Greedy EFT baseline; returns the makespan."""
     return run_dynamic(sim, GreedyScheduler(), rng=rng)
 
 
+@register("rank-priority", cls=RankPriorityScheduler,
+          description="upward-rank priority list scheduling")
 def run_rank_priority(sim: Simulation, rng: SeedLike = None) -> float:
     """Critical-path priority list scheduling; returns the makespan."""
     return run_dynamic(sim, RankPriorityScheduler(), rng=rng)

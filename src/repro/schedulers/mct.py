@@ -14,6 +14,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.schedulers.base import CompletionEstimator, QueueScheduler, run_queued
+from repro.schedulers.registry import register
 from repro.sim.engine import Simulation
 from repro.utils.seeding import SeedLike
 
@@ -44,6 +45,8 @@ class MCTScheduler(QueueScheduler):
         return assignments
 
 
+@register("mct", cls=MCTScheduler,
+          description="minimum completion time, queue-driven (paper §V-C)")
 def run_mct(sim: Simulation, rng: SeedLike = None) -> float:
     """Execute ``sim`` to completion under MCT; returns the makespan.
 

@@ -29,6 +29,7 @@ from repro.graphs.taskgraph import TaskGraph
 from repro.platforms.comm import CommunicationModel, NoComm
 from repro.platforms.resources import Platform
 from repro.schedulers.heft import StaticSchedule, _earliest_slot
+from repro.schedulers.registry import register
 from repro.schedulers.static_executor import run_static
 from repro.sim.engine import Simulation
 from repro.utils.seeding import SeedLike
@@ -137,6 +138,7 @@ def peft_schedule(
     return schedule
 
 
+@register("peft", description="static PEFT plan (optimistic cost table)")
 def run_peft(sim: Simulation, rng: SeedLike = None) -> float:
     """Plan with PEFT on expected durations, then execute under sim's noise."""
     schedule = peft_schedule(sim.graph, sim.platform, sim.durations, comm=sim.comm)

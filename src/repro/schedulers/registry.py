@@ -32,15 +32,30 @@ _REGISTRY: Dict[str, SchedulerEntry] = {}
 
 def register(
     name: str,
-    runner: Runner,
+    runner: Optional[Runner] = None,
     cls: Optional[type] = None,
     description: str = "",
-) -> None:
-    """Register ``runner`` (and optionally its scheduler class) under ``name``.
+):
+    """Register a runner (and optionally its scheduler class) under ``name``.
+
+    Two forms:
+
+    * direct — ``register("heft", run_heft, description=...)``;
+    * decorator (omit ``runner``) — the idiom for built-ins, placed on the
+      runner in its defining module so registration lives next to the code::
+
+          @register("mct", cls=MCTScheduler, description="minimum completion time")
+          def run_mct(sim, rng=None) -> float: ...
 
     Raises ``ValueError`` on duplicate names and when ``cls.name`` disagrees
     with the registry name — the class attribute is the canonical spelling.
     """
+    if runner is None:
+        def decorator(fn: Runner) -> Runner:
+            register(name, fn, cls=cls, description=description)
+            return fn
+
+        return decorator
     if name in _REGISTRY:
         raise ValueError(f"scheduler {name!r} is already registered")
     if cls is not None:

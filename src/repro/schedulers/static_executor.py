@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.schedulers.base import DynamicScheduler, run_dynamic
 from repro.schedulers.heft import StaticSchedule, heft_schedule
+from repro.schedulers.registry import register
 from repro.sim.engine import Simulation
 from repro.utils.seeding import SeedLike
 
@@ -56,6 +57,7 @@ def run_static(sim: Simulation, schedule: StaticSchedule, rng: SeedLike = None) 
     return run_dynamic(sim, StaticOrderScheduler(schedule), rng=rng)
 
 
+@register("heft", description="static HEFT plan, replayed dynamically")
 def run_heft(sim: Simulation, rng: SeedLike = None) -> float:
     """Plan with HEFT on expected durations, then execute under sim's noise."""
     schedule = heft_schedule(sim.graph, sim.platform, sim.durations)

@@ -24,6 +24,7 @@ from repro.schedulers.base import (
     run_dynamic,
     run_queued,
 )
+from repro.schedulers.registry import register
 from repro.sim.engine import Simulation
 from repro.utils.seeding import SeedLike
 
@@ -74,11 +75,15 @@ class FIFOScheduler(DynamicScheduler):
         return int(ready.min())
 
 
+@register("sufferage", cls=SufferageScheduler,
+          description="sufferage batch heuristic")
 def run_sufferage(sim: Simulation, rng: SeedLike = None) -> float:
     """Sufferage baseline; returns the makespan."""
     return run_queued(sim, SufferageScheduler())
 
 
+@register("fifo", cls=FIFOScheduler,
+          description="first ready, first served")
 def run_fifo(sim: Simulation, rng: SeedLike = None) -> float:
     """FIFO baseline; returns the makespan."""
     return run_dynamic(sim, FIFOScheduler(), rng=rng)

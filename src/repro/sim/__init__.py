@@ -2,8 +2,8 @@
 
 from repro.sim.engine import Simulation, ScheduledTask
 from repro.sim.state import Observation, StateBuilder
-from repro.sim.env import SchedulingEnv, StepResult, run_policy
-from repro.sim.vec_env import VecSchedulingEnv, VecStepResult
+from repro.sim.env import ResetResult, SchedulingEnv, StepResult, run_policy
+from repro.sim.vec_env import VecResetResult, VecSchedulingEnv, VecStepResult
 from repro.sim.trace_io import (
     trace_to_dict,
     save_trace_json,
@@ -17,8 +17,10 @@ __all__ = [
     "Observation",
     "StateBuilder",
     "SchedulingEnv",
+    "ResetResult",
     "StepResult",
     "VecSchedulingEnv",
+    "VecResetResult",
     "VecStepResult",
     "run_policy",
     "trace_to_dict",

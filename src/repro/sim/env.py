@@ -36,12 +36,26 @@ from repro.utils.seeding import SeedLike, as_generator
 GraphSource = Union[TaskGraph, Callable[[np.random.Generator], TaskGraph]]
 
 
+class ResetResult(NamedTuple):
+    """Typed result of :meth:`SchedulingEnv.reset` (the Gym 0.26 shape).
+
+    Unpacks as the protocol's ``obs, info = env.reset(seed=...)`` 2-tuple;
+    field access (``result.obs``) is the primary spelling.
+    """
+
+    obs: Observation
+    """the first decision point of the fresh episode"""
+    info: dict
+    """episode metadata (``heft_makespan``, ``num_tasks``)"""
+
+
 class StepResult(NamedTuple):
     """Typed result of :meth:`SchedulingEnv.step`.
 
-    A ``NamedTuple``, so the historical 4-tuple unpacking
-    ``obs, reward, done, info = env.step(a)`` keeps working; new code should
-    prefer field access (``result.done``, ``result.info["makespan"]``).
+    The typed result is the primary API; being a ``NamedTuple`` it also
+    unpacks as the documented compatibility view — the historical 4-tuple
+    ``obs, reward, done, info = env.step(a)``.  New code should prefer field
+    access (``result.done``, ``result.info["makespan"]``).
     """
 
     obs: Optional[Observation]
@@ -122,8 +136,16 @@ class SchedulingEnv:
             return self._graph_source
         return self._graph_source(self.rng)
 
-    def reset(self) -> Observation:
-        """Start a new episode; returns the first observation."""
+    def reset(self, seed: SeedLike = None) -> ResetResult:
+        """Start a new episode; returns ``(obs, info)`` per the Gym 0.26 protocol.
+
+        ``seed`` (optional) re-seeds the environment's RNG stream before the
+        episode starts — ``reset(seed=s)`` then replaying the same actions is
+        fully reproducible regardless of prior history.  The returned
+        :class:`ResetResult` unpacks as ``obs, info``.
+        """
+        if seed is not None:
+            self.rng = as_generator(seed)
         graph = self._sample_graph()
         self.sim = Simulation(
             graph, self.platform, self.durations, self.noise, rng=self.rng
@@ -148,7 +170,11 @@ class SchedulingEnv:
         obs = self._next_decision()
         assert obs is not None, "a fresh episode must have a decision point"
         self._current_obs = obs
-        return obs
+        info = {
+            "heft_makespan": self._baseline_makespan,
+            "num_tasks": graph.num_tasks,
+        }
+        return ResetResult(obs, info)
 
     def _next_decision(self) -> Optional[Observation]:
         """Advance the simulator to the next decision point (or the end)."""
@@ -254,7 +280,7 @@ def run_policy(
     ``policy`` maps an observation to an action index.  Raises if the episode
     exceeds ``max_steps`` decisions (a runaway-pass guard for buggy policies).
     """
-    observation = env.reset()
+    observation = env.reset().obs
     for _ in range(max_steps):
         action = policy(observation)
         result = env.step(action)

@@ -26,7 +26,18 @@ import numpy as np
 
 from repro.sim.env import SchedulingEnv
 from repro.sim.state import Observation
-from repro.utils.seeding import SeedLike, spawn_generators
+from repro.utils.seeding import SeedLike, spawn_generators, spawn_seed_sequences
+
+
+class VecResetResult(NamedTuple):
+    """Typed result of :meth:`VecSchedulingEnv.reset` (the Gym 0.26 shape).
+
+    Unpacks as the protocol's ``obs, infos = vec_env.reset(seed=...)``
+    2-tuple; ``obs[k]``/``infos[k]`` belong to member ``k``.
+    """
+
+    obs: List[Observation]
+    infos: List[dict]
 
 
 class VecStepResult(NamedTuple):
@@ -95,9 +106,24 @@ class VecSchedulingEnv:
 
     # ------------------------------------------------------------------ #
 
-    def reset(self) -> List[Observation]:
-        """Start a new episode in every member; returns the K first observations."""
-        return [env.reset() for env in self.envs]
+    def reset(self, seed: SeedLike = None) -> VecResetResult:
+        """Start a new episode in every member; returns ``(obs, infos)``.
+
+        ``seed`` (optional) re-seeds every member before resetting: member
+        streams are the K children spawned from the **single**
+        :class:`~numpy.random.SeedSequence` built from ``seed`` — never
+        ad-hoc per-member offsets — so no two members (or any other consumer
+        spawned from the same root elsewhere) can collide on an RNG stream.
+        """
+        if seed is not None:
+            member_seeds = spawn_seed_sequences(seed, self.num_envs)
+            results = [
+                env.reset(seed=child)
+                for env, child in zip(self.envs, member_seeds)
+            ]
+        else:
+            results = [env.reset() for env in self.envs]
+        return VecResetResult([r.obs for r in results], [r.info for r in results])
 
     def step(self, actions: Sequence[int]) -> VecStepResult:
         """Apply one action per member; auto-reset finished members.
@@ -121,7 +147,9 @@ class VecSchedulingEnv:
             result = env.step(int(action))
             obs = result.obs
             if result.done:
-                obs = env.reset()
+                # auto-reset continues the member's own persistent RNG stream
+                # (seeded once from the root SeedSequence at construction)
+                obs = env.reset().obs
             observations.append(obs)
             rewards[k] = result.reward
             dones[k] = result.done

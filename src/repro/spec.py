@@ -10,6 +10,7 @@ carries its full instance description and can be re-materialised with
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Optional, Tuple
 
@@ -39,6 +40,13 @@ class ExperimentSpec:
     sparse_state: bool = False
     num_envs: int = 1
     reward_mode: str = "dense"
+    workers: int = 1
+    """rollout worker processes; 1 = in-process training (the historical
+    single-process loop, bit-identical to pre-worker releases)"""
+    checkpoint_every: int = 0
+    """write a training checkpoint every N updates (0 = never)"""
+    resume: Optional[str] = None
+    """path of a training checkpoint to resume from (None = fresh run)"""
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -60,6 +68,16 @@ class ExperimentSpec:
         if self.reward_mode not in ("dense", "terminal"):
             raise ValueError(
                 f"reward_mode must be 'dense' or 'terminal', got {self.reward_mode!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.resume is not None and not isinstance(self.resume, str):
+            raise ValueError(
+                f"resume must be None or a checkpoint path, got {self.resume!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -90,6 +108,20 @@ class ExperimentSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form — the run-metadata header of trace files."""
         return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExperimentSpec":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"spec JSON must decode to an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+    def to_json(self) -> str:
+        """The spec as a JSON object string (round-trips via :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
 
     def replace(self, **changes: Any) -> "ExperimentSpec":
         """A copy with ``changes`` applied (dataclasses.replace sugar)."""
@@ -146,3 +178,24 @@ class ExperimentSpec:
         return VecSchedulingEnv(
             [self.make_env(rng=rng) for rng in spawn_generators(self.seed, self.num_envs)]
         )
+
+
+# ---------------------------------------------------------------------- #
+# spec-first constructors (the one true entrypoints)
+# ---------------------------------------------------------------------- #
+
+
+def make_env(spec: ExperimentSpec, rng: Optional[Any] = None):
+    """A single :class:`~repro.sim.env.SchedulingEnv` described by ``spec``.
+
+    The spec-first construction API: every experiment surface (CLI, trainer,
+    eval harness, workers) builds environments through a spec rather than by
+    re-plumbing loose kwargs.  ``rng`` overrides :attr:`ExperimentSpec.seed`
+    for members of vectorised/worker pools.
+    """
+    return spec.make_env(rng=rng)
+
+
+def make_train_env(spec: ExperimentSpec):
+    """The training environment of ``spec`` — single env or K lockstep members."""
+    return spec.make_train_env()

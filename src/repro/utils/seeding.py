@@ -5,11 +5,18 @@ existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
 normalises it through :func:`as_generator`.  Experiments that need several
 independent streams derive them with :func:`spawn_generators` so that adding
 one more consumer never perturbs the draws of the others.
+
+All child streams are derived through a **single** :class:`numpy.random.SeedSequence`
+(:func:`spawn_seed_sequences`): K-member vectorised environments and N-worker
+rollout pools both spawn their streams from one root, so no two consumers can
+ever collide on the same underlying stream regardless of (K, N).  Checkpoints
+capture live generators with :func:`generator_state` and revive them with
+:func:`restore_generator`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Union
 
 import numpy as np
 
@@ -31,17 +38,69 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(seed).__name__!r}")
 
 
-def spawn_generators(seed: SeedLike, n: int) -> List[np.random.Generator]:
-    """Derive ``n`` statistically independent generators from one seed."""
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Normalise ``seed`` to a :class:`numpy.random.SeedSequence` root.
+
+    A generator input contributes one ``integers`` draw of entropy (a
+    deterministic function of the generator state); ints and ``None`` seed
+    the sequence directly.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed if seed is None else int(seed))
+    raise TypeError(f"cannot build a SeedSequence from {type(seed).__name__!r}")
+
+
+def spawn_seed_sequences(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
+    """``n`` independent child sequences of the single root built from ``seed``.
+
+    This is the one derivation path for every fan-out in the library (vec-env
+    members, rollout workers, multi-seed sweeps): children of one root carry
+    distinct ``spawn_key``s, so streams cannot collide by construction.
+    """
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
-    if isinstance(seed, np.random.SeedSequence):
-        seq = seed
-    elif isinstance(seed, np.random.Generator):
-        # Use the generator itself to derive child seeds; deterministic given
-        # the generator state.
-        children = seed.integers(0, 2**63 - 1, size=n)
-        return [np.random.default_rng(int(c)) for c in children]
-    else:
-        seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(n)]
+    return as_seed_sequence(seed).spawn(n)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    All inputs — including live generators — route through a single
+    :class:`~numpy.random.SeedSequence` root (see :func:`spawn_seed_sequences`),
+    never ad-hoc integer offsets.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]
+
+
+# ---------------------------------------------------------------------- #
+# checkpointable generator state
+# ---------------------------------------------------------------------- #
+
+
+def generator_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """A plain-dict snapshot of ``rng`` (the bit-generator name + state).
+
+    The snapshot is JSON-compatible up to numpy ints and round-trips through
+    :func:`restore_generator`; used by training checkpoints so a resumed run
+    continues the exact RNG stream of the interrupted one.
+    """
+    return {
+        "bit_generator": type(rng.bit_generator).__name__,
+        "state": rng.bit_generator.state,
+    }
+
+
+def restore_generator(state: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild the generator captured by :func:`generator_state`."""
+    name = state["bit_generator"]
+    try:
+        bit_gen_cls = getattr(np.random, name)
+    except AttributeError:
+        raise ValueError(f"unknown bit generator {name!r} in checkpoint") from None
+    bit_gen = bit_gen_cls()
+    bit_gen.state = state["state"]
+    return np.random.Generator(bit_gen)

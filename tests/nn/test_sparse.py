@@ -132,7 +132,7 @@ class TestSparseEnvEndToEnd:
         env_s = SchedulingEnv(graph, Platform(2, 2), CHOLESKY_DURATIONS,
                               NoNoise(), sparse_state=True, **kw)
         agent = default_agent(env_d, rng=0)
-        obs_d, obs_s = env_d.reset(), env_s.reset()
+        obs_d, obs_s = env_d.reset().obs, env_s.reset().obs
         np.testing.assert_allclose(
             agent.action_distribution(obs_d),
             agent.action_distribution(obs_s),

@@ -28,7 +28,7 @@ def _train(updates: int = 2, num_envs: int = 2) -> ReadysTrainer:
         )
         for rng in spawn_generators(0, num_envs)
     ]
-    trainer = ReadysTrainer(
+    trainer = ReadysTrainer.from_components(
         VecSchedulingEnv(envs), config=A2CConfig(unroll_length=10), rng=0
     )
     trainer.train_updates(updates)
@@ -137,7 +137,7 @@ class TestStepResult:
             cholesky_dag(2), Platform(1, 1), CHOLESKY_DURATIONS, NoNoise(),
             window=1, rng=0,
         )
-        env.reset()
+        env.reset().obs
         result = env.step(0)
         assert isinstance(result, StepResult)
         # historical 4-tuple unpacking keeps working
@@ -157,7 +157,7 @@ class TestStepResult:
                 for s in (0, 1)
             ]
         )
-        env.reset()
+        env.reset().obs
         result = env.step([0, 0])
         assert isinstance(result, VecStepResult)
         observations, rewards, dones, infos = result
@@ -175,7 +175,7 @@ class TestLearningCurveCallback:
             cholesky_dag(2), Platform(1, 1), CHOLESKY_DURATIONS, NoNoise(),
             window=1, rng=0,
         )
-        trainer = ReadysTrainer(env, config=A2CConfig(unroll_length=10), rng=0)
+        trainer = ReadysTrainer.from_components(env, config=A2CConfig(unroll_length=10), rng=0)
         path = str(tmp_path / "curve.csv")
         cb = LearningCurveCallback(path, every=2)
         ran = train_with_callbacks(trainer, 4, [cb])
@@ -196,7 +196,7 @@ class TestLearningCurveCallback:
             cholesky_dag(2), Platform(1, 1), CHOLESKY_DURATIONS, NoNoise(),
             window=1, rng=0,
         )
-        trainer = ReadysTrainer(env, config=A2CConfig(unroll_length=5), rng=0)
+        trainer = ReadysTrainer.from_components(env, config=A2CConfig(unroll_length=5), rng=0)
         cb = LearningCurveCallback(str(tmp_path / "curve.jsonl"), every=100)
         cb(trainer, 0)  # not a multiple of `every` — no write
         assert cb.writes == 0

@@ -79,7 +79,7 @@ class TestMaterialisation:
         env = ExperimentSpec(tiles=2, window=1, sparse_state=True).make_env()
         assert isinstance(env, SchedulingEnv)
         assert env.window == 1
-        obs = env.reset()
+        obs = env.reset().obs
         assert obs.num_actions >= 1
 
     def test_make_train_env_single(self):

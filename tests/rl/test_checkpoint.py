@@ -1,0 +1,146 @@
+"""Checkpoint/resume: a killed run continues its learning curve seamlessly."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.rl.a2c import A2CConfig
+from repro.rl.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    resume_target_updates,
+    save_checkpoint,
+    trainer_from_checkpoint,
+)
+from repro.rl.trainer import ReadysTrainer
+from repro.rl.workers import ParallelRolloutTrainer
+from repro.spec import ExperimentSpec
+
+SPEC = ExperimentSpec(tiles=3, num_envs=2, seed=7)
+CONFIG = A2CConfig(unroll_length=5)
+
+
+def rows(result):
+    return [
+        (s.policy_loss, s.value_loss, s.entropy, s.grad_norm, s.mean_return)
+        for s in result.update_stats
+    ]
+
+
+class TestSingleProcessResume:
+    def test_save_kill_resume_matches_uninterrupted(self, tmp_path):
+        """3 updates + checkpoint + 3 resumed == 6 uninterrupted, row by row."""
+        path = str(tmp_path / "ckpt.pkl")
+        reference = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        uninterrupted = reference.train_updates(6)
+
+        first = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        first.train_updates(3, checkpoint_every=3, checkpoint_path=path)
+        del first  # the "kill": only the checkpoint survives
+
+        resumed = ReadysTrainer.from_checkpoint(path)
+        assert resumed.completed_updates == 3
+        assert resumed.spec == SPEC
+        continued = resumed.train_updates(3)
+
+        assert rows(continued) == rows(uninterrupted)
+        assert continued.episode_makespans == uninterrupted.episode_makespans
+        assert continued.episode_rewards == uninterrupted.episode_rewards
+
+    def test_periodic_checkpoints_overwrite_atomically(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        trainer = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        trainer.train_updates(4, checkpoint_every=2, checkpoint_path=path)
+        ckpt = load_checkpoint(path)
+        assert ckpt.step == 4
+        assert not os.path.exists(path + ".tmp")
+
+    def test_optimizer_state_round_trips(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        trainer = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        trainer.train_updates(2)
+        trainer.save_checkpoint(path)
+        restored = ReadysTrainer.from_checkpoint(path)
+        saved = trainer.updater.optimizer.state_dict()
+        loaded = restored.updater.optimizer.state_dict()
+        assert saved["t"] == loaded["t"] == 2
+        assert all((a == b).all() for a, b in zip(saved["m"], loaded["m"]))
+        assert all((a == b).all() for a, b in zip(saved["v"], loaded["v"]))
+
+    def test_component_trainer_checkpoints_without_spec(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        trainer = ReadysTrainer.from_components(SPEC.make_train_env(), rng=0)
+        trainer.train_updates(1)
+        trainer.save_checkpoint(path)
+        restored = trainer_from_checkpoint(load_checkpoint(path))
+        assert restored.spec is None
+        assert restored.completed_updates == 1
+
+
+class TestParallelResume:
+    def test_save_kill_resume_matches_uninterrupted(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        spec = SPEC.replace(workers=2)
+        with ParallelRolloutTrainer.from_spec(spec, config=CONFIG) as reference:
+            uninterrupted = reference.train_updates(4)
+
+        with ParallelRolloutTrainer.from_spec(spec, config=CONFIG) as first:
+            first.train_updates(2, checkpoint_every=2, checkpoint_path=path)
+
+        resumed = trainer_from_checkpoint(load_checkpoint(path))
+        assert isinstance(resumed, ParallelRolloutTrainer)
+        assert resumed.completed_updates == 2
+        with resumed:
+            continued = resumed.train_updates(2)
+
+        assert rows(continued) == rows(uninterrupted)
+        assert continued.episode_makespans == uninterrupted.episode_makespans
+
+    def test_from_checkpoint_rejects_wrong_flavour(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        trainer = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        trainer.train_updates(1)
+        trainer.save_checkpoint(path)
+        with pytest.raises(TypeError):
+            ParallelRolloutTrainer.from_checkpoint(path)
+
+
+class TestCheckpointFiles:
+    def test_load_rejects_foreign_pickles(self, tmp_path):
+        path = str(tmp_path / "junk.pkl")
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a checkpoint"}, fh)
+        with pytest.raises(ValueError, match="TrainingCheckpoint"):
+            load_checkpoint(path)
+
+    def test_load_rejects_future_versions(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        from repro.rl.checkpoint import checkpoint_of_trainer
+
+        trainer = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        trainer.train_updates(1)
+        frozen = checkpoint_of_trainer(trainer)
+        frozen.version = CHECKPOINT_VERSION + 1
+        save_checkpoint(frozen, path)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_from_checkpoint_type_guard(self, tmp_path):
+        path = str(tmp_path / "ckpt.pkl")
+        spec = SPEC.replace(workers=2)
+        with ParallelRolloutTrainer.from_spec(spec, config=CONFIG) as trainer:
+            trainer.train_updates(1, checkpoint_every=1, checkpoint_path=path)
+        with pytest.raises(TypeError):
+            ReadysTrainer.from_checkpoint(path)
+
+
+class TestResumeTargetUpdates:
+    def test_arithmetic(self):
+        assert resume_target_updates(3, 10) == 7
+        assert resume_target_updates(10, 10) == 0
+        assert resume_target_updates(12, 10) == 0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            resume_target_updates(0, -1)

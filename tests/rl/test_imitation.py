@@ -27,7 +27,7 @@ def make_env(tiles=4, rng=0):
 class TestMctExpert:
     def test_actions_legal(self):
         env = make_env()
-        obs = env.reset()
+        obs = env.reset().obs
         done = False
         while not done:
             a = mct_expert(obs)

@@ -36,7 +36,7 @@ class TestTrainMultiSeed:
             config=A2CConfig(unroll_length=10), eval_episodes=1, seed=1,
         )
         env = env_factory(np.random.default_rng(99))
-        obs = env.reset()
+        obs = env.reset().obs
         probs = result.agent.action_distribution(obs)
         assert probs.sum() == pytest.approx(1.0)
 

@@ -26,7 +26,7 @@ class TestSaveLoad:
         path = str(tmp_path / "agent.npz")
         save_agent(agent, path)
         restored = load_agent(path)
-        obs = env.reset()
+        obs = env.reset().obs
         np.testing.assert_allclose(
             agent.action_distribution(obs), restored.action_distribution(obs)
         )

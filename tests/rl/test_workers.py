@@ -1,0 +1,172 @@
+"""Multiprocess rollout pool: parallel training, determinism, fault tolerance."""
+
+import os
+import signal
+
+import pytest
+
+from repro.rl.a2c import A2CConfig
+from repro.rl.trainer import ReadysTrainer
+from repro.rl.workers import (
+    ParallelRolloutTrainer,
+    WorkerCrashError,
+    WorkerPoolConfig,
+)
+from repro.spec import ExperimentSpec
+
+SPEC = ExperimentSpec(tiles=3, workers=2, num_envs=2, seed=7)
+CONFIG = A2CConfig(unroll_length=5)
+# fast failure detection so the crash tests don't sit out long timeouts
+FAST_POOL = WorkerPoolConfig(
+    rollout_timeout=30.0, heartbeat_interval=0.05, respawn_backoff=0.01
+)
+
+
+def losses(result):
+    return [s.policy_loss for s in result.update_stats]
+
+
+class TestParallelTraining:
+    def test_from_spec_dispatches_on_workers(self):
+        parallel = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        assert isinstance(parallel, ParallelRolloutTrainer)
+        parallel.close()
+        single = ReadysTrainer.from_spec(SPEC.replace(workers=1), config=CONFIG)
+        assert isinstance(single, ReadysTrainer)
+
+    def test_two_worker_training_completes(self):
+        with ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG) as trainer:
+            result = trainer.train_updates(3)
+        assert len(result.update_stats) == 3
+        assert trainer.completed_updates == 3
+        assert trainer.num_envs == SPEC.workers * SPEC.num_envs
+        for stats in result.update_stats:
+            assert stats.grad_norm >= 0.0
+
+    def test_deterministic_given_seed_and_workers(self):
+        with ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG) as a:
+            ra = a.train_updates(3)
+        with ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG) as b:
+            rb = b.train_updates(3)
+        assert losses(ra) == losses(rb)
+        assert ra.episode_makespans == rb.episode_makespans
+        assert ra.episode_rewards == rb.episode_rewards
+
+    def test_different_seeds_differ(self):
+        with ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG) as a:
+            ra = a.train_updates(2)
+        with ParallelRolloutTrainer.from_spec(
+            SPEC.replace(seed=11), config=CONFIG
+        ) as b:
+            rb = b.train_updates(2)
+        assert losses(ra) != losses(rb)
+
+    def test_train_episodes(self):
+        with ParallelRolloutTrainer.from_spec(
+            SPEC.replace(tiles=2), config=CONFIG
+        ) as trainer:
+            result = trainer.train_episodes(2)
+        assert result.num_episodes >= 2
+
+    def test_close_is_idempotent_and_reaps_processes(self):
+        trainer = ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG)
+        trainer.start()
+        procs = [h.process for h in trainer.workers]
+        trainer.close()
+        trainer.close()
+        assert all(not p.is_alive() for p in procs)
+        assert trainer.workers == [None, None]
+
+    def test_negative_updates_rejected(self):
+        trainer = ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG)
+        with pytest.raises(ValueError):
+            trainer.train_updates(-1)
+        trainer.close()
+
+    def test_checkpoint_every_requires_path(self):
+        trainer = ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG)
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            trainer.train_updates(1, checkpoint_every=1)
+        trainer.close()
+
+
+class TestFaultTolerance:
+    def test_sigkill_mid_training_respawns_and_completes(self):
+        killed = []
+
+        def inject(round_index, trainer):
+            if round_index == 1 and not killed:
+                killed.append(trainer.workers[0].process.pid)
+                os.kill(trainer.workers[0].process.pid, signal.SIGKILL)
+
+        with ParallelRolloutTrainer.from_spec(
+            SPEC, config=CONFIG, pool_config=FAST_POOL
+        ) as trainer:
+            trainer.fault_injector = inject
+            result = trainer.train_updates(4)
+        assert killed, "the injector never fired"
+        assert trainer.respawn_count >= 1
+        # the learning curve has the full length and schema despite the crash
+        assert len(result.update_stats) == 4
+        assert all(s.grad_norm >= 0.0 for s in result.update_stats)
+
+    def test_respawned_worker_gets_fresh_generation(self):
+        def inject(round_index, trainer):
+            if round_index == 1 and trainer.workers[0].generation == 0:
+                os.kill(trainer.workers[0].process.pid, signal.SIGKILL)
+
+        with ParallelRolloutTrainer.from_spec(
+            SPEC, config=CONFIG, pool_config=FAST_POOL
+        ) as trainer:
+            trainer.fault_injector = inject
+            trainer.train_updates(3)
+            assert trainer.workers[0].generation == 1
+            assert trainer.workers[1].generation == 0
+
+    def test_respawn_budget_exhaustion_raises(self):
+        pool = WorkerPoolConfig(
+            rollout_timeout=30.0,
+            heartbeat_interval=0.05,
+            max_respawns=1,
+            respawn_backoff=0.0,
+        )
+
+        def keep_killing(round_index, trainer):
+            # kill rank 0 now and every replacement as soon as it appears
+            os.kill(trainer.workers[0].process.pid, signal.SIGKILL)
+
+        with ParallelRolloutTrainer.from_spec(
+            SPEC, config=CONFIG, pool_config=pool
+        ) as trainer:
+            original_respawn = trainer._respawn
+
+            def kill_after_respawn(rank, attempt, state):
+                original_respawn(rank, attempt, state)
+                if rank == 0:
+                    os.kill(trainer.workers[0].process.pid, signal.SIGKILL)
+
+            trainer._respawn = kill_after_respawn
+            trainer.fault_injector = keep_killing
+            with pytest.raises(WorkerCrashError, match="respawn budget"):
+                trainer.train_updates(1)
+
+    def test_worker_exception_raises_in_parent(self):
+        with ParallelRolloutTrainer.from_spec(SPEC, config=CONFIG) as trainer:
+            trainer.start()
+            trainer.workers[0].conn.send(("no-such-command", None))
+            with pytest.raises(RuntimeError, match="worker 0 raised"):
+                trainer._await(0, "rollout")
+
+
+class TestWorkerPoolConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPoolConfig(rollout_timeout=0)
+        with pytest.raises(ValueError):
+            WorkerPoolConfig(heartbeat_interval=0)
+        with pytest.raises(ValueError):
+            WorkerPoolConfig(max_respawns=-1)
+        with pytest.raises(ValueError):
+            WorkerPoolConfig(respawn_backoff=-0.1)
+        with pytest.raises(ValueError):
+            WorkerPoolConfig(start_method="no-such-method")

@@ -37,13 +37,13 @@ def first_task_policy(obs):
 
 class TestReset:
     def test_returns_observation(self):
-        obs = make_env().reset()
+        obs = make_env().reset().obs
         assert obs is not None
         assert len(obs.ready_tasks) == 1  # Cholesky has a single root
 
     def test_baseline_is_heft(self):
         env = make_env()
-        env.reset()
+        env.reset().obs
         expected = heft_makespan(env._sample_graph(), env.platform, env.durations)
         assert env.baseline_makespan == expected
 
@@ -61,7 +61,7 @@ class TestReset:
         env = SchedulingEnv(
             factory, Platform(1, 1), CHOLESKY_DURATIONS, NoNoise(), rng=0
         )
-        env.reset()
+        env.reset().obs
         run_policy(env, first_task_policy)
         assert len(calls) >= 2
 
@@ -73,7 +73,7 @@ class TestReset:
 class TestStep:
     def test_action_out_of_range(self):
         env = make_env()
-        obs = env.reset()
+        obs = env.reset().obs
         with pytest.raises(ValueError):
             env.step(obs.num_actions)
 
@@ -118,18 +118,18 @@ class TestPassAction:
     def test_pass_masked_when_last_resort(self):
         """At t=0 with a single idle processor nothing is running: ∅ illegal."""
         env = make_env(cpus=1, gpus=0)
-        obs = env.reset()
+        obs = env.reset().obs
         assert not obs.allow_pass
 
     def test_pass_allowed_with_other_idle_procs(self):
         env = make_env(cpus=2, gpus=2)
-        obs = env.reset()
+        obs = env.reset().obs
         # nothing running but three other idle processors remain
         assert obs.allow_pass
 
     def test_passed_processor_not_reoffered_same_instant(self):
         env = make_env(cpus=2, gpus=2)
-        obs = env.reset()
+        obs = env.reset().obs
         first_proc = obs.current_proc
         obs2, _, _, _ = env.step(len(obs.ready_tasks))  # pass
         assert obs2.current_proc != first_proc
@@ -138,7 +138,7 @@ class TestPassAction:
 class TestRewards:
     def test_terminal_mode_matches_paper_formula(self):
         env = make_env(reward_mode="terminal")
-        obs = env.reset()
+        obs = env.reset().obs
         rewards = []
         done = False
         while not done:
@@ -150,7 +150,7 @@ class TestRewards:
 
     def test_dense_mode_telescopes_to_makespan_ratio(self):
         env = make_env(reward_mode="dense")
-        obs = env.reset()
+        obs = env.reset().obs
         total = 0.0
         done = False
         while not done:
@@ -160,7 +160,7 @@ class TestRewards:
 
     def test_dense_step_rewards_nonpositive(self):
         env = make_env(reward_mode="dense")
-        obs = env.reset()
+        obs = env.reset().obs
         done = False
         while not done:
             obs, r, done, _ = env.step(0)
@@ -202,3 +202,34 @@ class TestOtherGraphFamilies:
         info = run_policy(env, first_task_policy)
         assert env.sim.done
         env.sim.check_trace()
+
+
+class TestResetProtocol:
+    """The Gym 0.26-style reset: typed (obs, info) with optional seeding."""
+
+    def test_reset_returns_obs_info_pair(self):
+        obs, info = make_env().reset()
+        assert obs.num_actions >= 1
+        assert info["num_tasks"] == cholesky_dag(4).num_tasks
+        assert info["heft_makespan"] > 0
+
+    def test_reset_result_fields(self):
+        result = make_env().reset()
+        assert result.obs is result[0]
+        assert result.info is result[1]
+
+    def test_reset_seed_reseeds_the_stream(self):
+        env = make_env(sigma=0.2)
+        env.reset(seed=3)
+        a = [env.rng.random() for _ in range(4)]
+        env.reset(seed=3)
+        b = [env.rng.random() for _ in range(4)]
+        assert a == b
+
+    def test_reset_without_seed_keeps_the_stream(self):
+        env = make_env(sigma=0.2, rng=0)
+        env.reset()
+        before = env.rng.random()
+        env.reset()
+        after = env.rng.random()
+        assert before != after  # one persistent stream, not re-seeded

@@ -67,7 +67,7 @@ def test_dense_reward_telescopes(layers, width, seed):
         graph, Platform(2, 1), GENERIC_DURATIONS, NoNoise(),
         window=1, rng=seed, reward_mode="dense",
     )
-    obs = env.reset()
+    obs = env.reset().obs
     total = 0.0
     done = False
     policy = random_policy(seed)
@@ -89,7 +89,7 @@ def test_observations_well_formed(n, seed, window):
         graph, Platform(1, 2), GENERIC_DURATIONS, NoNoise(),
         window=window, rng=seed,
     )
-    obs = env.reset()
+    obs = env.reset().obs
     policy = random_policy(seed)
     done = False
     while not done:

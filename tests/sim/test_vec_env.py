@@ -28,7 +28,7 @@ def make_vec(k, tiles=2, seed=0):
 def random_rollout(vec, rng, steps):
     """Step with uniformly random legal actions; returns the step tuples."""
     out = []
-    obs = vec.reset()
+    obs = vec.reset().obs
     for _ in range(steps):
         actions = [int(rng.integers(o.num_actions)) for o in obs]
         obs, rewards, dones, infos = vec.step(actions)
@@ -74,13 +74,13 @@ class TestConstruction:
 class TestStepping:
     def test_reset_returns_one_observation_per_member(self):
         vec = make_vec(4)
-        obs = vec.reset()
+        obs = vec.reset().obs
         assert len(obs) == 4
         assert all(isinstance(o, Observation) for o in obs)
 
     def test_step_shapes_and_dtypes(self):
         vec = make_vec(3)
-        obs = vec.reset()
+        obs = vec.reset().obs
         observations, rewards, dones, infos = vec.step([0] * 3)
         assert len(observations) == 3 and len(infos) == 3
         assert rewards.shape == (3,) and rewards.dtype == np.float64
@@ -88,7 +88,7 @@ class TestStepping:
 
     def test_wrong_action_count_raises(self):
         vec = make_vec(2)
-        vec.reset()
+        vec.reset().obs
         with pytest.raises(ValueError, match="actions"):
             vec.step([0])
 
@@ -109,7 +109,7 @@ class TestStepping:
         vec = make_vec(4, seed=123)
         rng = np.random.default_rng(7)
         done_counts = np.zeros(4, dtype=int)
-        obs = vec.reset()
+        obs = vec.reset().obs
         for _ in range(80):
             actions = [int(rng.integers(o.num_actions)) for o in obs]
             obs, _rewards, dones, _infos = vec.step(actions)
@@ -130,8 +130,8 @@ class TestStepping:
         vec = VecSchedulingEnv([make_env(rng=31)])
         plain = make_env(rng=31)
         rng = np.random.default_rng(3)
-        vec_obs = vec.reset()
-        plain_obs = plain.reset()
+        vec_obs = vec.reset().obs
+        plain_obs = plain.reset().obs
         for _ in range(50):
             action = int(rng.integers(vec_obs[0].num_actions))
             assert vec_obs[0].num_actions == plain_obs.num_actions
@@ -139,6 +139,25 @@ class TestStepping:
             p_obs, p_r, p_d, _ = plain.step(action)
             assert v_r[0] == p_r and v_d[0] == p_d
             if p_d:
-                p_obs = plain.reset()
+                p_obs = plain.reset().obs
             np.testing.assert_array_equal(vec_obs[0].features, p_obs.features)
             plain_obs = p_obs
+
+
+class TestVecResetProtocol:
+    """Vectorised Gym 0.26 reset: (obs, infos) lists plus seed spawning."""
+
+    def test_reset_returns_obs_infos_pair(self):
+        vec = make_vec(3)
+        obs, infos = vec.reset()
+        assert len(obs) == 3 and len(infos) == 3
+        assert all(i["heft_makespan"] > 0 for i in infos)
+
+    def test_reset_seed_derives_member_streams_from_one_root(self):
+        vec = make_vec(2)
+        vec.reset(seed=5)
+        a = [env.rng.random() for env in vec.envs]
+        vec.reset(seed=5)
+        b = [env.rng.random() for env in vec.envs]
+        assert a == b
+        assert a[0] != a[1]  # members get distinct spawned streams

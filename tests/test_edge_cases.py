@@ -127,7 +127,7 @@ class TestRewardEdgeCases:
             cholesky_dag(3), Platform(2, 2), CHOLESKY_DURATIONS, HugeNoise(),
             rng=0, reward_mode="dense",
         )
-        obs = env.reset()
+        obs = env.reset().obs
         done = False
         while not done:
             obs, r, done, _ = env.step(0)

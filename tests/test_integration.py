@@ -109,7 +109,7 @@ class TestEndToEndLearning:
         env = SchedulingEnv(
             graph, platform, CHOLESKY_DURATIONS, NoNoise(), window=2, rng=0
         )
-        trainer = ReadysTrainer(env, config=A2CConfig(entropy_coef=1e-2), rng=0)
+        trainer = ReadysTrainer.from_components(env, config=A2CConfig(entropy_coef=1e-2), rng=0)
         trainer.train_updates(450)
         trained = np.mean(evaluate_agent(trainer.agent, env, episodes=3, rng=1))
         random_mks = []
@@ -123,7 +123,7 @@ class TestEndToEndLearning:
             cholesky_dag(4), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(),
             window=2, rng=0,
         )
-        trainer = ReadysTrainer(env4, config=A2CConfig(entropy_coef=1e-2), rng=0)
+        trainer = ReadysTrainer.from_components(env4, config=A2CConfig(entropy_coef=1e-2), rng=0)
         trainer.train_updates(450)
         env8 = SchedulingEnv(
             cholesky_dag(8), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(),

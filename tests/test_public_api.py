@@ -44,7 +44,7 @@ class TestPublicAPI:
             window=1,
             rng=0,
         )
-        obs = env.reset()
+        obs = env.reset().obs
         assert obs.num_actions >= 1
 
     def test_runners_registry_exposed(self):
@@ -63,3 +63,42 @@ class TestPublicAPI:
     def test_experiment_spec_exposed(self):
         spec = repro.ExperimentSpec(tiles=3)
         assert spec.to_dict()["tiles"] == 3
+
+
+class TestCuratedAll:
+    """repro.__all__ is the curated public surface — enforced, not advisory."""
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_spec_first_entrypoints_exported(self):
+        for name in ("ExperimentSpec", "make_env", "make_train_env"):
+            assert name in repro.__all__
+
+    def test_worker_and_checkpoint_api_exported(self):
+        for name in (
+            "ParallelRolloutTrainer",
+            "WorkerPoolConfig",
+            "TrainingCheckpoint",
+            "save_checkpoint",
+            "load_checkpoint",
+            "trainer_from_checkpoint",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_reset_protocol_types_exported(self):
+        assert "ResetResult" in repro.__all__
+        assert "VecResetResult" in repro.__all__
+
+    def test_register_decorator_exported(self):
+        assert "register" in repro.__all__
+        decorator = repro.register("test-only-scheduler")
+        assert callable(decorator)
+        # the decorator form registers on application, not on creation
+        assert "test-only-scheduler" not in repro.available()
+
+    def test_trainer_factories_are_the_documented_entrypoints(self):
+        assert callable(repro.ReadysTrainer.from_spec)
+        assert callable(repro.ReadysTrainer.from_components)
+        assert callable(repro.ReadysTrainer.from_checkpoint)

@@ -1,0 +1,110 @@
+"""Spec-first construction API: factories, the deprecation shim, JSON round-trip."""
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.rl.a2c import A2CConfig
+from repro.rl.trainer import ReadysTrainer
+from repro.sim.env import SchedulingEnv
+from repro.sim.vec_env import VecSchedulingEnv
+from repro.spec import ExperimentSpec, make_env, make_train_env
+
+
+class TestSpecFirstConstruction:
+    def test_make_env_module_function(self):
+        spec = ExperimentSpec(tiles=3)
+        env = make_env(spec)
+        assert isinstance(env, SchedulingEnv)
+        assert env.window == spec.window
+
+    def test_make_train_env_module_function(self):
+        assert isinstance(
+            make_train_env(ExperimentSpec(tiles=2)), SchedulingEnv
+        )
+        assert isinstance(
+            make_train_env(ExperimentSpec(tiles=2, num_envs=3)), VecSchedulingEnv
+        )
+
+    def test_entrypoints_reexported_at_top_level(self):
+        assert repro.make_env is make_env
+        assert repro.make_train_env is make_train_env
+
+    def test_from_spec_trains(self):
+        trainer = ReadysTrainer.from_spec(
+            ExperimentSpec(tiles=2), config=A2CConfig(unroll_length=4)
+        )
+        result = trainer.train_updates(1)
+        assert len(result.update_stats) == 1
+        assert trainer.spec == ExperimentSpec(tiles=2)
+
+    def test_from_spec_matches_manual_composition(self):
+        spec = ExperimentSpec(tiles=3, num_envs=2, seed=4)
+        config = A2CConfig(unroll_length=5)
+        a = ReadysTrainer.from_spec(spec, config=config).train_updates(2)
+        b = ReadysTrainer.from_components(
+            spec.make_train_env(), config=config, rng=spec.seed
+        ).train_updates(2)
+        assert [s.policy_loss for s in a.update_stats] == [
+            s.policy_loss for s in b.update_stats
+        ]
+
+
+class TestDeprecationShim:
+    def test_direct_construction_warns(self):
+        env = make_env(ExperimentSpec(tiles=2))
+        with pytest.warns(DeprecationWarning, match="from_spec"):
+            ReadysTrainer(env, rng=0)
+
+    def test_factories_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ReadysTrainer.from_spec(ExperimentSpec(tiles=2))
+            ReadysTrainer.from_components(make_env(ExperimentSpec(tiles=2)), rng=0)
+
+    def test_shim_still_trains(self):
+        env = make_env(ExperimentSpec(tiles=2))
+        with pytest.warns(DeprecationWarning):
+            trainer = ReadysTrainer(env, config=A2CConfig(unroll_length=4), rng=0)
+        assert len(trainer.train_updates(1).update_stats) == 1
+
+
+class TestSpecSerialization:
+    def test_json_round_trip(self):
+        spec = ExperimentSpec(
+            kernel="lu", tiles=5, sigma=0.2, workers=3,
+            checkpoint_every=10, resume="runs/ck.pkl",
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_json_is_a_sorted_object(self):
+        data = json.loads(ExperimentSpec().to_json())
+        assert isinstance(data, dict)
+        assert list(data) == sorted(data)
+        assert {"workers", "checkpoint_every", "resume"} <= set(data)
+
+    def test_from_json_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_json("[1, 2]")
+
+    def test_from_dict_ignores_unknown_keys(self):
+        spec = ExperimentSpec.from_dict({"tiles": 3, "not_a_field": 1})
+        assert spec.tiles == 3
+
+
+class TestNewSpecFields:
+    def test_defaults(self):
+        spec = ExperimentSpec()
+        assert spec.workers == 1
+        assert spec.checkpoint_every == 0
+        assert spec.resume is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(workers=0)
+        with pytest.raises(ValueError):
+            ExperimentSpec(checkpoint_every=-1)
+        with pytest.raises(ValueError):
+            ExperimentSpec(resume=123)

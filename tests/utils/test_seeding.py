@@ -69,3 +69,42 @@ class TestSpawnGenerators:
         first_of_two = spawn_generators(11, 2)[0].random(4)
         first_of_five = spawn_generators(11, 5)[0].random(4)
         np.testing.assert_array_equal(first_of_two, first_of_five)
+
+
+class TestSeedSequences:
+    def test_as_seed_sequence_round_trip(self):
+        from repro.utils.seeding import as_seed_sequence
+
+        a = as_seed_sequence(9).generate_state(4)
+        b = as_seed_sequence(9).generate_state(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_seed_sequences_match_spawn_generators(self):
+        from repro.utils.seeding import spawn_generators, spawn_seed_sequences
+
+        seqs = spawn_seed_sequences(3, 4)
+        gens = spawn_generators(3, 4)
+        for seq, gen in zip(seqs, gens):
+            np.testing.assert_array_equal(
+                np.random.default_rng(seq).random(3), gen.random(3)
+            )
+
+    def test_children_are_distinct(self):
+        from repro.utils.seeding import spawn_seed_sequences
+
+        seqs = spawn_seed_sequences(0, 3)
+        draws = [np.random.default_rng(s).random() for s in seqs]
+        assert len(set(draws)) == 3
+
+
+class TestGeneratorState:
+    def test_state_round_trip_continues_the_stream(self):
+        from repro.utils.seeding import generator_state, restore_generator
+
+        rng = np.random.default_rng(5)
+        rng.random(7)
+        frozen = generator_state(rng)
+        expected = rng.random(5)
+        np.testing.assert_array_equal(
+            restore_generator(frozen).random(5), expected
+        )
