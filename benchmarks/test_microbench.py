@@ -75,6 +75,27 @@ def test_perf_agent_forward(benchmark):
     assert probs.sum() == pytest.approx(1.0)
 
 
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_perf_agent_forward_compiled(benchmark, dtype):
+    """Steady-state compiled replay of the same single forward.
+
+    The first call captures the plan (excluded via warm-up); the benchmark
+    then measures raw tape-free NumPy replays — compare against
+    ``test_perf_agent_forward`` for the engine's speedup.
+    """
+    env = SchedulingEnv(
+        cholesky_dag(8), PLATFORM, CHOLESKY_DURATIONS, NoNoise(), window=2, rng=0
+    )
+    agent = default_agent(env, rng=0)
+    agent.enable_compiled(dtype=dtype)
+    obs = env.reset().obs
+    agent.action_distribution(obs)  # warm: capture the plan
+    probs = benchmark(agent.action_distribution, obs)
+    assert probs.sum() == pytest.approx(1.0)
+    stats = agent.compile_stats()
+    assert stats["replays"] > 0 and stats["fallbacks"] == 0
+
+
 def test_perf_a2c_update(benchmark):
     env = SchedulingEnv(
         cholesky_dag(4), PLATFORM, CHOLESKY_DURATIONS, NoNoise(), window=2, rng=0

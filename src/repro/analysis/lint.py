@@ -33,6 +33,11 @@ RPR007    Float equality (``==`` / ``!=``) against a float literal on a
           are sums of floats; compare with ``pytest.approx`` or
           ``math.isclose``.  (Comparing two *computed* makespans for exact
           equality — a determinism check — is allowed.)
+RPR008    Import of :mod:`repro.nn.compile` internals outside ``nn/``, tests
+          or benchmarks.  The capture/replay engine's plan/arena/step types
+          are private; consumers use the public re-exports
+          (``from repro.nn import InferenceCompiler``) or the agent's
+          ``enable_compiled`` API so the engine can evolve freely.
 ========  ==================================================================
 """
 
@@ -80,7 +85,18 @@ RULES: Dict[str, Tuple[str, str]] = {
         "float-equality",
         "no float == on duration/makespan values against float literals",
     ),
+    "RPR008": (
+        "compile-internals",
+        "repro.nn.compile internals may only be imported from nn/, tests "
+        "or benchmarks — use the repro.nn re-exports",
+    ),
 }
+
+#: names of repro.nn.compile that are re-exported from repro.nn (public API)
+_COMPILE_PUBLIC = {"InferenceCompiler", "CompileStats", "BufferArena"}
+
+#: path fragments allowed to reach into repro.nn.compile directly
+_COMPILE_ALLOWED_DIRS = ("repro/nn/", "tests/", "benchmarks/")
 
 #: directory names never linted (fixture trees hold deliberate violations)
 EXCLUDED_DIR_NAMES = {"lint_fixtures", "__pycache__", ".git", ".ruff_cache"}
@@ -189,6 +205,9 @@ class _Checker(ast.NodeVisitor):
         self.set_locals: List[Dict[str, bool]] = [{}]
         self.nn_internal = _is_nn_internal(self.path)
         self.sim_logic = _is_sim_logic(self.path)
+        self.compile_allowed = any(
+            fragment in self.path for fragment in _COMPILE_ALLOWED_DIRS
+        )
 
     # -- reporting ------------------------------------------------------ #
 
@@ -208,13 +227,53 @@ class _Checker(ast.NodeVisitor):
             self.aliases[alias.asname or alias.name.split(".")[0]] = (
                 alias.name if alias.asname else alias.name.split(".")[0]
             )
+            if not self.compile_allowed and (
+                alias.name == "repro.nn.compile"
+                or alias.name.startswith("repro.nn.compile.")
+            ):
+                self.report(
+                    node,
+                    "RPR008",
+                    f"import of '{alias.name}' outside nn/, tests or "
+                    f"benchmarks; use the repro.nn re-exports "
+                    f"(InferenceCompiler, CompileStats, BufferArena) or "
+                    f"ReadysAgent.enable_compiled",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module and node.level == 0:
             for alias in node.names:
                 self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._check_compile_import_from(node)
         self.generic_visit(node)
+
+    def _check_compile_import_from(self, node: ast.ImportFrom) -> None:
+        if self.compile_allowed:
+            return
+        module = node.module or ""
+        if module == "repro.nn.compile" or module.startswith("repro.nn.compile."):
+            for alias in node.names:
+                if module == "repro.nn.compile" and alias.name in _COMPILE_PUBLIC:
+                    continue  # public name — but prefer the repro.nn re-export
+                self.report(
+                    node,
+                    "RPR008",
+                    f"import of engine internal "
+                    f"'{module}.{alias.name}' outside nn/, tests or "
+                    f"benchmarks; the capture/replay plan/arena types are "
+                    f"private — use the repro.nn public API",
+                )
+        elif module == "repro.nn":
+            for alias in node.names:
+                if alias.name == "compile":
+                    self.report(
+                        node,
+                        "RPR008",
+                        "importing the repro.nn.compile module outside nn/, "
+                        "tests or benchmarks; import the public names from "
+                        "repro.nn instead",
+                    )
 
     def _resolve(self, node: ast.AST) -> Optional[str]:
         """Fully dotted name of an attribute chain, through import aliases."""

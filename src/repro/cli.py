@@ -48,6 +48,36 @@ def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_compiled_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compiled", action=argparse.BooleanOptionalAction, default=False,
+        help="capture/replay compiled no-grad forwards (float64 replays are "
+             "bit-identical to the reference interpreter)",
+    )
+    parser.add_argument(
+        "--compiled-dtype", default="float64", choices=["float64", "float32"],
+        help="replay arithmetic dtype; float32 trades a small documented "
+             "tolerance for speed (training updates stay float64)",
+    )
+
+
+def _print_compile_stats(agent) -> None:
+    """One status line of engine counters (plan cache, memo, arena)."""
+    stats = agent.compile_stats()
+    if stats is None:
+        return
+    print(
+        "compiled: plan hits {plan_hits} / misses {plan_misses} "
+        "(hit rate {rate:.3f}), memo hits {memo_hits}, fallbacks {fallbacks}, "
+        "arena {arena_kib:.1f} KiB".format(
+            rate=stats["hit_rate"],
+            arena_kib=stats["arena_bytes"] / 1024.0,
+            **{k: stats[k] for k in
+               ("plan_hits", "plan_misses", "memo_hits", "fallbacks")},
+        )
+    )
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -109,10 +139,19 @@ def cmd_info(args) -> int:
 def cmd_compare(args) -> int:
     spec = ExperimentSpec.from_args(args)
     agent = load_agent(args.agent) if args.agent else None
+    engine = (
+        agent.enable_compiled(dtype=spec.compiled_dtype)
+        if agent is not None and spec.compiled
+        else None
+    )
     with _observed(args, spec, "compare"):
         result = compare_spec(
             spec, baselines=tuple(args.baselines), agent=agent, seeds=args.runs
         )
+        if engine is not None:
+            engine.publish_metrics(obs.METRICS)
+    if engine is not None:
+        _print_compile_stats(agent)
     rows = []
     for method in result.methods():
         rows.append([method, result.mean(method), min(result.makespans[method])])
@@ -166,6 +205,8 @@ def cmd_train(args) -> int:
         if close is not None:
             close()
     ms = trainer.result.episode_makespans
+    if getattr(trainer.agent, "compiled", False):
+        _print_compile_stats(trainer.agent)
     print(
         f"trained {remaining} updates / {len(ms)} episodes; "
         f"last-10 mean makespan {np.mean(ms[-10:]):.2f}, "
@@ -181,9 +222,16 @@ def cmd_evaluate(args) -> int:
     spec = ExperimentSpec.from_args(args)
     graph, platform, durations, _ = spec.make_instance()
     agent = load_agent(args.agent)
+    engine = (
+        agent.enable_compiled(dtype=spec.compiled_dtype) if spec.compiled else None
+    )
     env = spec.make_env()
     with _observed(args, spec, "evaluate"):
         mks = evaluate_agent(agent, env, episodes=args.runs, rng=spec.seed)
+        if engine is not None:
+            engine.publish_metrics(obs.METRICS)
+    if engine is not None:
+        _print_compile_stats(agent)
     heft = heft_makespan(graph, platform, durations)
     print(
         f"readys mean {np.mean(mks):.2f} over {len(mks)} episodes "
@@ -235,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--agent", default=None, help="checkpoint (.npz) to include")
     p_cmp.add_argument("--runs", type=int, default=5)
     p_cmp.add_argument("--window", type=int, default=2)
+    _add_compiled_args(p_cmp)
     _add_obs_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
@@ -269,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "checkpoint")
     p_train.add_argument("--out", default=None,
                          help="weight-only agent checkpoint (.npz) output path")
+    _add_compiled_args(p_train)
     _add_obs_args(p_train)
     p_train.set_defaults(func=cmd_train)
 
@@ -277,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--agent", required=True)
     p_eval.add_argument("--runs", type=int, default=5)
     p_eval.add_argument("--window", type=int, default=2)
+    _add_compiled_args(p_eval)
     _add_obs_args(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 

@@ -142,6 +142,8 @@ def compare_spec(
     same instance the spec would train on.
     """
     graph, platform, durations, noise = spec.make_instance()
+    if agent is not None and spec.compiled and not agent.compiled:
+        agent.enable_compiled(dtype=spec.compiled_dtype)
     return compare_methods(
         graph,
         platform,

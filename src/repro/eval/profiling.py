@@ -13,6 +13,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.eval.metrics import mean_confidence_interval
+from repro.obs import metrics
 from repro.rl.agent import ReadysAgent
 from repro.sim.env import SchedulingEnv
 from repro.sim.vec_env import VecSchedulingEnv
@@ -25,23 +26,44 @@ def inference_timing(
     env: SchedulingEnv,
     episodes: int = 3,
     rng: SeedLike = None,
+    repeats: int = 1,
 ) -> List[Tuple[int, float]]:
     """Collect (window size, seconds) samples over full episodes.
 
     Each sample times exactly one forward pass (action selection) and records
-    the number of tasks in the window at that decision.
+    the number of tasks in the window at that decision.  ``repeats > 1``
+    switches to steady-state methodology: the forward is issued ``repeats``
+    times per decision and the sample is the minimum (the usual min-of-k
+    latency estimator — it strips scheduler noise and cold-cache effects,
+    and must be applied symmetrically to every mode being compared).
     """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
     rng = as_generator(rng)
     samples: List[Tuple[int, float]] = []
     for _ in range(episodes):
         obs = env.reset().obs
         done = False
         while not done:
-            timer = Timer()
-            with timer:
+            best = Timer()
+            with best:
                 action = agent.sample_action(obs, rng)
-            samples.append((obs.num_nodes, timer.total))
+            for _ in range(repeats - 1):
+                timer = Timer()
+                with timer:
+                    action = agent.sample_action(obs, rng)
+                if timer.total < best.total:
+                    best = timer
+            samples.append((obs.num_nodes, best.total))
             obs, _r, done, _info = env.step(action)
+    if metrics.METRICS.enabled:
+        # per-decision latency histogram (raw samples; a Timer metric keeps
+        # them all, so p50/p95 can be recomputed from the dump)
+        hist = metrics.METRICS.timer(
+            "inference/decision_seconds", compiled=agent.compiled
+        )
+        for _size, seconds in samples:
+            hist.record(seconds)
     return samples
 
 
@@ -76,6 +98,55 @@ def batched_inference_timing(
         "seconds_per_wave": total / steps,
         "decisions_per_second": (k * steps) / total if total > 0 else float("inf"),
     }
+
+
+def latency_percentiles(
+    samples: List[Tuple[int, float]],
+) -> Dict[str, float]:
+    """Summary statistics of per-decision latency samples.
+
+    Accepts the ``(window size, seconds)`` pairs of :func:`inference_timing`
+    and reduces the latency axis to the numbers the inference benchmark
+    records (``BENCH_inference.json``): mean, p50 and p95 seconds.
+    """
+    if not samples:
+        raise ValueError("no timing samples")
+    times = np.array([t for _, t in samples], dtype=np.float64)
+    return {
+        "count": int(times.size),
+        "mean_s": float(times.mean()),
+        "p50_s": float(np.percentile(times, 50)),
+        "p95_s": float(np.percentile(times, 95)),
+    }
+
+
+def percentiles_by_window_size(
+    samples: List[Tuple[int, float]],
+    num_bins: int = 6,
+) -> List[Dict[str, float]]:
+    """Per-window-size-bin p50/p95 latency rows (Fig. 7 percentile series)."""
+    if not samples:
+        raise ValueError("no timing samples")
+    sizes = np.array([s for s, _ in samples], dtype=np.float64)
+    times = np.array([t for _, t in samples], dtype=np.float64)
+    edges = np.linspace(sizes.min(), sizes.max() + 1e-9, num_bins + 1)
+    rows: List[Dict[str, float]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (sizes >= lo) & (sizes < hi)
+        if not mask.any():
+            continue
+        sel = times[mask]
+        rows.append(
+            {
+                "window_lo": float(lo),
+                "window_hi": float(hi),
+                "count": int(mask.sum()),
+                "mean_s": float(sel.mean()),
+                "p50_s": float(np.percentile(sel, 50)),
+                "p95_s": float(np.percentile(sel, 95)),
+            }
+        )
+    return rows
 
 
 def timing_by_window_size(

@@ -43,6 +43,7 @@ from repro.nn.sparse import (
     edges_to_sparse_adjacency,
     block_diag_adjacency_sparse,
 )
+from repro.nn.compile import BufferArena, CompileStats, InferenceCompiler
 from repro.nn import init
 
 __all__ = [
@@ -77,5 +78,8 @@ __all__ = [
     "gcn_normalize_adjacency_sparse",
     "edges_to_sparse_adjacency",
     "block_diag_adjacency_sparse",
+    "InferenceCompiler",
+    "CompileStats",
+    "BufferArena",
     "init",
 ]

@@ -1,0 +1,731 @@
+"""Tape-free compiled inference: capture/replay of no-grad forwards.
+
+The training stack pays, on every op, for machinery that inference never
+uses: ``Tensor`` wrappers, backward-closure construction, version-counter
+snapshots, anomaly scans, and a fresh allocation per intermediate.  Paper
+Fig. 7 measures exactly this path (per-decision forward latency), so
+:class:`InferenceCompiler` removes it:
+
+* the **first** call for a given shape signature runs the normal
+  ``Module.forward`` under a capture hook (:data:`repro.nn.tensor._CAPTURE`)
+  that records the flat op sequence — op kind, operand slots, baked
+  parameters, output shape;
+* **replays** execute that plan as raw NumPy: each step is one ufunc/BLAS
+  call writing into a preallocated buffer drawn from a shape-bucketed
+  :class:`BufferArena` — no Tensor objects, no tape, no version counters, no
+  anomaly hooks.
+
+Because the window size varies per decision, plans (and their buffers) are
+keyed by a caller-supplied shape signature and evicted LRU; an evicted
+plan's buffers return to the arena for reuse by the next plan of the same
+shapes.
+
+Correctness contract
+--------------------
+* Replay kernels mirror the exact NumPy expression of the reference op
+  (e.g. ``mean`` stays a ``sum`` step followed by a ``truediv`` step), so a
+  float64 replay is **bit-identical** to the reference forward.
+* Operand arrays listed in ``inputs`` are *dynamic* (re-read every replay);
+  :class:`~repro.nn.layers.Parameter` leaves are *live references* (their
+  ``data`` is read per replay, so ``load_state_dict``/optimizer writes are
+  picked up); every other leaf is baked into the plan as a constant — sound
+  because the plan key must determine all shape-carrying structure.
+* Capture **refuses** (falls back to the reference forward, returning its
+  exact outputs) when grad or anomaly mode is active, when a capture is
+  already running, or when the traced function produced tensors through an
+  unhooked op (detected by comparing the op count against the recorded step
+  count).  Structurally untraceable functions are remembered per key so
+  later calls skip straight to the reference path.
+* Version counters are bypassed *by construction*: a replay performs no
+  tensor writes at all — it only reads parameter buffers and writes arena
+  buffers the autograd tape has never seen — which is exactly the situation
+  the PR 2 sanitizers exist to police on the training path.  No-grad
+  execution has no backward closures that could capture a stale buffer, so
+  skipping the counters loses nothing.
+
+``dtype="float32"`` runs the whole replay in single precision: parameters
+are cast once per :attr:`~repro.nn.tensor.Tensor.version` (so a
+``state_dict`` load invalidates the cast), frozen (read-only) input arrays
+are cast once per object, and writable inputs are staged through per-plan
+buffers.  Replay outputs then differ from the reference by normal fp32
+rounding (see the parity tests for the documented tolerance).
+
+Replay outputs are **borrowed**: they live in plan-owned buffers overwritten
+by the next replay of the same plan.  Copy before storing.
+
+The engine is single-threaded by design — one engine per agent per process
+(worker processes each build their own).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.nn import tensor as tensor_mod
+from repro.nn.tensor import Tensor
+
+__all__ = ["InferenceCompiler", "CompileStats", "BufferArena", "annotate"]
+
+#: operand-source kinds (first element of a source tuple)
+_STEP, _INPUT, _PARAM, _CONST = 0, 1, 2, 3
+
+
+def annotate(name: str, t: Tensor) -> None:
+    """Mark ``t`` as a named intermediate of the capture in progress (no-op
+    otherwise).  Engines use annotations to split plans — e.g. the GCN stack
+    annotates its output so replays can resume after a memoised embedding.
+    """
+    cap = tensor_mod._CAPTURE
+    if cap is not None:
+        cap.annotate(name, t)
+
+
+class CompileStats:
+    """Counters of one :class:`InferenceCompiler` (plain ints, no overhead)."""
+
+    __slots__ = (
+        "plan_hits", "plan_misses", "plan_evictions", "fallbacks",
+        "replays", "memo_hits", "memo_misses",
+    )
+
+    def __init__(self) -> None:
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_evictions = 0
+        self.fallbacks = 0
+        self.replays = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over all compiled-path calls."""
+        total = self.plan_hits + self.plan_misses + self.fallbacks
+        return self.plan_hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CompileStats({inner})"
+
+
+class BufferArena:
+    """Shape-bucketed free list of NumPy buffers.
+
+    ``acquire`` pops a free buffer of exactly ``(shape, dtype)`` or allocates
+    one; ``release`` returns a buffer to its bucket.  Plans own their buffers
+    from capture until LRU eviction, so arena traffic only happens at plan
+    birth/death — replays never touch the allocator.
+    """
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+        self.allocated_bytes = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype: Any) -> np.ndarray:
+        dt = np.dtype(dtype)
+        bucket = self._free.get((tuple(shape), dt.str))
+        if bucket:
+            return bucket.pop()
+        arr = np.empty(shape, dtype=dt)
+        self.allocated_bytes += arr.nbytes
+        return arr
+
+    def release(self, arr: np.ndarray) -> None:
+        self._free.setdefault((arr.shape, arr.dtype.str), []).append(arr)
+
+    @property
+    def num_free(self) -> int:
+        return sum(len(bucket) for bucket in self._free.values())
+
+
+class _Step:
+    """One replay instruction: ``out = kernel(resolved_args, out)``."""
+
+    __slots__ = ("kernel", "args", "out")
+
+    def __init__(
+        self,
+        kernel: Callable[[Tuple[Any, ...], Optional[np.ndarray]], np.ndarray],
+        args: Tuple[Tuple[int, Any], ...],
+        out: Optional[np.ndarray],
+    ) -> None:
+        self.kernel = kernel
+        self.args = args
+        self.out = out
+
+
+class _Plan:
+    """A captured op sequence plus its preallocated buffers."""
+
+    __slots__ = (
+        "steps", "outputs", "buffers", "scratch", "memo_step", "stage",
+    )
+
+    def __init__(
+        self,
+        steps: List[_Step],
+        outputs: Tuple[Tuple[int, Any], ...],
+        buffers: List[np.ndarray],
+        memo_step: Optional[int],
+    ) -> None:
+        self.steps = steps
+        self.outputs = outputs
+        self.buffers = buffers
+        self.scratch: List[Any] = [None] * len(steps)
+        self.memo_step = memo_step
+        #: per-input staging buffers for the float32 cast of writable inputs
+        self.stage: Dict[str, np.ndarray] = {}
+
+
+class CaptureError(RuntimeError):
+    """Internal: the traced function cannot be compiled (triggers fallback)."""
+
+
+# --------------------------------------------------------------------------- #
+# kernels — each mirrors the reference op's exact NumPy expression
+# --------------------------------------------------------------------------- #
+
+
+def _k_binary(ufunc):
+    def kernel(args, out):
+        return ufunc(args[0], args[1], out=out)
+
+    return kernel
+
+
+def _k_unary(ufunc):
+    def kernel(args, out):
+        return ufunc(args[0], out=out)
+
+    return kernel
+
+
+def _k_sigmoid(args, out):
+    # mirrors 1.0 / (1.0 + np.exp(-x)), fused in place
+    np.negative(args[0], out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    return np.true_divide(1.0, out, out=out)
+
+
+def _k_relu(args, out):
+    # np.fmax(x, 0.0) is bit-identical to the reference's
+    # np.where(x > 0, x, 0.0) for every input class — finite, ±0, ±inf, and
+    # NaN (fmax drops NaN in favour of the 0.0 operand) — in one fused pass
+    return np.fmax(args[0], 0.0, out=out)
+
+
+def _k_pow(exponent: float):
+    def kernel(args, out):
+        return np.power(args[0], exponent, out=out)
+
+    return kernel
+
+
+def _k_sum(axis, keepdims: bool):
+    def kernel(args, out):
+        return np.sum(args[0], axis=axis, keepdims=keepdims, out=out)
+
+    return kernel
+
+
+def _k_max(axis, keepdims: bool):
+    def kernel(args, out):
+        return np.amax(args[0], axis=axis, keepdims=keepdims, out=out)
+
+    return kernel
+
+
+def _k_reshape(shape: Tuple[int, ...]):
+    def kernel(args, out):
+        return args[0].reshape(shape)
+
+    return kernel
+
+
+def _k_transpose(args, out):
+    return args[0].T
+
+
+def _k_take(args, out):
+    return np.take(args[0], args[1], axis=0, out=out)
+
+
+def _k_getitem(index):
+    def kernel(args, out):
+        np.copyto(out, args[0][index])
+        return out
+
+    return kernel
+
+
+def _k_concat(axis: int):
+    def kernel(args, out):
+        return np.concatenate(args, axis=axis, out=out)
+
+    return kernel
+
+
+def _k_stack(axis: int):
+    def kernel(args, out):
+        return np.stack(args, axis=axis, out=out)
+
+    return kernel
+
+
+def _k_spmm(args, out):
+    # scipy has no out= for CSR @ dense — this is the one allocating step
+    return np.asarray(args[1] @ args[0])
+
+
+def _k_reduceat(ufunc, starts: np.ndarray):
+    def kernel(args, out):
+        return ufunc.reduceat(args[0], starts, axis=0, out=out)
+
+    return kernel
+
+
+class _Capture:
+    """Recorder installed as :data:`repro.nn.tensor._CAPTURE` during capture.
+
+    ``record`` is invoked by the hooked tensor ops; ``made`` counts *every*
+    tensor produced through ``Tensor._make`` so an op without a hook (or a
+    hook that declined to record) is detected as ``made != len(steps)`` and
+    the whole capture is discarded.
+    """
+
+    def __init__(self, engine: "InferenceCompiler", inputs: Dict[str, Any]) -> None:
+        self.engine = engine
+        #: id(array-like) -> input slot name
+        self.input_ids = {id(arr): name for name, arr in inputs.items()}
+        #: id(Tensor) -> source tuple
+        self.sources: Dict[int, Tuple[int, Any]] = {}
+        #: keep every sourced tensor alive so ids cannot be reused mid-capture
+        self.keepalive: List[Tensor] = []
+        self.steps: List[_Step] = []
+        self.buffers: List[np.ndarray] = []
+        self.made = 0
+        self.annotations: Dict[str, Tuple[int, Any]] = {}
+        self.annotation_values: Dict[str, np.ndarray] = {}
+        self.taint_reason: Optional[str] = None
+
+    # -- sources -------------------------------------------------------- #
+
+    def taint(self, reason: str) -> None:
+        """Mark the capture unusable; finalize will fall back to reference."""
+        if self.taint_reason is None:
+            self.taint_reason = reason
+
+    def source_of(self, t: Tensor) -> Tuple[int, Any]:
+        src = self.sources.get(id(t))
+        if src is not None:
+            return src
+        # an unseen tensor is a leaf: input slot, live parameter, or constant
+        name = self.input_ids.get(id(t._data))
+        if name is not None:
+            src = (_INPUT, name)
+        elif t.requires_grad and not t._parents:
+            src = (_PARAM, t)  # live reference — survives load_state_dict
+        else:
+            src = (_CONST, t._data)
+        self.sources[id(t)] = src
+        self.keepalive.append(t)
+        return src
+
+    def array_source(self, arr: Any) -> Tuple[int, Any]:
+        """Source of a non-Tensor operand (index arrays, sparse matrices)."""
+        name = self.input_ids.get(id(arr))
+        return (_INPUT, name) if name is not None else (_CONST, arr)
+
+    def annotate(self, name: str, t: Tensor) -> None:
+        self.annotations[name] = self.source_of(t)
+        # the captured value itself: during capture the plan buffers are
+        # never written (the reference forward computes into its own
+        # tensors), so memoisation must read the tensor, not the buffer
+        self.annotation_values[name] = t._data
+
+    # -- recording ------------------------------------------------------ #
+
+    def _buffer(self, shape: Tuple[int, ...], dtype: Any) -> np.ndarray:
+        buf = self.engine.arena.acquire(shape, dtype)
+        self.buffers.append(buf)
+        return buf
+
+    def record(
+        self,
+        out: Tensor,
+        op: str,
+        operands: Sequence[Tensor],
+        params: Optional[dict] = None,
+    ) -> None:
+        if self.taint_reason is not None:
+            return
+        try:
+            self._record(out, op, operands, params or {})
+        except CaptureError as exc:
+            self.taint(str(exc))
+
+    _BINARY = {
+        "add": np.add, "sub": np.subtract, "mul": np.multiply,
+        "truediv": np.true_divide, "matmul": np.matmul,
+    }
+    _UNARY = {
+        "neg": np.negative, "exp": np.exp, "log": np.log,
+        "tanh": np.tanh, "abs": np.absolute,
+    }
+
+    def _record(
+        self, out: Tensor, op: str, operands: Sequence[Tensor], params: dict
+    ) -> None:
+        dtype = self.engine.dtype
+        args = tuple(self.source_of(t) for t in operands)
+        shape = out._data.shape
+        buf: Optional[np.ndarray] = self._buffer(shape, dtype)
+
+        if op in self._BINARY:
+            kernel = _k_binary(self._BINARY[op])
+        elif op in self._UNARY:
+            kernel = _k_unary(self._UNARY[op])
+        elif op == "sigmoid":
+            kernel = _k_sigmoid
+        elif op == "relu":
+            kernel = _k_relu
+        elif op == "pow":
+            kernel = _k_pow(params["exponent"])
+        elif op == "sum":
+            kernel = _k_sum(params["axis"], params["keepdims"])
+        elif op == "max":
+            kernel = _k_max(params["axis"], params["keepdims"])
+        elif op == "reshape":
+            kernel, buf = _k_reshape(shape), None  # view, no buffer
+        elif op == "transpose":
+            kernel, buf = _k_transpose, None  # view, no buffer
+        elif op == "getitem":
+            index = params["index"]
+            if isinstance(index, np.ndarray):
+                if index.ndim != 1 or index.dtype.kind not in "iu":
+                    raise CaptureError(
+                        f"getitem with a non-1-D-integer array index "
+                        f"(dtype {index.dtype}, ndim {index.ndim})"
+                    )
+                kernel = _k_take
+                args = args + (self.array_source(index),)
+            else:
+                kernel = _k_getitem(index)
+        elif op == "concat":
+            kernel = _k_concat(params["axis"])
+        elif op == "stack":
+            kernel = _k_stack(params["axis"])
+        elif op == "spmm":
+            kernel, buf = _k_spmm, None  # scipy allocates
+            args = args + (self.array_source(params["matrix"]),)
+        elif op == "segment_reduceat":
+            kernel = _k_reduceat(params["ufunc"], params["starts"])
+        else:
+            raise CaptureError(f"op {op!r} has no replay kernel")
+
+        index = len(self.steps)
+        self.steps.append(_Step(kernel, args, buf))
+        self.sources[id(out)] = (_STEP, index)
+        self.keepalive.append(out)
+
+
+class InferenceCompiler:
+    """Capture/replay executor for no-grad forwards (see module docstring).
+
+    Parameters
+    ----------
+    dtype:
+        ``"float64"`` (default; replays are bit-identical to the reference)
+        or ``"float32"`` (single-precision replays; weights cast once per
+        ``state_dict`` version).
+    max_plans:
+        LRU bound on cached plans; an evicted plan's buffers return to the
+        arena.
+    memo_size:
+        LRU bound on memoised annotated intermediates (the within-instant
+        GCN-embedding memo).
+    """
+
+    #: bound on the float32 cast cache of frozen inputs (id-keyed)
+    _CAST_CACHE_MAX = 1024
+
+    def __init__(
+        self, dtype: Any = "float64", max_plans: int = 64, memo_size: int = 16
+    ) -> None:
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {self.dtype}"
+            )
+        if max_plans < 1:
+            raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        if memo_size < 0:
+            raise ValueError(f"memo_size must be >= 0, got {memo_size}")
+        self.max_plans = max_plans
+        self.memo_size = memo_size
+        self.arena = BufferArena()
+        self.stats = CompileStats()
+        self._f32 = self.dtype != np.float64
+        self._plans: "OrderedDict[Any, _Plan]" = OrderedDict()
+        self._uncompilable: set = set()  # keys only ever membership-tested
+        self._memo: "OrderedDict[Any, np.ndarray]" = OrderedDict()
+        #: id(Parameter) -> (param, version, cast array) for float32 mode
+        self._param_cache: Dict[int, Tuple[Tensor, int, np.ndarray]] = {}
+        #: id(frozen array / csr) -> (obj, cast) for float32 mode
+        self._cast_cache: "OrderedDict[int, Tuple[Any, Any]]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # public surface
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        key: Any,
+        fn: Callable[[], Tuple[Tensor, ...]],
+        inputs: Dict[str, Any],
+        memo_key: Optional[Any] = None,
+    ) -> Tuple[np.ndarray, ...]:
+        """Execute ``fn`` compiled: replay a cached plan for ``key`` or
+        capture one, falling back to the plain forward when capture is not
+        possible.  Returns the output payload arrays (borrowed — see module
+        docstring).
+
+        ``key`` must determine every shape and every baked constant of the
+        forward; ``inputs`` maps slot names to the arrays that vary between
+        calls of the same key.  ``memo_key`` (optional) memoises the
+        annotated ``"gcn_embedding"`` intermediate across calls.
+        """
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.stats.plan_hits += 1
+            return self._replay(plan, inputs, memo_key)
+        if (
+            key in self._uncompilable
+            or tensor_mod.is_grad_enabled()
+            or tensor_mod.is_anomaly_enabled()
+            or tensor_mod._CAPTURE is not None
+        ):
+            self.stats.fallbacks += 1
+            return tuple(t.data for t in fn())
+        return self._capture(key, fn, inputs, memo_key)
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Counters plus arena gauges, as a flat dict (for logs/benchmarks)."""
+        out: Dict[str, float] = dict(self.stats.as_dict())
+        out["plans"] = len(self._plans)
+        out["arena_bytes"] = self.arena.allocated_bytes
+        out["hit_rate"] = self.stats.hit_rate
+        return out
+
+    def publish_metrics(self, registry, prefix: str = "compile") -> None:
+        """Export the counters into a :class:`repro.obs` metrics registry."""
+        if not registry.enabled:
+            return
+        for name, value in self.stats_dict().items():
+            registry.gauge(f"{prefix}/{name}").set(float(value))
+
+    # ------------------------------------------------------------------ #
+    # capture
+    # ------------------------------------------------------------------ #
+
+    def _capture(
+        self,
+        key: Any,
+        fn: Callable[[], Tuple[Tensor, ...]],
+        inputs: Dict[str, Any],
+        memo_key: Optional[Any],
+    ) -> Tuple[np.ndarray, ...]:
+        self.stats.plan_misses += 1
+        cap = _Capture(self, inputs)
+        tensor_mod._CAPTURE = cap
+        try:
+            result = fn()
+        finally:
+            tensor_mod._CAPTURE = None
+        outputs = tuple(cap.source_of(t) for t in result)
+        if cap.taint_reason is None and cap.made != len(cap.steps):
+            cap.taint(
+                f"{cap.made - len(cap.steps)} tensor op(s) escaped the "
+                f"capture hooks"
+            )
+        if cap.taint_reason is not None:
+            for buf in cap.buffers:
+                self.arena.release(buf)
+            self._uncompilable.add(key)
+            self.stats.fallbacks += 1
+            return tuple(t.data for t in result)
+
+        memo_step = self._memo_split(cap, outputs)
+        steps = [
+            _Step(st.kernel, tuple(self._prepare(s) for s in st.args), st.out)
+            for st in cap.steps
+        ]
+        plan = _Plan(
+            steps, tuple(self._prepare(s) for s in outputs), cap.buffers, memo_step
+        )
+        self._plans[key] = plan
+        if len(self._plans) > self.max_plans:
+            _evicted_key, evicted = self._plans.popitem(last=False)
+            self.stats.plan_evictions += 1
+            for buf in evicted.buffers:
+                self.arena.release(buf)
+            for buf in evicted.stage.values():
+                self.arena.release(buf)
+        if memo_key is not None and memo_step is not None and self.memo_size:
+            h = cap.annotation_values["gcn_embedding"]
+            self._memo_put(memo_key, np.array(h, dtype=self.dtype))
+        return tuple(t.data for t in result)
+
+    def _memo_split(
+        self, cap: _Capture, outputs: Tuple[Tuple[int, Any], ...]
+    ) -> Optional[int]:
+        """Index of the annotated embedding step, if replay may resume there.
+
+        Resuming at step ``i`` skips steps ``< i`` entirely, which is only
+        sound when no later step (and no output) reads an earlier value.
+        """
+        src = cap.annotations.get("gcn_embedding")
+        if src is None or src[0] != _STEP:
+            return None
+        split = src[1]
+        if cap.steps[split].out is None:
+            return None  # a view — resuming would alias a skipped buffer
+        later_args = [
+            s for st in cap.steps[split + 1:] for s in st.args
+        ] + list(outputs)
+        for kind, payload in later_args:
+            if kind == _STEP and payload < split:
+                return None
+        return split
+
+    def _prepare(self, source: Tuple[int, Any]) -> Tuple[int, Any]:
+        """Bake a source for replay: cast/copy constants as the dtype needs."""
+        kind, payload = source
+        if kind != _CONST:
+            return source
+        if sp.issparse(payload):
+            if self._f32 and payload.dtype == np.float64:
+                payload = payload.astype(np.float32)
+            return (_CONST, payload)
+        arr = np.asarray(payload)
+        if self._f32 and arr.dtype == np.float64:
+            arr = arr.astype(self.dtype)
+        elif arr.flags.writeable:
+            # defensive copy: the caller may reuse/mutate its scratch arrays
+            arr = arr.copy()
+        return (_CONST, arr)
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+
+    def _replay(
+        self, plan: _Plan, inputs: Dict[str, Any], memo_key: Optional[Any]
+    ) -> Tuple[np.ndarray, ...]:
+        bound = self._bind(plan, inputs)
+        vals = plan.scratch
+        steps = plan.steps
+        start = 0
+        memo_step = plan.memo_step
+        resumed = False
+        if memo_key is not None and memo_step is not None and self.memo_size:
+            h = self._memo.get(memo_key)
+            if h is not None:
+                self._memo.move_to_end(memo_key)
+                self.stats.memo_hits += 1
+                vals[memo_step] = h
+                start = memo_step + 1
+                resumed = True
+            else:
+                self.stats.memo_misses += 1
+        for i in range(start, len(steps)):
+            st = steps[i]
+            vals[i] = st.kernel(self._resolve(st.args, vals, bound), st.out)
+        if memo_key is not None and memo_step is not None and not resumed \
+                and self.memo_size:
+            self._memo_put(memo_key, vals[memo_step].copy())
+        self.stats.replays += 1
+        return self._resolve(plan.outputs, vals, bound)
+
+    def _resolve(
+        self,
+        sources: Tuple[Tuple[int, Any], ...],
+        vals: List[Any],
+        bound: Dict[str, Any],
+    ) -> Tuple[Any, ...]:
+        out = []
+        for kind, payload in sources:
+            if kind == _STEP:
+                out.append(vals[payload])
+            elif kind == _INPUT:
+                out.append(bound[payload])
+            elif kind == _PARAM:
+                out.append(self._param_value(payload))
+            else:
+                out.append(payload)
+        return tuple(out)
+
+    def _bind(self, plan: _Plan, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        if not self._f32:
+            return inputs  # float64: bind by reference, zero copies
+        bound: Dict[str, Any] = {}
+        for name, arr in inputs.items():
+            if sp.issparse(arr):
+                bound[name] = self._frozen_cast(arr)
+            elif isinstance(arr, np.ndarray) and arr.dtype == np.float64:
+                if not arr.flags.writeable:
+                    bound[name] = self._frozen_cast(arr)
+                else:
+                    buf = plan.stage.get(name)
+                    if buf is None or buf.shape != arr.shape:
+                        buf = self.arena.acquire(arr.shape, self.dtype)
+                        plan.stage[name] = buf
+                    np.copyto(buf, arr)
+                    bound[name] = buf
+            else:
+                bound[name] = arr
+        return bound
+
+    def _param_value(self, p: Tensor) -> np.ndarray:
+        if not self._f32:
+            return p._data
+        entry = self._param_cache.get(id(p))
+        if entry is not None and entry[0] is p and entry[1] == p._version[0]:
+            return entry[2]
+        cast = p._data.astype(self.dtype)
+        self._param_cache[id(p)] = (p, p._version[0], cast)
+        return cast
+
+    def _frozen_cast(self, obj: Any) -> Any:
+        """Cast-once cache for immutable inputs (frozen ndarrays, CSR).
+
+        Keys are object ids; the cached strong reference keeps the id stable,
+        and the stored object is compared by identity on lookup so a reused
+        id after eviction can never alias a different array.
+        """
+        entry = self._cast_cache.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            self._cast_cache.move_to_end(id(obj))
+            return entry[1]
+        if sp.issparse(obj):
+            cast = obj.astype(np.float32) if obj.dtype == np.float64 else obj
+        else:
+            cast = obj.astype(self.dtype)
+        self._cast_cache[id(obj)] = (obj, cast)
+        if len(self._cast_cache) > self._CAST_CACHE_MAX:
+            self._cast_cache.popitem(last=False)
+        return cast
+
+    def _memo_put(self, memo_key: Any, value: np.ndarray) -> None:
+        self._memo[memo_key] = value
+        if len(self._memo) > self.memo_size:
+            self._memo.popitem(last=False)

@@ -12,7 +12,22 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn import tensor as _tensor_state
 from repro.nn.tensor import Tensor
+
+
+def _taint_capture(op: str) -> None:
+    """Refuse inference capture for ops that bake data-dependent constants.
+
+    Several functional ops lift *values computed from tensor payloads* into
+    detached leaves (e.g. the max shift of :func:`logsumexp`).  A capture
+    would freeze those values into the plan, so replays with different inputs
+    would be silently wrong — taint the capture instead, which makes
+    :mod:`repro.nn.compile` fall back to the reference forward.
+    """
+    cap = _tensor_state._CAPTURE
+    if cap is not None:
+        cap.taint(f"{op} bakes data-dependent constants")
 
 
 def relu(x: Tensor) -> Tensor:
@@ -36,6 +51,7 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     The max-shift uses a detached maximum, so gradients flow exactly as for
     the unshifted expression.
     """
+    _taint_capture("logsumexp")
     shift = Tensor(x.data.max(axis=axis, keepdims=True))
     out = (x - shift).exp().sum(axis=axis, keepdims=True).log() + shift
     if not keepdims:
@@ -128,13 +144,20 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     if starts is not None:
         out_data = np.add.reduceat(x.data, starts, axis=0)
     else:
+        _taint_capture("segment_sum (scatter path)")
         out_data = np.zeros((num_segments,) + x.shape[1:], dtype=np.float64)
         np.add.at(out_data, ids, x.data)
 
     def backward(g: np.ndarray) -> None:
         x._accumulate(np.asarray(g)[ids])
 
-    return x._make(out_data, (x,), backward)
+    out = x._make(out_data, (x,), backward)
+    cap = _tensor_state._CAPTURE
+    if cap is not None and starts is not None:
+        cap.record(
+            out, "segment_reduceat", (x,), {"ufunc": np.add, "starts": starts}
+        )
+    return out
 
 
 def segment_mean_pool(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
@@ -164,6 +187,7 @@ def segment_max_pool(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
         mask = x.data == out_data[ids]
         counts = np.add.reduceat(mask.astype(np.float64), starts, axis=0)
     else:
+        _taint_capture("segment_max_pool (scatter path)")
         out_data = np.full((num_segments,) + x.shape[1:], -np.inf)
         np.maximum.at(out_data, ids, x.data)
         mask = x.data == out_data[ids]
@@ -173,7 +197,14 @@ def segment_max_pool(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     def backward(g: np.ndarray) -> None:
         x._accumulate(np.where(mask, np.asarray(g)[ids] / counts[ids], 0.0))
 
-    return x._make(out_data, (x,), backward)
+    out = x._make(out_data, (x,), backward)
+    cap = _tensor_state._CAPTURE
+    if cap is not None and starts is not None:
+        cap.record(
+            out, "segment_reduceat", (x,),
+            {"ufunc": np.maximum, "starts": starts},
+        )
+    return out
 
 
 def segment_log_softmax(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
@@ -183,6 +214,7 @@ def segment_log_softmax(x: Tensor, segment_ids: np.ndarray, num_segments: int) -
     whole unroll live in one tensor, ``segment_ids`` marking which decision
     each entry belongs to.  Stable via a detached per-segment max shift.
     """
+    _taint_capture("segment_log_softmax")
     ids = _check_segments(x, segment_ids, num_segments)
     if x.ndim != 1:
         raise ValueError("segment_log_softmax expects a flat 1-D logit vector")
@@ -206,6 +238,7 @@ def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
 
 def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
     """Huber (smooth-L1) loss, an optional robust critic loss."""
+    _taint_capture("huber_loss")
     diff = (prediction - target).abs()
     d = np.asarray(diff.data)
     quad_mask = Tensor((d <= delta).astype(np.float64))
@@ -226,6 +259,7 @@ def masked_log_softmax(
     """
     if mask is None:
         return log_softmax(x, axis=axis)
+    _taint_capture("masked_log_softmax")
     mask = np.asarray(mask, dtype=bool)
     if mask.shape != x.shape:
         raise ValueError(f"mask shape {mask.shape} != logits shape {x.shape}")

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 import numpy as np
 
 from repro.nn import init as nn_init
+from repro.nn import tensor as _tensor_state
 from repro.nn.tensor import Tensor
 from repro.utils.seeding import SeedLike, as_generator
 
@@ -323,4 +324,10 @@ class GCNStack(Module):
             h = conv(h, norm_adj)
             if i < len(self.convs) - 1:
                 h = h.relu()
-        return h.relu()
+        h = h.relu()
+        cap = _tensor_state._CAPTURE
+        if cap is not None:
+            # lets compiled replays resume after a memoised embedding when
+            # the window/features are unchanged within a simulated instant
+            cap.annotate("gcn_embedding", h)
+        return h

@@ -18,6 +18,7 @@ from typing import Sequence, Union
 import numpy as np
 from scipy import sparse as sp
 
+from repro.nn import tensor as _tensor_state
 from repro.nn.tensor import Tensor
 
 AdjacencyLike = Union[np.ndarray, sp.spmatrix]
@@ -118,7 +119,11 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
             csr._cached_transpose_csr = transpose
         x._accumulate(transpose @ np.asarray(g))
 
-    return x._make(np.asarray(out_data), (x,), backward)
+    out = x._make(np.asarray(out_data), (x,), backward)
+    cap = _tensor_state._CAPTURE
+    if cap is not None:
+        cap.record(out, "spmm", (x,), {"matrix": csr})
+    return out
 
 
 def gcn_normalize_adjacency_sparse(adjacency: AdjacencyLike) -> sp.csr_matrix:

@@ -41,6 +41,13 @@ ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 
+#: Capture recorder installed by :mod:`repro.nn.compile` while tracing a
+#: no-grad forward; ``None`` otherwise.  The hot-path cost when off is a
+#: single module-global read per op.  Ops report themselves right after
+#: ``_make``; ``_make`` itself counts every tensor it produces so the
+#: recorder can detect ops that slipped past the hooks.
+_CAPTURE = None
+
 
 def is_grad_enabled() -> bool:
     """Whether autograd graph recording is currently active."""
@@ -274,6 +281,10 @@ class Tensor:
         The view aliases the same buffer, so it shares this tensor's version
         counter: writes through either handle are seen by both.
         """
+        if _CAPTURE is not None:
+            # a detached mid-graph value would be baked as a constant, so a
+            # replay with different inputs would silently reuse stale data
+            _CAPTURE.taint("detach during capture")
         out = Tensor(self._data, requires_grad=False)
         out._version = self._version
         return out
@@ -297,6 +308,8 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if _CAPTURE is not None:
+            _CAPTURE.made += 1
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
             out = Tensor(data)
@@ -342,7 +355,10 @@ class Tensor:
             self._accumulate(_unbroadcast(g, self.shape))
             other._accumulate(_unbroadcast(g, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        out = self._make(out_data, (self, other), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "add", (self, other))
+        return out
 
     __radd__ = __add__
 
@@ -350,7 +366,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(-g)
 
-        return self._make(-self.data, (self,), backward)
+        out = self._make(-self.data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "neg", (self,))
+        return out
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._lift(other)
@@ -360,7 +379,10 @@ class Tensor:
             self._accumulate(_unbroadcast(g, self.shape))
             other._accumulate(_unbroadcast(-g, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        out = self._make(out_data, (self, other), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "sub", (self, other))
+        return out
 
     def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         return self._lift(other).__sub__(self)
@@ -373,7 +395,10 @@ class Tensor:
             self._accumulate(_unbroadcast(g * other.data, self.shape))
             other._accumulate(_unbroadcast(g * self.data, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        out = self._make(out_data, (self, other), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "mul", (self, other))
+        return out
 
     __rmul__ = __mul__
 
@@ -387,7 +412,10 @@ class Tensor:
                 _unbroadcast(-g * self.data / (other.data**2), other.shape)
             )
 
-        return self._make(out_data, (self, other), backward)
+        out = self._make(out_data, (self, other), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "truediv", (self, other))
+        return out
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         return self._lift(other).__truediv__(self)
@@ -400,7 +428,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g * exponent * self.data ** (exponent - 1))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "pow", (self,), {"exponent": float(exponent)})
+        return out
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._lift(other)
@@ -423,7 +454,10 @@ class Tensor:
                 self._accumulate(np.outer(g, b))
                 other._accumulate(a.T @ g)
 
-        return self._make(out_data, (self, other), backward)
+        out = self._make(out_data, (self, other), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "matmul", (self, other))
+        return out
 
     # ------------------------------------------------------------------ #
     # elementwise non-linearities
@@ -435,7 +469,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g * out_data)
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "exp", (self,))
+        return out
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -443,7 +480,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g / self.data)
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "log", (self,))
+        return out
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -452,7 +492,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g * mask)
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "relu", (self,))
+        return out
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -460,7 +503,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g * (1.0 - out_data**2))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "tanh", (self,))
+        return out
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -468,7 +514,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g * out_data * (1.0 - out_data))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "sigmoid", (self,))
+        return out
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -477,7 +526,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g * sign)
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "abs", (self,))
+        return out
 
     # ------------------------------------------------------------------ #
     # reductions
@@ -496,7 +548,12 @@ class Tensor:
                     grad = np.expand_dims(grad, ax)
             self._accumulate(np.broadcast_to(grad, self.shape))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(
+                out, "sum", (self,), {"axis": axis, "keepdims": keepdims}
+            )
+        return out
 
     def mean(
         self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False
@@ -524,7 +581,12 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(np.where(mask, grad / counts, 0.0))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(
+                out, "max", (self,), {"axis": axis, "keepdims": keepdims}
+            )
+        return out
 
     def min(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -542,7 +604,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(np.asarray(g).reshape(original))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "reshape", (self,), {"shape": out_data.shape})
+        return out
 
     def flatten(self) -> "Tensor":
         return self.reshape(-1)
@@ -557,7 +622,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(np.asarray(g).T)
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "transpose", (self,))
+        return out
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -581,7 +649,10 @@ class Tensor:
 
         if out_data.base is not None:  # basic slicing returned a view
             out_data = np.array(out_data, copy=True)
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "getitem", (self,), {"index": index})
+        return out
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -598,7 +669,10 @@ class Tensor:
                 t._accumulate(g[tuple(sl)])
 
         ref = tensors[0]
-        return ref._make(out_data, tuple(tensors), backward)
+        out = ref._make(out_data, tuple(tensors), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "concat", tuple(tensors), {"axis": axis})
+        return out
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -611,7 +685,10 @@ class Tensor:
                 t._accumulate(np.take(g, i, axis=axis))
 
         ref = tensors[0]
-        return ref._make(out_data, tuple(tensors), backward)
+        out = ref._make(out_data, tuple(tensors), backward)
+        if _CAPTURE is not None:
+            _CAPTURE.record(out, "stack", tuple(tensors), {"axis": axis})
+        return out
 
     # ------------------------------------------------------------------ #
     # backward pass

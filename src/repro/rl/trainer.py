@@ -164,6 +164,10 @@ class ReadysTrainer:
             spec.make_train_env(), config=config, rng=spec.seed
         )
         trainer.spec = spec
+        if spec.compiled:
+            # rollouts replay through the engine; updates keep the autograd
+            # path, so float64 training is bit-identical to uncompiled runs
+            trainer.agent.enable_compiled(dtype=spec.compiled_dtype)
         return trainer
 
     @classmethod

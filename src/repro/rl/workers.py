@@ -178,6 +178,10 @@ def _worker_main(
         )
         sample_rng = np.random.default_rng(children[-1])
         agent = ReadysAgent(AgentConfig(**agent_config_dict), rng=0)
+        if spec.compiled:
+            # workers only run no-grad rollouts — exactly the compiled
+            # surface; float64 replays keep them bit-identical to reference
+            agent.enable_compiled(dtype=spec.compiled_dtype)
         pending: Optional[List[Observation]] = None
         while True:
             try:

@@ -19,6 +19,7 @@ with HEFT's makespan computed on the same instance under expected durations
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, NamedTuple, Optional, Union
 
 import numpy as np
@@ -34,6 +35,10 @@ from repro.sim.state import Observation, StateBuilder
 from repro.utils.seeding import SeedLike, as_generator
 
 GraphSource = Union[TaskGraph, Callable[[np.random.Generator], TaskGraph]]
+
+#: distinct namespace per environment instance so embedding-memo keys from
+#: one env can never collide with another's (see ``Observation.embed_key``)
+_MEMO_NAMESPACE = itertools.count()
 
 
 class ResetResult(NamedTuple):
@@ -119,6 +124,8 @@ class SchedulingEnv:
         self._passed: Optional[np.ndarray] = None
         self._current_obs: Optional[Observation] = None
         self._baseline_makespan: float = np.nan
+        self._memo_ns = next(_MEMO_NAMESPACE)
+        self._memo_epoch = 0
 
     # ------------------------------------------------------------------ #
 
@@ -167,6 +174,9 @@ class SchedulingEnv:
         self._baseline_makespan = baseline[2]
         self._passed = np.zeros(self.platform.num_processors, dtype=bool)
         self._last_time = 0.0
+        # fresh namespace per episode: keys of stale episodes must never hit
+        self._memo_ns = next(_MEMO_NAMESPACE)
+        self._memo_epoch = 0
         obs = self._next_decision()
         assert obs is not None, "a fresh episode must have a decision point"
         self._current_obs = obs
@@ -199,8 +209,23 @@ class SchedulingEnv:
                             sim, proc, allow_pass=allow_pass
                         )
                         tracer.end(handle, nodes=built.num_nodes)
-                        return built
-                    return self.state_builder.build(sim, proc, allow_pass=allow_pass)
+                    else:
+                        built = self.state_builder.build(
+                            sim, proc, allow_pass=allow_pass
+                        )
+                    if built.window_fingerprint is not None:
+                        # within-instant embedding memo key: epoch bumps on
+                        # every assignment/advance, so equal keys guarantee an
+                        # identical (features, adjacency) pair — pass chains
+                        # at one instant reuse the GCN embedding across the
+                        # idle processors of the same type.
+                        built.embed_key = (
+                            self._memo_ns,
+                            self._memo_epoch,
+                            sim.platform.type_of(proc),
+                            built.window_fingerprint,
+                        )
+                    return built
             if not sim.running.any():
                 raise RuntimeError(
                     "environment deadlock: nothing running and no decision "
@@ -208,6 +233,7 @@ class SchedulingEnv:
                 )
             sim.advance()
             self._passed[:] = False  # a new instant: everyone may be asked again
+            self._memo_epoch += 1  # time moved: window/features may differ
 
     def step(self, action: int) -> StepResult:
         """Apply ``action`` to the pending decision.
@@ -240,6 +266,9 @@ class SchedulingEnv:
         )
         if action < num_ready:
             sim.start(int(current.ready_tasks[action]), current.current_proc)
+            # an assignment changes node features (status/occupancy) even at
+            # the same instant — invalidate the embedding memo.  ∅ does not.
+            self._memo_epoch += 1
         else:  # ∅: this processor declines until the next event
             assert current.allow_pass
             self._passed[current.current_proc] = True

@@ -77,6 +77,13 @@ class Observation:
     """processor awaiting a decision"""
     allow_pass: bool
     """whether the ∅ action is legal (False would deadlock the system)"""
+    window_fingerprint: Optional[bytes] = None
+    """raw bytes of the sorted window node ids — identifies the window node
+    set (shared with the builder's adjacency memo key)"""
+    embed_key: Optional[tuple] = None
+    """within-instant memo key set by the environment: observations with the
+    same key are guaranteed to produce the same GCN embedding, letting a
+    compiled agent reuse it (see :mod:`repro.nn.compile`); None disables"""
 
     @property
     def num_actions(self) -> int:
@@ -96,6 +103,10 @@ class StateBuilder:
     cached on first use: they dominate state-extraction cost and never change
     within an episode.
     """
+
+    #: bound of the per-graph window-adjacency memo; class-level so tests can
+    #: shrink it to exercise eviction
+    _ADJ_CACHE_MAX = 4096
 
     def __init__(
         self, durations: DurationTable, window: int, sparse: bool = False
@@ -303,8 +314,13 @@ class StateBuilder:
         # repeats across the decisions of one instant (assignments move tasks
         # ready→running but both stay in the window) — memoise per set
         adj_cache: Dict = graph.__dict__.setdefault("_cached_window_norm_adj", {})
-        adj_key = (self.sparse, nodes.tobytes())
+        nodes_bytes = nodes.tobytes()
+        adj_key = (self.sparse, nodes_bytes)
         norm_adj = adj_cache.get(adj_key)
+        if norm_adj is not None:
+            # LRU recency refresh: re-inserting moves the key to the end of
+            # the (insertion-ordered) dict, so hot windows survive eviction
+            adj_cache[adj_key] = adj_cache.pop(adj_key)
         if norm_adj is None:
             if self.sparse:
                 from repro.nn.sparse import (
@@ -333,8 +349,12 @@ class StateBuilder:
                     arr.setflags(write=False)
             else:
                 norm_adj.setflags(write=False)
-            if len(adj_cache) >= 4096:  # bound memory under huge episodes
-                adj_cache.clear()
+            # bound memory under huge episodes by evicting the single oldest
+            # entry (dicts preserve insertion order, and hits above refresh a
+            # key's position) — a wholesale clear() would drop the hot window
+            # of the current instant and cause a latency cliff on re-entry
+            while len(adj_cache) >= self._ADJ_CACHE_MAX:
+                adj_cache.pop(next(iter(adj_cache)))
             adj_cache[adj_key] = norm_adj
         remap[nodes] = -1  # restore the all--1 scratch invariant
 
@@ -343,17 +363,9 @@ class StateBuilder:
         ready_tasks = nodes[ready_positions]
 
         # processor descriptor, sharing busy/remaining computed above
-        p = sim.platform.num_processors
-        proc_features = np.zeros(PROC_FEATURE_DIM, dtype=np.float64)
-        proc_features[cur_type] = 1.0
-        proc_features[NUM_RESOURCE_TYPES] = (p - busy.size) / p
-        proc_features[NUM_RESOURCE_TYPES + 1] = min(
-            1.0, int(sim.ready.sum()) / max(1, p)
+        proc_features = self.proc_descriptor(
+            sim, current_proc, busy=busy, remaining=remaining_all
         )
-        if remaining_all is not None:
-            proc_features[NUM_RESOURCE_TYPES + 2] = (
-                float(remaining_all.mean()) / self._scale
-            )
         if allow_pass is None:
             allow_pass = bool(sim.running.any())
 
@@ -365,19 +377,38 @@ class StateBuilder:
             proc_features=proc_features,
             current_proc=int(current_proc),
             allow_pass=allow_pass,
+            window_fingerprint=nodes_bytes,
         )
 
-    def proc_descriptor(self, sim: Simulation, current_proc: int) -> np.ndarray:
-        """Current-processor + resource-state summary vector."""
+    def proc_descriptor(
+        self,
+        sim: Simulation,
+        current_proc: int,
+        *,
+        busy: Optional[np.ndarray] = None,
+        remaining: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Current-processor + resource-state summary vector.
+
+        This is the single source of the descriptor — :meth:`build` calls it
+        with its already-computed ``busy``/``remaining`` arrays, standalone
+        callers let it derive them from the simulation.  (Busy and idle
+        processors partition the platform, so ``p - busy.size`` equals
+        ``sim.idle_processors().size``.)
+        """
+        if busy is None:
+            busy = sim.busy_processors()
+        if remaining is None and busy.size:
+            remaining = sim.expected_remaining_many(busy)
         p = sim.platform.num_processors
         descriptor = np.zeros(PROC_FEATURE_DIM, dtype=np.float64)
         descriptor[sim.platform.type_of(current_proc)] = 1.0
-        descriptor[NUM_RESOURCE_TYPES] = sim.idle_processors().size / p
+        descriptor[NUM_RESOURCE_TYPES] = (p - busy.size) / p
         descriptor[NUM_RESOURCE_TYPES + 1] = min(
-            1.0, sim.ready_tasks().size / max(1, p)
+            1.0, int(sim.ready.sum()) / max(1, p)
         )
-        busy = sim.busy_processors()
-        if busy.size:
-            mean_remaining = float(sim.expected_remaining_many(busy).mean())
-            descriptor[NUM_RESOURCE_TYPES + 2] = mean_remaining / self._scale
+        if remaining is not None and len(remaining):
+            descriptor[NUM_RESOURCE_TYPES + 2] = (
+                float(remaining.mean()) / self._scale
+            )
         return descriptor

@@ -47,6 +47,13 @@ class ExperimentSpec:
     """write a training checkpoint every N updates (0 = never)"""
     resume: Optional[str] = None
     """path of a training checkpoint to resume from (None = fresh run)"""
+    compiled: bool = False
+    """run no-grad agent forwards through the capture/replay inference
+    engine (:mod:`repro.nn.compile`); float64 replays are bit-identical to
+    the reference interpreter, so results are unchanged — only faster"""
+    compiled_dtype: str = "float64"
+    """replay arithmetic dtype: ``float64`` (bit-identical) or ``float32``
+    (faster, small documented tolerance; training updates stay float64)"""
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -78,6 +85,11 @@ class ExperimentSpec:
         if self.resume is not None and not isinstance(self.resume, str):
             raise ValueError(
                 f"resume must be None or a checkpoint path, got {self.resume!r}"
+            )
+        if self.compiled_dtype not in ("float64", "float32"):
+            raise ValueError(
+                "compiled_dtype must be 'float64' or 'float32', "
+                f"got {self.compiled_dtype!r}"
             )
 
     # ------------------------------------------------------------------ #

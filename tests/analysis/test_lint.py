@@ -288,6 +288,66 @@ class TestDisableComments:
         assert rule_ids(found) == ["RPR001"] and found[0].line == 3
 
 
+# --------------------------------------------------------------------------- #
+# RPR008 — compile-engine internals
+# --------------------------------------------------------------------------- #
+
+
+class TestCompileInternals:
+    """RPR008 is path-scoped: nn/, tests/ and benchmarks/ are exempt, so the
+    positive cases lint snippets under a production path explicitly."""
+
+    PROD = "src/repro/rl/some_module.py"
+
+    def test_module_import_flagged(self):
+        src = "import repro.nn.compile\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    def test_module_import_alias_flagged(self):
+        src = "import repro.nn.compile as c\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    def test_internal_name_flagged(self):
+        src = "from repro.nn.compile import _Plan\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    def test_from_nn_import_compile_module_flagged(self):
+        src = "from repro.nn import compile\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    def test_public_name_direct_import_allowed(self):
+        # the three public names may be taken from the submodule directly
+        src = (
+            "from repro.nn.compile import BufferArena, CompileStats, "
+            "InferenceCompiler\n"
+        )
+        assert lint_snippet(src, path=self.PROD) == []
+
+    def test_reexport_allowed(self):
+        src = "from repro.nn import InferenceCompiler\n"
+        assert lint_snippet(src, path=self.PROD) == []
+
+    def test_mixed_import_flags_only_internals(self):
+        src = "from repro.nn.compile import InferenceCompiler, _Step\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/nn/layers.py",
+            "tests/nn/test_compile.py",
+            "benchmarks/test_microbench.py",
+        ],
+    )
+    def test_exempt_paths(self, path):
+        src = "from repro.nn.compile import _Plan\nimport repro.nn.compile\n"
+        assert lint_snippet(src, path=path) == []
+
+    def test_disable_comment_respected(self):
+        src = "import repro.nn.compile  # repro-lint: disable=RPR008\n"
+        assert lint_snippet(src, path=self.PROD) == []
+
+
 class TestFixtureFiles:
     def test_violations_fixture_counts(self):
         found = lint_file(FIXTURES / "violations.py")
