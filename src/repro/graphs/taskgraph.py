@@ -131,6 +131,31 @@ class TaskGraph:
         """Immediate predecessors of ``task`` (CSR slice; do not mutate)."""
         return self._pred_indices[self._pred_indptr[task]: self._pred_indptr[task + 1]]
 
+    def successors_of_many(self, tasks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated successor lists of ``tasks`` in one CSR gather.
+
+        Returns ``(successors, counts)`` where ``successors`` is the
+        concatenation of ``successors(t)`` for each ``t`` in order (with
+        repeats if ``tasks`` repeats) and ``counts[i]`` is the successor
+        count of ``tasks[i]`` — so ``np.repeat(tasks, counts)`` aligns each
+        successor with its source.  This is the flat gather the vectorised
+        simulator kernel and the windowed BFS both build on: positions are
+        computed arithmetically (no Python loop over tasks).
+        """
+        tasks = np.asarray(tasks, dtype=np.int64)
+        starts = self._succ_indptr[tasks]
+        counts = self._succ_indptr[tasks + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        # flat index trick: for each output slot, its offset within the source
+        # slice plus the slice start — arange minus the exclusive prefix sum
+        cum = np.cumsum(counts)
+        positions = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - (cum - counts), counts
+        )
+        return self._succ_indices[positions], counts
+
     def topological_order(self) -> np.ndarray:
         """A topological order of the tasks (copy)."""
         return self._topo_order.copy()
@@ -175,17 +200,9 @@ class TaskGraph:
             if frontier.size == 0:
                 break
             # gather successors of the whole frontier in one CSR sweep
-            starts = self._succ_indptr[frontier]
-            stops = self._succ_indptr[frontier + 1]
-            total = int((stops - starts).sum())
-            if total == 0:
+            nxt, _counts = self.successors_of_many(frontier)
+            if nxt.size == 0:
                 break
-            nxt = np.empty(total, dtype=np.int64)
-            pos = 0
-            for s, e in zip(starts, stops):
-                cnt = e - s
-                nxt[pos: pos + cnt] = self._succ_indices[s:e]
-                pos += cnt
             nxt = np.unique(nxt)
             nxt = nxt[~visited[nxt]]
             visited[nxt] = True

@@ -159,6 +159,10 @@ class MetricsRegistry:
         self.enabled: bool = False
         #: (kind, key) insertion-ordered; one flat dict keeps lookups one-hop
         self._metrics: Dict[Tuple[str, MetricKey], Any] = {}
+        #: bumped by :meth:`reset` — hot paths that bind metric handles once
+        #: (e.g. the sim kernel) compare generations to detect staleness, so
+        #: a reset can never leave them incrementing orphaned objects
+        self.generation: int = 0
 
     # ------------------------------------------------------------------ #
     # accessors (create on first use)
@@ -205,6 +209,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Drop every metric (the enabled flag is left untouched)."""
         self._metrics.clear()
+        self.generation += 1
 
     def __len__(self) -> int:
         return len(self._metrics)

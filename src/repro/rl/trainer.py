@@ -9,6 +9,15 @@ same updates as the historical single-env loop, so seeded runs are
 reproducible across the vectorisation.  Evaluation runs full episodes under
 the greedy policy — batched across member environments when given a
 :class:`~repro.sim.vec_env.VecSchedulingEnv`.
+
+Since the struct-of-arrays refactor (DESIGN.md §11), homogeneous members of
+the vec env share one :class:`~repro.sim.kernel.SimKernel`, so the unroll's
+``vec_env.step`` advances all waiting members per event in fused array
+passes and builds the K observations through one batched dynamic-state
+gather.  Nothing changes here: the trainer sees the same observations,
+rewards and RNG streams either way (the fused path is pinned row-identical
+by ``tests/sim/test_vec_parity.py``), and episode ends still surface the
+gym-style ``infos[k]["terminal_observation"]`` alongside the auto-reset.
 """
 
 from __future__ import annotations

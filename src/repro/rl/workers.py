@@ -2,9 +2,12 @@
 
 PR 1's vectorised stack tops out at ~1.3× unroll+update throughput in one
 process — batching shrinks the *network* cost but every simulator step still
-runs on one core.  READYS training is embarrassingly parallel across
-episodes, so :class:`ParallelRolloutTrainer` fans rollouts across N OS
-processes, Decima-style:
+runs on one core.  (The struct-of-arrays kernel has since fused the
+simulator stepping itself — see DESIGN.md §11 and BENCH_sim.json — which
+each worker's vec env now uses transparently; processes remain the lever
+for the network-dominated remainder.)  READYS training is embarrassingly
+parallel across episodes, so :class:`ParallelRolloutTrainer` fans rollouts
+across N OS processes, Decima-style:
 
 * each **worker process** owns a seeded :class:`~repro.sim.vec_env.VecSchedulingEnv`
   (K members) plus an agent replica, collects ``unroll_length`` transitions

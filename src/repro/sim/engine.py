@@ -12,26 +12,35 @@ Semantics (paper §III):
 The simulator is deliberately decision-free: dynamic schedulers (MCT, the RL
 agent) drive it through :meth:`Simulation.start` / :meth:`Simulation.advance`,
 and the static executor replays a fixed HEFT plan through the same interface.
-Event handling is O(P) per step (platforms have a handful of processors).
+
+Since the struct-of-arrays refactor (DESIGN.md §11) the mutable episode state
+lives in a :class:`~repro.sim.kernel.SimKernel` — ``(K, n)`` task arrays and
+``(K, p)`` processor arrays holding K episodes side by side.  A
+:class:`Simulation` is a **row view** over one kernel row: its public arrays
+(``ready``, ``proc_task``, …) are NumPy views into the kernel's rows, its
+transitions delegate to the kernel's per-row ops, and a standalone
+``Simulation(...)`` simply owns a private K=1 kernel — so the entire
+historical API (and its bit-exact behaviour) is preserved while
+:class:`VecSimulation` advances many rows per event through the same arrays
+with fused reductions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro import obs
 from repro.graphs.durations import DurationTable
 from repro.graphs.taskgraph import TaskGraph
 from repro.platforms.comm import CommunicationModel, NoComm
-from repro.platforms.noise import NoNoise, NoiseModel
+from repro.platforms.noise import NoiseModel, NoNoise
 from repro.platforms.resources import Platform
-from repro.utils.seeding import SeedLike, as_generator
+from repro.sim.kernel import IDLE, SimKernel
+from repro.utils.seeding import SeedLike, as_generator, spawn_generators
 
-#: sentinel for "processor is idle"
-IDLE = -1
+__all__ = ["IDLE", "ScheduledTask", "Simulation", "VecSimulation"]
 
 
 @dataclass(frozen=True)
@@ -48,8 +57,24 @@ class ScheduledTask:
         return self.finish - self.start
 
 
+#: Simulation attributes that alias kernel rows — rebuilt by ``_sync_views``
+#: (and therefore dropped from pickles: a pickled NumPy view silently turns
+#: into an independent copy, which would disconnect the view from its kernel)
+_VIEW_ATTRS = (
+    "remaining_preds",
+    "ready",
+    "running",
+    "finished",
+    "completion_time",
+    "start_time",
+    "executed_on",
+    "proc_task",
+    "proc_finish",
+)
+
+
 class Simulation:
-    """Executable state of one scheduling episode.
+    """Executable state of one scheduling episode (a kernel row view).
 
     Parameters
     ----------
@@ -63,6 +88,13 @@ class Simulation:
         Optional communication model (default: the paper's zero-cost
         assumption).  When set, a task launched on processor p stalls p
         until the outputs of predecessors executed elsewhere have arrived.
+
+    The constructor builds a private K=1 :class:`~repro.sim.kernel.SimKernel`;
+    :class:`VecSimulation` members share one K-row kernel instead and are
+    created through :meth:`_attach`.  Either way the public surface is the
+    historical one: ``ready``/``running``/… are (n,) arrays (row views),
+    ``proc_task``/``proc_finish`` are (p,) arrays, and transitions behave
+    bit-identically to the pre-kernel per-object engine.
     """
 
     def __init__(
@@ -74,31 +106,163 @@ class Simulation:
         rng: SeedLike = None,
         comm: Optional[CommunicationModel] = None,
     ) -> None:
-        if durations.num_kernels < graph.num_types:
-            raise ValueError(
-                f"duration table has {durations.num_kernels} kernels but the "
-                f"graph uses {graph.num_types} task types"
-            )
-        self.graph = graph
-        self.platform = platform
-        self.durations = durations
-        self.noise = noise if noise is not None else NoNoise()
-        self.comm = comm if comm is not None else NoComm()
-        self.rng = as_generator(rng)
+        kernel = SimKernel(platform, durations, 1)
+        self._kernel = kernel
+        self._row = 0
+        self._trace_cache: Optional[tuple] = None
+        kernel.init_row(
+            0,
+            graph,
+            noise=noise if noise is not None else NoNoise(),
+            rng=as_generator(rng),
+            comm=comm if comm is not None else NoComm(),
+        )
+        kernel.attach_view(self)
+        self._sync_views()
 
-        n, p = graph.num_tasks, platform.num_processors
-        self.time = 0.0
-        self.remaining_preds = graph.in_degree.copy()
-        self.ready = self.remaining_preds == 0
-        self.running = np.zeros(n, dtype=bool)
-        self.finished = np.zeros(n, dtype=bool)
-        self.completion_time = np.full(n, np.nan)
-        self.start_time = np.full(n, np.nan)
-        self.executed_on = np.full(n, IDLE, dtype=np.int64)
-        # per-processor state
-        self.proc_task = np.full(p, IDLE, dtype=np.int64)
-        self.proc_finish = np.full(p, np.inf)
-        self.trace: List[ScheduledTask] = []
+    @classmethod
+    def _attach(
+        cls,
+        kernel: SimKernel,
+        row: int,
+        graph: TaskGraph,
+        noise: Optional[NoiseModel],
+        rng: SeedLike,
+        comm: Optional[CommunicationModel],
+    ) -> "Simulation":
+        """Create a view over row ``row`` of a shared kernel (vec members)."""
+        self = cls.__new__(cls)
+        self._kernel = kernel
+        self._row = int(row)
+        self._trace_cache = None
+        kernel.init_row(
+            self._row,
+            graph,
+            noise=noise if noise is not None else NoNoise(),
+            rng=as_generator(rng),
+            comm=comm if comm is not None else NoComm(),
+        )
+        kernel.attach_view(self)
+        self._sync_views()
+        return self
+
+    def rebind(
+        self,
+        graph: TaskGraph,
+        noise: Optional[NoiseModel] = None,
+        rng: SeedLike = None,
+        comm: Optional[CommunicationModel] = None,
+    ) -> None:
+        """Re-initialise this view's row for a fresh episode of ``graph``.
+
+        The vectorised auto-reset path: a masked re-init of one kernel row
+        (other rows mid-episode are untouched).  ``None`` arguments keep the
+        row's current noise/rng/comm objects — the member's RNG stream
+        continues across episodes exactly like the historical
+        construct-a-new-``Simulation`` reset did.
+        """
+        self._kernel.init_row(
+            self._row,
+            graph,
+            noise=noise,
+            rng=None if rng is None else as_generator(rng),
+            comm=comm,
+        )
+        self._trace_cache = None
+        self._sync_views()
+
+    def _sync_views(self) -> None:
+        """Re-point the public arrays at the kernel's (possibly new) buffers."""
+        kernel, row = self._kernel, self._row
+        n = int(kernel.n_tasks[row])
+        self.remaining_preds = kernel.remaining_preds[row, :n]
+        self.ready = kernel.ready[row, :n]
+        self.running = kernel.running[row, :n]
+        self.finished = kernel.finished[row, :n]
+        self.completion_time = kernel.completion_time[row, :n]
+        self.start_time = kernel.start_time[row, :n]
+        self.executed_on = kernel.executed_on[row, :n]
+        self.proc_task = kernel.proc_task[row]
+        self.proc_finish = kernel.proc_finish[row]
+
+    # ------------------------------------------------------------------ #
+    # shared-object accessors (single source of truth: the kernel row)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> TaskGraph:
+        graph = self._kernel.graphs[self._row]
+        assert graph is not None
+        return graph
+
+    @property
+    def platform(self) -> Platform:
+        return self._kernel.platform
+
+    @property
+    def durations(self) -> DurationTable:
+        return self._kernel.durations
+
+    @property
+    def noise(self) -> NoiseModel:
+        return self._kernel.noises[self._row]
+
+    @noise.setter
+    def noise(self, value: NoiseModel) -> None:
+        self._kernel.set_noise(self._row, value)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        rng = self._kernel.rngs[self._row]
+        assert rng is not None
+        return rng
+
+    @rng.setter
+    def rng(self, value: SeedLike) -> None:
+        self._kernel.rngs[self._row] = as_generator(value)
+
+    @property
+    def comm(self) -> CommunicationModel:
+        return self._kernel.comms[self._row]
+
+    @comm.setter
+    def comm(self, value: CommunicationModel) -> None:
+        self._kernel.set_comm(self._row, value)
+
+    @property
+    def time(self) -> float:
+        """Current simulation time of this episode."""
+        return float(self._kernel.time[self._row])
+
+    @time.setter
+    def time(self, value: float) -> None:
+        self._kernel.time[self._row] = value
+
+    @property
+    def trace(self) -> List[ScheduledTask]:
+        """Completed trace entries, in completion order (lazily materialised).
+
+        The kernel records the trace as arrays (task order + per-task
+        start/finish/processor); the historical list-of-:class:`ScheduledTask`
+        is built on first access and cached until further completions land.
+        """
+        kernel, row = self._kernel, self._row
+        count = int(kernel.trace_len[row])
+        cache = self._trace_cache
+        if cache is None or cache[0] != count:
+            tasks = kernel.trace_tasks[row, :count]
+            entries = [
+                ScheduledTask(
+                    int(t),
+                    int(kernel.executed_on[row, t]),
+                    float(kernel.start_time[row, t]),
+                    float(kernel.completion_time[row, t]),
+                )
+                for t in tasks
+            ]
+            cache = (count, entries)
+            self._trace_cache = cache
+        return cache[1]
 
     # ------------------------------------------------------------------ #
     # queries
@@ -107,7 +271,7 @@ class Simulation:
     @property
     def done(self) -> bool:
         """All tasks completed."""
-        return bool(self.finished.all())
+        return bool(self._kernel.num_unfinished[self._row] == 0)
 
     @property
     def makespan(self) -> float:
@@ -180,43 +344,7 @@ class Simulation:
         not see it through the scheduling API (only through the trace after
         completion), preserving the paper's information model.
         """
-        task, proc = int(task), int(proc)
-        if not 0 <= task < self.graph.num_tasks:
-            raise ValueError(f"task {task} out of range")
-        if not 0 <= proc < self.platform.num_processors:
-            raise ValueError(f"processor {proc} out of range")
-        if not self.ready[task]:
-            raise RuntimeError(f"task {task} is not ready at t={self.time}")
-        if self.proc_task[proc] != IDLE:
-            raise RuntimeError(f"processor {proc} is busy at t={self.time}")
-        expected = self.expected_duration(task, proc)
-        actual = float(
-            self.noise.sample_for(
-                np.asarray([expected]), self.platform.type_of(proc), self.rng
-            )[0]
-        )
-        # Communication: the processor commits now, but execution begins only
-        # when the inputs produced on other processors have arrived.
-        begin = self.time
-        if not self.comm.is_free:
-            dst_type = self.platform.type_of(proc)
-            for pred in self.graph.predecessors(task):
-                src = int(self.executed_on[pred])
-                arrival = self.completion_time[pred] + self.comm.delay(
-                    src, proc, self.platform.type_of(src), dst_type
-                )
-                if arrival > begin:
-                    begin = float(arrival)
-        self.ready[task] = False
-        self.running[task] = True
-        self.start_time[task] = begin
-        self.executed_on[task] = proc
-        self.proc_task[proc] = task
-        self.proc_finish[proc] = begin + actual
-        registry = obs.METRICS
-        if registry.enabled:
-            registry.counter("sim/tasks_started").inc()
-        return actual
+        return self._kernel.start_row(self._row, task, proc)
 
     def advance(self) -> np.ndarray:
         """Jump to the next task-completion event; returns the freed processors.
@@ -225,49 +353,7 @@ class Simulation:
         Raises ``RuntimeError`` when nothing is running (a scheduler bug:
         either the episode is done or a decision is required first).
         """
-        busy = self.busy_processors()
-        if busy.size == 0:
-            raise RuntimeError(
-                "advance() with no running task — schedule something first"
-            )
-        t_next = float(self.proc_finish[busy].min())
-        finishing = busy[self.proc_finish[busy] <= t_next]
-        registry = obs.METRICS
-        if registry.enabled:
-            # busy/idle processor-seconds over the interval being skipped —
-            # the utilization accounting the run report renders.
-            dt = t_next - self.time
-            num_procs = self.platform.num_processors
-            busy_counter = registry.counter("sim/busy_time")
-            idle_counter = registry.counter("sim/idle_time")
-            busy_counter.inc(dt * busy.size)
-            idle_counter.inc(dt * (num_procs - busy.size))
-            registry.counter("sim/events").inc()
-            total = busy_counter.value + idle_counter.value
-            if total > 0:
-                registry.gauge("sim/utilization").set(busy_counter.value / total)
-        self.time = t_next
-        freed = []
-        for proc in finishing:
-            task = int(self.proc_task[proc])
-            self.running[task] = False
-            self.finished[task] = True
-            self.completion_time[task] = self.time
-            self.trace.append(
-                ScheduledTask(task, int(proc), float(self.start_time[task]), self.time)
-            )
-            self.proc_task[proc] = IDLE
-            self.proc_finish[proc] = np.inf
-            # release successors
-            succs = self.graph.successors(task)
-            if succs.size:
-                self.remaining_preds[succs] -= 1
-                newly_ready = succs[self.remaining_preds[succs] == 0]
-                self.ready[newly_ready] = True
-            freed.append(int(proc))
-        if registry.enabled:
-            registry.counter("sim/task_completions").inc(len(freed))
-        return np.asarray(freed, dtype=np.int64)
+        return self._kernel.advance_row(self._row)
 
     # ------------------------------------------------------------------ #
     # validation
@@ -282,28 +368,164 @@ class Simulation:
         * makespan equals the latest finish time.
 
         Raises ``AssertionError`` on violation.  Used by tests and by the
-        property-based suite; cheap enough to run after every episode.
+        property-based suite; cheap enough to run after every episode.  All
+        four checks are array reductions over the kernel's trace arrays —
+        no per-entry Python loop — with the historical assertion messages.
         """
         assert self.done, "check_trace requires a completed episode"
-        seen = np.zeros(self.graph.num_tasks, dtype=np.int64)
-        for entry in self.trace:
-            seen[entry.task] += 1
-            assert entry.finish >= entry.start >= 0.0
+        kernel, row = self._kernel, self._row
+        count = int(kernel.trace_len[row])
+        tasks = kernel.trace_tasks[row, :count]
+        n = self.graph.num_tasks
+        starts = self.start_time
+        finishes = self.completion_time
+        seen = np.bincount(tasks, minlength=n) if count else np.zeros(n, np.int64)
+        traced_s, traced_f = starts[tasks], finishes[tasks]
+        assert bool(((traced_f >= traced_s) & (traced_s >= 0.0)).all())
         assert (seen == 1).all(), "each task must execute exactly once"
 
-        finish = {e.task: e.finish for e in self.trace}
-        start = {e.task: e.start for e in self.trace}
-        for u, v in self.graph.edges:
-            assert start[int(v)] >= finish[int(u)] - 1e-9, (
-                f"precedence violated: {v} started before {u} finished"
-            )
+        edges = self.graph.edges
+        if len(edges):
+            violated = starts[edges[:, 1]] < finishes[edges[:, 0]] - 1e-9
+            if violated.any():
+                u, v = edges[int(np.argmax(violated))]
+                raise AssertionError(
+                    f"precedence violated: {v} started before {u} finished"
+                )
 
-        by_proc: dict = {}
-        for entry in self.trace:
-            by_proc.setdefault(entry.proc, []).append((entry.start, entry.finish))
-        for intervals in by_proc.values():
-            intervals.sort()
-            for (s0, f0), (s1, f1) in zip(intervals, intervals[1:]):
-                assert s1 >= f0 - 1e-9, "overlapping tasks on one processor"
+        # exclusivity: sort all intervals by (proc, start, finish) — the same
+        # per-processor (start, finish) tuple order the dict-of-lists built —
+        # and compare each interval with its predecessor on the same processor
+        procs = self.executed_on
+        order = np.lexsort((finishes, starts, procs))
+        same_proc = procs[order][1:] == procs[order][:-1]
+        gap_ok = starts[order][1:] >= finishes[order][:-1] - 1e-9
+        assert bool(
+            (gap_ok | ~same_proc).all()
+        ), "overlapping tasks on one processor"
 
-        assert abs(self.makespan - max(finish.values())) < 1e-9
+        assert abs(self.makespan - float(finishes.max())) < 1e-9
+
+    # ------------------------------------------------------------------ #
+    # pickling — views must be rebuilt, not copied
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        state = {
+            k: v for k, v in self.__dict__.items() if k not in _VIEW_ATTRS
+        }
+        state["_trace_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # the kernel pickles with an empty view list (avoiding a cycle);
+        # every restored view re-registers itself and re-aliases its row
+        self._kernel.attach_view(self)
+        self._sync_views()
+
+
+def _per_member(value: Union[object, Sequence, None], k: int) -> List:
+    """Broadcast a shared object (or pass through a K-sequence) to K slots."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != k:
+            raise ValueError(f"expected {k} per-member values, got {len(value)}")
+        return list(value)
+    return [value] * k
+
+
+class VecSimulation:
+    """K scheduling episodes stepped through one shared struct-of-arrays kernel.
+
+    Parameters
+    ----------
+    graphs:
+        One :class:`TaskGraph` per member, or a single graph shared by all.
+    platform, durations:
+        Shared across members (one set of processor/duration arrays).
+    noise, comm:
+        A single model shared by every member, or a K-sequence.
+    rng:
+        A K-sequence of seeds/generators (one per member), or a single
+        seed-like from which K independent member streams are spawned.
+
+    Each member is an ordinary :class:`Simulation` (``vec.member(k)`` /
+    ``vec.members[k]``) viewing row k, so anything written against the
+    single-episode API — schedulers, ``check_trace``, trace export — works
+    on a member unchanged, while :meth:`advance` completes events in *all*
+    requested rows with one fused pass (see
+    :meth:`repro.sim.kernel.SimKernel.advance_rows`).  Per-member RNG
+    streams are private, so fusing the deterministic event machinery leaves
+    every member's draw sequence — and therefore its trace — bit-identical
+    to running that member alone.
+    """
+
+    def __init__(
+        self,
+        graphs: Union[TaskGraph, Sequence[TaskGraph]],
+        platform: Platform,
+        durations: DurationTable,
+        noise: Union[NoiseModel, Sequence[NoiseModel], None] = None,
+        rng: Union[SeedLike, Sequence[SeedLike]] = None,
+        comm: Union[CommunicationModel, Sequence[CommunicationModel], None] = None,
+    ) -> None:
+        if isinstance(graphs, TaskGraph):
+            graphs = [graphs]
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("VecSimulation needs at least one member graph")
+        k = len(graphs)
+        noises = _per_member(noise, k)
+        comms = _per_member(comm, k)
+        if isinstance(rng, (list, tuple)):
+            if len(rng) != k:
+                raise ValueError(f"expected {k} member rngs, got {len(rng)}")
+            rngs = [as_generator(r) for r in rng]
+        else:
+            rngs = spawn_generators(rng, k)
+        self.kernel = SimKernel(platform, durations, k)
+        self.members: List[Simulation] = [
+            Simulation._attach(self.kernel, row, graphs[row], noises[row],
+                               rngs[row], comms[row])
+            for row in range(k)
+        ]
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    def member(self, k: int) -> Simulation:
+        """The K=1 view of row ``k`` (full single-episode API)."""
+        return self.members[k]
+
+    @property
+    def done(self) -> np.ndarray:
+        """Boolean (K,) mask of completed member episodes."""
+        return self.kernel.done_rows()
+
+    @property
+    def time(self) -> np.ndarray:
+        """(K,) member clocks (copy)."""
+        return self.kernel.time.copy()
+
+    def makespans(self) -> np.ndarray:
+        """(K,) member makespans; raises if any member is unfinished."""
+        if not self.done.all():
+            raise RuntimeError("makespan is undefined before the episode ends")
+        n = self.kernel.n_tasks
+        cap = self.kernel.capacity
+        mask = np.arange(cap) < n[:, None]
+        ct = np.where(mask, self.kernel.completion_time, -np.inf)
+        return ct.max(axis=1)
+
+    def advance(self, rows: Optional[np.ndarray] = None) -> None:
+        """Fused event step: every requested row jumps to its next completion.
+
+        ``rows`` defaults to all unfinished members; pass an explicit index
+        array to advance a subset (the vectorised env advances exactly the
+        members waiting on an event).  Trace materialisation caches of the
+        affected members are invalidated lazily via the kernel's counters.
+        """
+        if rows is None:
+            rows = np.flatnonzero(~self.kernel.done_rows())
+        self.kernel.advance_rows(np.asarray(rows, dtype=np.int64))

@@ -31,6 +31,7 @@ from repro.platforms.noise import NoNoise, NoiseModel
 from repro.platforms.resources import Platform
 from repro.schedulers.heft import heft_makespan
 from repro.sim.engine import Simulation
+from repro.sim.kernel import SimKernel
 from repro.sim.state import Observation, StateBuilder
 from repro.utils.seeding import SeedLike, as_generator
 
@@ -126,6 +127,23 @@ class SchedulingEnv:
         self._baseline_makespan: float = np.nan
         self._memo_ns = next(_MEMO_NAMESPACE)
         self._memo_epoch = 0
+        # struct-of-arrays attachment (set by VecSchedulingEnv): when bound,
+        # reset() re-initialises row ``_row`` of the shared kernel in place
+        # instead of allocating a fresh Simulation per episode
+        self._kernel: Optional[SimKernel] = None
+        self._row: int = 0
+
+    def attach_kernel(self, kernel: SimKernel, row: int) -> None:
+        """Bind this environment to row ``row`` of a shared simulator kernel.
+
+        Subsequent :meth:`reset` calls become masked re-inits of that row, so
+        a vectorised wrapper can advance all members through fused kernel
+        ops.  Attaching changes *where* the episode state lives, not any
+        observable behaviour: the member's simulation is a bit-exact K=1 view
+        (see DESIGN.md §11).
+        """
+        self._kernel = kernel
+        self._row = int(row)
 
     # ------------------------------------------------------------------ #
 
@@ -154,9 +172,20 @@ class SchedulingEnv:
         if seed is not None:
             self.rng = as_generator(seed)
         graph = self._sample_graph()
-        self.sim = Simulation(
-            graph, self.platform, self.durations, self.noise, rng=self.rng
-        )
+        if self._kernel is not None:
+            # kernel-backed: masked re-init of this member's row (noise and
+            # rng are re-passed every episode — reset(seed=...) swaps the
+            # generator object, and the row must follow it)
+            if self.sim is not None and self.sim._kernel is self._kernel:
+                self.sim.rebind(graph, noise=self.noise, rng=self.rng)
+            else:
+                self.sim = Simulation._attach(
+                    self._kernel, self._row, graph, self.noise, self.rng, None
+                )
+        else:
+            self.sim = Simulation(
+                graph, self.platform, self.durations, self.noise, rng=self.rng
+            )
         # HEFT plans on expected durations — deterministic per graph, so a
         # fixed-instance env can reuse the plan across episodes.
         baseline = graph.__dict__.get("_cached_heft_baseline")
@@ -186,6 +215,59 @@ class SchedulingEnv:
         }
         return ResetResult(obs, info)
 
+    # The decision loop is factored into four hooks so the vectorised
+    # wrapper can drive many members through one fused kernel pass while
+    # consuming each member's RNG stream in exactly the legacy order:
+    # candidates → draw → (batched) build → advance.  ``_next_decision``
+    # composes them for the single-environment path.
+
+    def _decision_candidates(self) -> Optional[np.ndarray]:
+        """Processors eligible for a decision now, or ``None`` if the
+        simulator must advance first (no ready task, or every idle processor
+        already passed at this instant)."""
+        sim = self.sim
+        assert sim is not None and self._passed is not None
+        if not sim.ready.any():
+            return None
+        candidates = sim.idle_processors()
+        candidates = candidates[~self._passed[candidates]]
+        return candidates if candidates.size > 0 else None
+
+    def _draw_proc(self, candidates: np.ndarray) -> tuple:
+        """Draw the current processor; returns ``(proc, allow_pass)``.
+
+        ∅ is legal while declining cannot deadlock: either a task is running
+        (a future event will re-open decisions) or another idle processor is
+        still waiting to be asked.
+        """
+        assert self.sim is not None
+        proc = int(self.rng.choice(candidates))
+        allow_pass = bool(self.sim.running.any()) or candidates.size > 1
+        return proc, allow_pass
+
+    def _attach_embed_key(self, built: Observation, proc: int) -> Observation:
+        """Set the within-instant embedding-memo key on a fresh observation.
+
+        The epoch bumps on every assignment/advance, so equal keys guarantee
+        an identical (features, adjacency) pair — pass chains at one instant
+        reuse the GCN embedding across the idle processors of the same type.
+        """
+        assert self.sim is not None
+        if built.window_fingerprint is not None:
+            built.embed_key = (
+                self._memo_ns,
+                self._memo_epoch,
+                self.sim.platform.type_of(proc),
+                built.window_fingerprint,
+            )
+        return built
+
+    def _after_advance(self) -> None:
+        """Post-event bookkeeping shared by the single and fused loops."""
+        assert self._passed is not None
+        self._passed[:] = False  # a new instant: everyone may be asked again
+        self._memo_epoch += 1  # time moved: window/features may differ
+
     def _next_decision(self) -> Optional[Observation]:
         """Advance the simulator to the next decision point (or the end)."""
         sim = self.sim
@@ -193,47 +275,28 @@ class SchedulingEnv:
         while True:
             if sim.done:
                 return None
-            if sim.ready.any():
-                candidates = sim.idle_processors()
-                candidates = candidates[~self._passed[candidates]]
-                if candidates.size > 0:
-                    proc = int(self.rng.choice(candidates))
-                    # ∅ is legal while declining cannot deadlock: either a
-                    # task is running (a future event will re-open decisions)
-                    # or another idle processor is still waiting to be asked.
-                    allow_pass = bool(sim.running.any()) or candidates.size > 1
-                    tracer = obs.TRACER
-                    if tracer.enabled:
-                        handle = tracer.begin("state_build", proc=proc)
-                        built = self.state_builder.build(
-                            sim, proc, allow_pass=allow_pass
-                        )
-                        tracer.end(handle, nodes=built.num_nodes)
-                    else:
-                        built = self.state_builder.build(
-                            sim, proc, allow_pass=allow_pass
-                        )
-                    if built.window_fingerprint is not None:
-                        # within-instant embedding memo key: epoch bumps on
-                        # every assignment/advance, so equal keys guarantee an
-                        # identical (features, adjacency) pair — pass chains
-                        # at one instant reuse the GCN embedding across the
-                        # idle processors of the same type.
-                        built.embed_key = (
-                            self._memo_ns,
-                            self._memo_epoch,
-                            sim.platform.type_of(proc),
-                            built.window_fingerprint,
-                        )
-                    return built
+            candidates = self._decision_candidates()
+            if candidates is not None:
+                proc, allow_pass = self._draw_proc(candidates)
+                tracer = obs.TRACER
+                if tracer.enabled:
+                    handle = tracer.begin("state_build", proc=proc)
+                    built = self.state_builder.build(
+                        sim, proc, allow_pass=allow_pass
+                    )
+                    tracer.end(handle, nodes=built.num_nodes)
+                else:
+                    built = self.state_builder.build(
+                        sim, proc, allow_pass=allow_pass
+                    )
+                return self._attach_embed_key(built, proc)
             if not sim.running.any():
                 raise RuntimeError(
                     "environment deadlock: nothing running and no decision "
                     "available — the ∅-action mask should prevent this"
                 )
             sim.advance()
-            self._passed[:] = False  # a new instant: everyone may be asked again
-            self._memo_epoch += 1  # time moved: window/features may differ
+            self._after_advance()
 
     def step(self, action: int) -> StepResult:
         """Apply ``action`` to the pending decision.
@@ -243,6 +306,20 @@ class SchedulingEnv:
         ``allow_pass`` is true.  Returns a :class:`StepResult` (unpackable as
         the historical ``(obs, reward, done, info)`` 4-tuple) with
         ``obs=None`` at the terminal state.
+        """
+        current, handle, num_ready = self._begin_step(action)
+        next_obs = self._next_decision()
+        result = self._finish_step(next_obs)
+        if handle is not None:
+            obs.TRACER.end(handle, passed=action >= num_ready, done=result.done)
+        return result
+
+    def _begin_step(self, action: int) -> tuple:
+        """Validate and apply ``action`` (start a task or register a pass).
+
+        First third of :meth:`step`; the vectorised wrapper calls it for
+        every member before driving the shared kernel to the members' next
+        decision points.  Returns ``(current_obs, tracer_handle, num_ready)``.
         """
         current = self._current_obs
         sim = self.sim
@@ -272,8 +349,16 @@ class SchedulingEnv:
         else:  # ∅: this processor declines until the next event
             assert current.allow_pass
             self._passed[current.current_proc] = True
+        return current, handle, num_ready
 
-        next_obs = self._next_decision()
+    def _finish_step(self, next_obs: Optional[Observation]) -> StepResult:
+        """Reward/done/info bookkeeping once the next decision is known.
+
+        Final third of :meth:`step`, shared verbatim with the fused path so
+        rewards are computed from the identical elapsed-time floats.
+        """
+        sim = self.sim
+        assert sim is not None
         self._current_obs = next_obs
         elapsed = sim.time - self._last_time
         self._last_time = sim.time
@@ -287,16 +372,12 @@ class SchedulingEnv:
                 "makespan": makespan,
                 "heft_makespan": self._baseline_makespan,
             }
-            result = StepResult(None, float(reward), True, info)
-        elif self.reward_mode == "dense":
-            result = StepResult(
+            return StepResult(None, float(reward), True, info)
+        if self.reward_mode == "dense":
+            return StepResult(
                 next_obs, float(-elapsed / self._baseline_makespan), False, {}
             )
-        else:
-            result = StepResult(next_obs, 0.0, False, {})
-        if handle is not None:
-            tracer.end(handle, passed=action >= num_ready, done=result.done)
-        return result
+        return StepResult(next_obs, 0.0, False, {})
 
 
 def run_policy(

@@ -274,12 +274,21 @@ class StateBuilder:
         sim: Simulation,
         current_proc: int,
         allow_pass: Optional[bool] = None,
+        *,
+        busy: Optional[np.ndarray] = None,
+        remaining: Optional[np.ndarray] = None,
     ) -> Observation:
         """Extract the observation for ``current_proc`` at the current instant.
 
         ``allow_pass`` overrides the default ∅-action legality (the
         environment masks ∅ only when declining would deadlock: nothing is
         running *and* no other idle processor remains to be offered).
+
+        ``busy``/``remaining`` optionally inject the busy-processor set and
+        its expected-remaining vector when the caller already gathered them —
+        :func:`build_observations` computes both for all members of a shared
+        kernel in one fused pass and feeds them through here, so the batched
+        path produces bit-identical features without re-deriving per member.
         """
         graph = sim.graph
         nodes = self.window_nodes(sim)
@@ -295,10 +304,12 @@ class StateBuilder:
 
         remap = self._remap_scratch(graph)
         remap[nodes] = np.arange(nodes.size)
-        busy = sim.busy_processors()
-        remaining_all = None
+        if busy is None:
+            busy = sim.busy_processors()
+        remaining_all = remaining
         if busy.size:
-            remaining_all = sim.expected_remaining_many(busy)
+            if remaining_all is None:
+                remaining_all = sim.expected_remaining_many(busy)
             pos = remap[sim.proc_task[busy]]
             inside = pos >= 0
             if inside.any():
@@ -380,6 +391,58 @@ class StateBuilder:
             window_fingerprint=nodes_bytes,
         )
 
+    def build_terminal(self, sim: Simulation) -> Observation:
+        """Degenerate observation of a *finished* episode.
+
+        The MDP has no decision point at the terminal state (the window
+        would be empty), so the environment historically returned ``None``.
+        The vectorised wrapper stashes this well-formed stand-in as
+        ``infos[k]["terminal_observation"]`` (gym convention): zero window
+        nodes, an empty action set, ``current_proc=-1``, and a global
+        resource descriptor of the all-idle platform — shaped so batched
+        consumers can embed it without special-casing, while ``num_actions
+        == 0`` still marks it as non-actionable.
+        """
+        graph = sim.graph
+        template, _raw_width = self._feature_template(graph)
+        features = np.zeros((0, template.shape[1]), dtype=np.float64)
+        if self.sparse:
+            from repro.nn.sparse import (
+                edges_to_sparse_adjacency,
+                gcn_normalize_adjacency_sparse,
+            )
+
+            norm_adj = gcn_normalize_adjacency_sparse(
+                edges_to_sparse_adjacency(np.zeros((0, 2), dtype=np.int64), 0)
+            )
+        else:
+            norm_adj = np.zeros((0, 0), dtype=np.float64)
+        empty = np.empty(0, dtype=np.int64)
+        proc_features = np.zeros(PROC_FEATURE_DIM, dtype=np.float64)
+        proc_features[NUM_RESOURCE_TYPES] = 1.0  # every processor is idle
+        return Observation(
+            features=features,
+            norm_adj=norm_adj,
+            ready_positions=empty,
+            ready_tasks=empty.copy(),
+            proc_features=proc_features,
+            current_proc=-1,
+            allow_pass=False,
+        )
+
+    def build_many(
+        self,
+        sims: "list[Simulation]",
+        procs: "list[int]",
+        allow_passes: "list[bool]",
+    ) -> "list[Observation]":
+        """Observations for many members with one fused dynamic-state pass.
+
+        Convenience wrapper over :func:`build_observations` for callers that
+        share a single builder across members.
+        """
+        return build_observations([self] * len(sims), sims, procs, allow_passes)
+
     def proc_descriptor(
         self,
         sim: Simulation,
@@ -412,3 +475,54 @@ class StateBuilder:
                 float(remaining.mean()) / self._scale
             )
         return descriptor
+
+
+def build_observations(
+    builders: "list[StateBuilder]",
+    sims: "list[Simulation]",
+    procs: "list[int]",
+    allow_passes: "list[bool]",
+) -> "list[Observation]":
+    """Build one observation per member, batching the kernel-backed gathers.
+
+    Members whose simulations share a struct-of-arrays kernel get their
+    busy-processor sets and expected-remaining vectors from **one**
+    ``(R, p)`` gather (:meth:`repro.sim.kernel.SimKernel.expected_remaining_rows`)
+    instead of R separate table lookups; the per-member assembly then runs
+    through :meth:`StateBuilder.build` with those arrays injected, producing
+    features bit-identical to the member-by-member path (the fused gather
+    applies the same scalar formula elementwise).  Members with standalone
+    simulations (or no shared kernel) fall back to the plain build.
+    """
+    if not (len(builders) == len(sims) == len(procs) == len(allow_passes)):
+        raise ValueError("builders/sims/procs/allow_passes must align")
+    from repro.sim.kernel import IDLE
+
+    # one fused expected-remaining gather per distinct kernel
+    by_kernel: dict = {}
+    for i, sim in enumerate(sims):
+        kernel = getattr(sim, "_kernel", None)
+        if kernel is not None:
+            by_kernel.setdefault(id(kernel), (kernel, []))[1].append(i)
+    prefetched: dict = {}
+    for kernel, indices in by_kernel.values():
+        if len(indices) < 2:
+            continue  # a lone member gains nothing from the (R, p) path
+        rows = np.asarray([sims[i]._row for i in indices], dtype=np.int64)
+        remaining_rows = kernel.expected_remaining_rows(rows)
+        for j, i in enumerate(indices):
+            pt = kernel.proc_task[rows[j]]
+            busy = np.flatnonzero(pt != IDLE)
+            prefetched[i] = (busy, remaining_rows[j, busy])
+
+    out = []
+    for i, (builder, sim, proc, allow_pass) in enumerate(
+        zip(builders, sims, procs, allow_passes)
+    ):
+        busy, remaining = prefetched.get(i, (None, None))
+        out.append(
+            builder.build(
+                sim, proc, allow_pass=allow_pass, busy=busy, remaining=remaining
+            )
+        )
+    return out

@@ -13,19 +13,39 @@ Semantics mirror the classic gym ``VecEnv`` contract:
   first observations;
 * :meth:`step` applies one action per member and **auto-resets** any member
   whose episode ended, returning the post-reset observation in its slot (the
-  terminal ``info`` dict carries the makespan).  A K=1 vectorised rollout
-  therefore consumes exactly the same RNG stream as the legacy single-env
-  loop, which is what makes the vectorised trainer reproduce it bit-for-bit.
+  terminal ``info`` dict carries the makespan *and* the member's
+  ``terminal_observation`` — the gym convention — since the in-slot
+  observation already belongs to the next episode).  A K=1 vectorised
+  rollout therefore consumes exactly the same RNG stream as the legacy
+  single-env loop, which is what makes the vectorised trainer reproduce it
+  bit-for-bit.
+
+Since the struct-of-arrays refactor (DESIGN.md §11), compatible members
+share one :class:`~repro.sim.kernel.SimKernel`: their episode state lives in
+``(K, ·)`` rows of common arrays, and :meth:`step` drives them through a
+*fused* wave loop — all members waiting on an event advance in one
+``SimKernel.advance_rows`` call, members at a decision point get their
+observations through one batched dynamic-state gather
+(:func:`repro.sim.state.build_observations`), and auto-reset is a masked
+re-init of the finished rows.  Every member keeps a private RNG stream, so
+the fused loop consumes each stream in exactly the per-member order and the
+results stay bit-identical to the sequential path (the parity suite in
+``tests/sim/test_vec_parity.py`` pins this).  Members that cannot share a
+kernel (structurally different platforms/durations) and tracing sessions
+(the span stack must not interleave members) transparently use the
+member-by-member path instead.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, NamedTuple, Sequence
+from typing import Callable, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.sim.env import SchedulingEnv
-from repro.sim.state import Observation
+from repro.sim.kernel import SimKernel
+from repro.sim.state import Observation, build_observations
 from repro.utils.seeding import SeedLike, spawn_generators, spawn_seed_sequences
 
 
@@ -55,6 +75,16 @@ class VecStepResult(NamedTuple):
     infos: List[dict]
 
 
+def _same_platform(a, b) -> bool:
+    return a is b or np.array_equal(a.resource_types, b.resource_types)
+
+
+def _same_durations(a, b) -> bool:
+    return a is b or (
+        a.kernel_names == b.kernel_names and np.array_equal(a.table, b.table)
+    )
+
+
 class VecSchedulingEnv:
     """K scheduling environments advanced in lockstep with auto-reset."""
 
@@ -73,6 +103,21 @@ class VecSchedulingEnv:
                 f"(observation feature widths would differ): {sorted(kernels)}"
             )
         self.envs: List[SchedulingEnv] = list(envs)
+        # Structurally identical members share one struct-of-arrays kernel:
+        # member resets become masked row re-inits and step() can advance
+        # all waiting members per event in one fused array pass.
+        self._kernel: Optional[SimKernel] = None
+        first = self.envs[0]
+        if all(
+            _same_platform(e.platform, first.platform)
+            and _same_durations(e.durations, first.durations)
+            for e in self.envs[1:]
+        ):
+            self._kernel = SimKernel(
+                first.platform, first.durations, len(self.envs)
+            )
+            for row, env in enumerate(self.envs):
+                env.attach_kernel(self._kernel, row)
 
     @classmethod
     def from_factory(
@@ -104,6 +149,12 @@ class VecSchedulingEnv:
     def platform(self):
         return self.envs[0].platform
 
+    @property
+    def kernel(self) -> Optional[SimKernel]:
+        """The shared simulator kernel, or ``None`` when members are too
+        heterogeneous to fuse (step() then falls back to per-member loops)."""
+        return self._kernel
+
     # ------------------------------------------------------------------ #
 
     def reset(self, seed: SeedLike = None) -> VecResetResult:
@@ -114,6 +165,8 @@ class VecSchedulingEnv:
         :class:`~numpy.random.SeedSequence` built from ``seed`` — never
         ad-hoc per-member offsets — so no two members (or any other consumer
         spawned from the same root elsewhere) can collide on an RNG stream.
+        With a shared kernel each member reset is a masked re-init of its
+        row, so no episode state is allocated per reset.
         """
         if seed is not None:
             member_seeds = spawn_seed_sequences(seed, self.num_envs)
@@ -132,26 +185,124 @@ class VecSchedulingEnv:
         ``(observations, rewards, dones, infos)`` 4-tuple) where
         ``observations[k]`` is the *next decision point* of member k — the
         first observation of a fresh episode when ``dones[k]`` is true — and
-        ``infos[k]`` is the member's info dict (containing ``"makespan"`` at
-        episode end).
+        ``infos[k]`` is the member's info dict.  At episode end it carries
+        ``"makespan"`` plus ``"terminal_observation"``, the degenerate
+        final observation the auto-reset would otherwise drop.
         """
         if len(actions) != self.num_envs:
             raise ValueError(
                 f"expected {self.num_envs} actions, got {len(actions)}"
             )
+        kernel = self._kernel
+        if (
+            kernel is not None
+            and not obs.TRACER.enabled
+            and all(
+                e.sim is not None and e.sim._kernel is kernel for e in self.envs
+            )
+        ):
+            return self._step_fused(actions)
+        return self._step_members(actions)
+
+    def _step_members(self, actions: Sequence[int]) -> VecStepResult:
+        """Member-by-member stepping (heterogeneous members, or tracing)."""
         observations: List[Observation] = []
         rewards = np.empty(self.num_envs, dtype=np.float64)
         dones = np.zeros(self.num_envs, dtype=bool)
         infos: List[dict] = []
         for k, (env, action) in enumerate(zip(self.envs, actions)):
             result = env.step(int(action))
-            obs = result.obs
+            obs_k = result.obs
+            info = result.info
             if result.done:
+                info = dict(info)
+                info["terminal_observation"] = env.state_builder.build_terminal(
+                    env.sim
+                )
                 # auto-reset continues the member's own persistent RNG stream
                 # (seeded once from the root SeedSequence at construction)
-                obs = env.reset().obs
-            observations.append(obs)
+                obs_k = env.reset().obs
+            observations.append(obs_k)
             rewards[k] = result.reward
             dones[k] = result.done
-            infos.append(result.info)
+            infos.append(info)
+        return VecStepResult(observations, rewards, dones, infos)
+
+    def _step_fused(self, actions: Sequence[int]) -> VecStepResult:
+        """Drive all members to their next decision through the shared kernel.
+
+        Wave loop: every iteration partitions the unresolved members into
+        (a) finished episodes — finalised, terminal observation stashed,
+        row re-initialised in place; (b) members at a decision point — the
+        current processor is drawn from the *member's* RNG and the K'
+        observations are built with one batched dynamic-state gather; and
+        (c) members waiting on an event — advanced together in one fused
+        ``advance_rows`` call.  Per-member RNG draws happen in exactly the
+        order of the sequential loop (each member owns its stream), so the
+        results are bit-identical to :meth:`_step_members`.
+        """
+        k = self.num_envs
+        assert self._kernel is not None
+        observations: List[Optional[Observation]] = [None] * k
+        rewards = np.empty(k, dtype=np.float64)
+        dones = np.zeros(k, dtype=bool)
+        infos: List[Optional[dict]] = [None] * k
+        for env, action in zip(self.envs, actions):
+            env._begin_step(int(action))
+        pending = list(range(k))
+        while pending:
+            decided: List[tuple] = []  # (member, proc, allow_pass)
+            waiting: List[int] = []
+            for i in pending:
+                env = self.envs[i]
+                sim = env.sim
+                if sim.done:
+                    result = env._finish_step(None)
+                    rewards[i] = result.reward
+                    dones[i] = True
+                    info = dict(result.info)
+                    # stash the terminal observation before the masked
+                    # re-init below overwrites the row (gym convention)
+                    info["terminal_observation"] = (
+                        env.state_builder.build_terminal(sim)
+                    )
+                    infos[i] = info
+                    # auto-reset = masked re-init of this member's row; the
+                    # fresh episode opens at a decision point immediately
+                    # (roots ready, all processors idle), no advance needed
+                    observations[i] = env.reset().obs
+                    continue
+                candidates = env._decision_candidates()
+                if candidates is not None:
+                    decided.append((i, *env._draw_proc(candidates)))
+                    continue
+                if not sim.running.any():
+                    raise RuntimeError(
+                        "environment deadlock: nothing running and no decision "
+                        "available — the ∅-action mask should prevent this"
+                    )
+                waiting.append(i)
+            if decided:
+                built = build_observations(
+                    [self.envs[i].state_builder for i, _p, _a in decided],
+                    [self.envs[i].sim for i, _p, _a in decided],
+                    [proc for _i, proc, _a in decided],
+                    [allow for _i, _p, allow in decided],
+                )
+                for (i, proc, _allow), ob in zip(decided, built):
+                    env = self.envs[i]
+                    ob = env._attach_embed_key(ob, proc)
+                    result = env._finish_step(ob)
+                    rewards[i] = result.reward
+                    dones[i] = False
+                    infos[i] = result.info
+                    observations[i] = ob
+            if waiting:
+                # one fused event step for every member still waiting
+                self._kernel.advance_rows(
+                    np.asarray([self.envs[i]._row for i in waiting], dtype=np.int64)
+                )
+                for i in waiting:
+                    self.envs[i]._after_advance()
+            pending = waiting
         return VecStepResult(observations, rewards, dones, infos)

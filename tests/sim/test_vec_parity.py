@@ -1,0 +1,246 @@
+"""Fused-vs-sequential parity: the row-equality suite for VecSchedulingEnv.
+
+The struct-of-arrays kernel lets ``VecSchedulingEnv.step`` drive all members
+through fused array passes; the contract is that the fused path is an
+*implementation detail* — rewards, observations, episode boundaries and info
+dicts must be bit-identical to stepping the members one by one.  These tests
+pin that contract (they are what the CI ``sim-parity`` job runs), plus the
+gym ``terminal_observation`` convention and the batched
+``StateBuilder.build_many`` gather.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CHOLESKY_DURATIONS, cholesky_dag
+from repro.platforms import GaussianNoise, NoNoise, Platform
+from repro.schedulers.heft import heft_schedule
+from repro.schedulers.static_executor import run_static, run_static_vec
+from repro.sim import SchedulingEnv, Simulation, VecSchedulingEnv, VecSimulation
+from repro.sim.state import build_observations
+
+PLATFORM = Platform(2, 2)
+
+
+def _twin_vecs(k, noise=None, tiles=4, **env_kw):
+    """Two identically-seeded vec envs (independent member RNG streams)."""
+    graph = cholesky_dag(tiles)
+
+    def make():
+        return VecSchedulingEnv.from_factory(
+            lambda rng: SchedulingEnv(
+                graph, PLATFORM, CHOLESKY_DURATIONS,
+                noise=noise or NoNoise(), rng=rng, **env_kw,
+            ),
+            k,
+            seed=123,
+        )
+
+    return make(), make()
+
+
+def _assert_obs_equal(a, b, member):
+    assert np.array_equal(a.features, b.features), f"features differ (member {member})"
+    na = a.norm_adj.toarray() if hasattr(a.norm_adj, "toarray") else a.norm_adj
+    nb = b.norm_adj.toarray() if hasattr(b.norm_adj, "toarray") else b.norm_adj
+    assert np.array_equal(na, nb)
+    assert np.array_equal(a.ready_positions, b.ready_positions)
+    assert np.array_equal(a.ready_tasks, b.ready_tasks)
+    assert np.array_equal(a.proc_features, b.proc_features)
+    assert a.current_proc == b.current_proc
+    assert a.allow_pass == b.allow_pass
+    assert a.window_fingerprint == b.window_fingerprint
+    # embed_key[0] is the per-env-instance memo namespace — different by
+    # design across instances; the decision-identifying tail must match
+    if a.embed_key is not None or b.embed_key is not None:
+        assert a.embed_key[1:] == b.embed_key[1:]
+
+
+@pytest.mark.parametrize(
+    "noise", [NoNoise(), GaussianNoise(0.25)], ids=["deterministic", "noisy"]
+)
+@pytest.mark.parametrize("sparse_state", [False, True], ids=["dense", "sparse"])
+def test_fused_step_matches_member_step(noise, sparse_state):
+    """step() (fused) row-equals _step_members() across whole episodes."""
+    fused, member = _twin_vecs(4, noise=noise, sparse_state=sparse_state)
+    assert fused.kernel is not None
+    obs_f = fused.reset().obs
+    obs_m = member.reset().obs
+    action_rng = np.random.default_rng(7)
+    episodes = 0
+    for _ in range(120):
+        for i, (a, b) in enumerate(zip(obs_f, obs_m)):
+            _assert_obs_equal(a, b, i)
+        actions = [int(action_rng.integers(0, ob.num_actions)) for ob in obs_f]
+        step_f = fused._step_fused(actions)
+        step_m = member._step_members(actions)
+        assert np.array_equal(step_f.rewards, step_m.rewards)
+        assert np.array_equal(step_f.dones, step_m.dones)
+        for i, (ia, ib) in enumerate(zip(step_f.infos, step_m.infos)):
+            assert set(ia) == set(ib)
+            if step_f.dones[i]:
+                assert ia["makespan"] == ib["makespan"]
+                episodes += 1
+        obs_f, obs_m = step_f.obs, step_m.obs
+    assert episodes >= 4, "the loop must cross several episode boundaries"
+
+
+def test_step_dispatches_to_fused_path():
+    """Homogeneous members share a kernel and step() uses the fused loop."""
+    fused, _ = _twin_vecs(3)
+    fused.reset()
+    assert fused.kernel is not None
+    assert all(e.sim._kernel is fused.kernel for e in fused.envs)
+
+
+def test_terminal_observation_present_only_on_done_members():
+    """Gym convention: the dropped terminal obs rides in infos[k]."""
+    vec, _ = _twin_vecs(4)
+    observations = vec.reset().obs
+    rng = np.random.default_rng(3)
+    saw_done = 0
+    for _ in range(200):
+        actions = [int(rng.integers(0, ob.num_actions)) for ob in observations]
+        step = vec.step(actions)
+        for i, info in enumerate(step.infos):
+            if step.dones[i]:
+                saw_done += 1
+                term = info["terminal_observation"]
+                # terminal state: empty window, no actions, all procs idle
+                assert term.num_nodes == 0
+                assert term.num_actions == 0
+                assert term.current_proc == -1
+                assert not term.allow_pass
+                # the in-slot observation already belongs to the next episode
+                assert step.obs[i].num_nodes > 0
+            else:
+                assert "terminal_observation" not in info
+        observations = step.obs
+        if saw_done >= 3:
+            break
+    assert saw_done >= 3
+
+
+def test_member_path_also_stashes_terminal_observation():
+    vec, _ = _twin_vecs(2)
+    observations = vec.reset().obs
+    rng = np.random.default_rng(3)
+    for _ in range(200):
+        actions = [int(rng.integers(0, ob.num_actions)) for ob in observations]
+        step = vec._step_members(actions)
+        if step.dones.any():
+            i = int(np.flatnonzero(step.dones)[0])
+            assert step.infos[i]["terminal_observation"].num_nodes == 0
+            return
+        observations = step.obs
+    pytest.fail("no episode ended within the step budget")
+
+
+def test_build_many_matches_per_member_build():
+    vec, _ = _twin_vecs(3)
+    vec.reset()
+    envs = vec.envs
+    sims = [e.sim for e in envs]
+    procs = [int(s.idle_processors()[0]) for s in sims]
+    builders = [e.state_builder for e in envs]
+    batched = builders[0].build_many(sims, procs, [True] * 3)
+    singles = [
+        b.build(s, p, allow_pass=True) for b, s, p in zip(builders, sims, procs)
+    ]
+    for i, (a, b) in enumerate(zip(batched, singles)):
+        _assert_obs_equal(a, b, i)
+
+
+def test_build_observations_mixed_kernels():
+    """Members from different kernels batch correctly (grouped gathers)."""
+    vec_a, vec_b = _twin_vecs(2)
+    vec_a.reset()
+    vec_b.reset()
+    envs = vec_a.envs + vec_b.envs
+    sims = [e.sim for e in envs]
+    procs = [int(s.idle_processors()[0]) for s in sims]
+    built = build_observations(
+        [e.state_builder for e in envs], sims, procs, [True] * 4
+    )
+    for i, (env, ob) in enumerate(zip(envs, built)):
+        ref = env.state_builder.build(env.sim, procs[i], allow_pass=True)
+        _assert_obs_equal(ob, ref, i)
+
+
+def test_heterogeneous_members_fall_back_to_member_path():
+    """Different platforms cannot fuse: kernel is None, stepping still works."""
+    graph = cholesky_dag(4)
+    envs = [
+        SchedulingEnv(graph, Platform(2, 2), CHOLESKY_DURATIONS, rng=0),
+        SchedulingEnv(graph, Platform(3, 1), CHOLESKY_DURATIONS, rng=1),
+    ]
+    vec = VecSchedulingEnv(envs)
+    assert vec.kernel is None
+    observations = vec.reset().obs
+    step = vec.step([0] * 2)
+    assert len(step.obs) == 2
+    assert np.isfinite(step.rewards).all()
+    del observations
+
+
+def test_k1_fused_matches_single_env_stream():
+    """A K=1 fused vec env consumes the same RNG stream as a plain env."""
+    graph = cholesky_dag(4)
+    vec = VecSchedulingEnv.from_factory(
+        lambda rng: SchedulingEnv(
+            graph, PLATFORM, CHOLESKY_DURATIONS, noise=GaussianNoise(0.2), rng=rng
+        ),
+        1,
+        seed=5,
+    )
+    from repro.utils.seeding import spawn_generators
+
+    plain = SchedulingEnv(
+        graph, PLATFORM, CHOLESKY_DURATIONS, noise=GaussianNoise(0.2),
+        rng=spawn_generators(5, 1)[0],
+    )
+    obs_v = vec.reset().obs[0]
+    obs_p = plain.reset().obs
+    rng = np.random.default_rng(0)
+    for _ in range(60):
+        action = int(rng.integers(0, obs_v.num_actions))
+        _assert_obs_equal(obs_v, obs_p, 0)
+        step_v = vec.step([action])
+        step_p = plain.step(action)
+        assert step_v.rewards[0] == step_p.reward
+        assert bool(step_v.dones[0]) == step_p.done
+        obs_v = step_v.obs[0]
+        obs_p = step_p.obs if not step_p.done else plain.reset().obs
+
+
+class TestStaticReplayVec:
+    def test_matches_per_member_replay_deterministic(self):
+        graph = cholesky_dag(6)
+        schedule = heft_schedule(graph, PLATFORM, CHOLESKY_DURATIONS)
+        k = 5
+        vec = VecSimulation([graph] * k, PLATFORM, CHOLESKY_DURATIONS,
+                            NoNoise(), rng=0)
+        makespans = run_static_vec(vec, [schedule] * k)
+        ref_sim = Simulation(graph, PLATFORM, CHOLESKY_DURATIONS, NoNoise(), rng=0)
+        ref = run_static(ref_sim, schedule, rng=42)
+        assert np.allclose(makespans, ref)
+        for member in range(k):
+            vec.member(member).check_trace()
+            assert vec.member(member).trace == ref_sim.trace
+
+    def test_noisy_replay_traces_are_valid(self):
+        graph = cholesky_dag(5)
+        schedule = heft_schedule(graph, PLATFORM, CHOLESKY_DURATIONS)
+        vec = VecSimulation([graph] * 4, PLATFORM, CHOLESKY_DURATIONS,
+                            GaussianNoise(0.3), rng=11)
+        makespans = run_static_vec(vec, [schedule] * 4)
+        assert (makespans >= schedule.makespan * 0.5).all()
+        for member in range(4):
+            vec.member(member).check_trace()
+
+    def test_schedule_count_mismatch_raises(self):
+        graph = cholesky_dag(4)
+        schedule = heft_schedule(graph, PLATFORM, CHOLESKY_DURATIONS)
+        vec = VecSimulation([graph] * 2, PLATFORM, CHOLESKY_DURATIONS, rng=0)
+        with pytest.raises(ValueError, match="expected 2 schedules, got 1"):
+            run_static_vec(vec, [schedule])
