@@ -1,27 +1,65 @@
-"""Static analysis for the reproduction — repo-specific correctness lints.
+"""Static analysis for the reproduction — project-aware correctness lints.
 
 Generic linters (ruff, flake8) cannot know this repo's invariants: all
 randomness must flow through :mod:`repro.utils.seeding`, ``Tensor`` buffers
-may only be mutated by the nn internals, and the simulator must never read
-the wall clock.  :mod:`repro.analysis.lint` enforces those rules over the
-AST; run it as ``python -m repro lint src tests benchmarks examples``.
+may only be mutated by the nn internals, the simulator must never read the
+wall clock, and the package layers must respect a dependency DAG.  The
+analyzer runs in passes:
+
+1. **per-file** syntactic rules (RPR001–008) and suppression handling
+   (:mod:`repro.analysis.lint`, :mod:`repro.analysis.suppress`);
+2. a **project model** — module/import graph plus per-module symbol tables
+   (:mod:`repro.analysis.project`);
+3. **dataflow rules** — RNG provenance and buffer write-hazards built on
+   intraprocedural origin tracking (:mod:`repro.analysis.dataflow`,
+   :mod:`repro.analysis.rules_project`);
+4. a **baseline split** — accepted findings with mandatory justifications,
+   drift-gated under ``--strict`` (:mod:`repro.analysis.baseline`).
+
+Run it as ``python -m repro lint --strict src tests benchmarks examples``;
+the rule reference in DESIGN §12 is generated from the registry by
+:mod:`repro.analysis.docgen`.
 
 The runtime half of the correctness tooling (tensor version counters and
 :func:`repro.nn.detect_anomaly`) lives in :mod:`repro.nn.tensor`.
 """
 
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    DEFAULT_BASELINE_NAME,
+)
 from repro.analysis.lint import (
-    RULES,
-    Violation,
+    analyze_source,
     lint_file,
     lint_paths,
     lint_source,
 )
+from repro.analysis.project import ProjectModel
+from repro.analysis.registry import RULES, Rule, Violation
+from repro.analysis.runner import (
+    JSON_SCHEMA_VERSION,
+    AnalysisReport,
+    analyze_paths,
+    report_to_json,
+)
 
 __all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "JSON_SCHEMA_VERSION",
+    "ProjectModel",
     "RULES",
+    "Rule",
     "Violation",
+    "analyze_paths",
+    "analyze_source",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "report_to_json",
 ]

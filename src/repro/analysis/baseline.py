@@ -1,0 +1,201 @@
+"""Committed finding baseline — accepted debt with mandatory justification.
+
+The baseline file (``.repro-lint-baseline.json`` at the repo root by
+convention) records findings the team has explicitly accepted.  Each entry
+must carry a one-line **justification** — the loader rejects files whose
+entries lack one, so accepted debt is always explained in review.
+
+Matching is *drift-stable*: entries key on ``(rule, path, context)`` where
+``context`` is the stripped source text of the finding's line — renumbering
+a file (adding code above) does not invalidate the baseline, but changing
+the offending line itself does, forcing a re-review.
+
+``--strict`` gates drift in both directions: a finding not covered by the
+baseline fails, and a **stale** entry (matching nothing any more — the
+violation was fixed) also fails until the entry is deleted.  The baseline
+can therefore only ever shrink silently, never grow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.registry import RULES, Violation
+
+#: conventional baseline filename, auto-discovered in the working directory
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, schema, or empty justification)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str
+    context: str
+    justification: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "justification": self.justification,
+        }
+
+
+def _paths_match(finding_path: str, entry_path: str) -> bool:
+    """True when ``entry_path`` names the same file as ``finding_path``.
+
+    Entries store repo-relative posix paths; findings may carry absolute or
+    differently-rooted paths depending on how the analyzer was invoked, so
+    a suffix match on whole path components is accepted.
+    """
+    finding = Path(finding_path).as_posix()
+    entry = Path(entry_path).as_posix()
+    return finding == entry or finding.endswith("/" + entry)
+
+
+class Baseline:
+    """Loaded baseline with match bookkeeping."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path}: expected an object with version="
+                f"{BASELINE_VERSION}"
+            )
+        entries = []
+        for i, raw in enumerate(data.get("entries", [])):
+            missing = {"rule", "path", "context", "justification"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"baseline {path}: entry {i} missing {sorted(missing)}"
+                )
+            if raw["rule"] not in RULES:
+                raise BaselineError(
+                    f"baseline {path}: entry {i} names unknown rule {raw['rule']!r}"
+                )
+            if not str(raw["justification"]).strip():
+                raise BaselineError(
+                    f"baseline {path}: entry {i} ({raw['rule']} in "
+                    f"{raw['path']}) has no justification — every accepted "
+                    f"finding must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    context=str(raw["context"]).strip(),
+                    justification=str(raw["justification"]).strip(),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                e.to_dict()
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.context)
+                )
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    def match(self, violation: Violation, context: str) -> Optional[BaselineEntry]:
+        """The entry covering ``violation`` (with its source-line text), if any."""
+        stripped = context.strip()
+        for entry in self.entries:
+            if (
+                entry.rule == violation.rule
+                and entry.context == stripped
+                and _paths_match(violation.path, entry.path)
+            ):
+                return entry
+        return None
+
+    def split(
+        self,
+        violations: Iterable[Violation],
+        context_of: "Dict[str, List[str]]",
+    ) -> Tuple[List[Violation], List[Tuple[Violation, BaselineEntry]], List[BaselineEntry]]:
+        """Partition findings into (new, baselined, stale-entries).
+
+        ``context_of`` maps a finding's path to its source lines (for
+        context lookup); findings whose line is out of range match nothing.
+        """
+        new: List[Violation] = []
+        matched: List[Tuple[Violation, BaselineEntry]] = []
+        used: set = set()
+        for violation in violations:
+            lines = context_of.get(violation.path, [])
+            context = (
+                lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
+            )
+            entry = self.match(violation, context)
+            if entry is None:
+                new.append(violation)
+            else:
+                matched.append((violation, entry))
+                used.add(id(entry))
+        stale = [e for e in self.entries if id(e) not in used]
+        return new, matched, stale
+
+
+def entries_for(
+    violations: Iterable[Violation],
+    context_of: Dict[str, List[str]],
+    justification: str = "TODO -- justify this accepted finding",
+) -> List[BaselineEntry]:
+    """Fresh baseline entries for ``violations`` (used by ``--write-baseline``)."""
+    entries: List[BaselineEntry] = []
+    seen = set()
+    for violation in violations:
+        lines = context_of.get(violation.path, [])
+        context = (
+            lines[violation.line - 1].strip()
+            if 0 < violation.line <= len(lines)
+            else ""
+        )
+        key = (violation.rule, violation.path, context)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            BaselineEntry(
+                rule=violation.rule,
+                path=Path(violation.path).as_posix(),
+                context=context,
+                justification=justification,
+            )
+        )
+    return entries
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "entries_for",
+]

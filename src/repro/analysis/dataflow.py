@@ -1,0 +1,109 @@
+"""Intraprocedural dataflow utilities for the analysis passes.
+
+Three small building blocks shared by the per-file checker and the
+RPR110/RPR120 rule families:
+
+:class:`AliasTable`
+    import-alias resolution — maps ``np.random.default_rng`` (as written)
+    to ``numpy.random.default_rng`` (fully dotted) through the module's
+    ``import``/``from`` statements;
+:func:`dotted`
+    the literal attribute-chain text of an expression (``self._memo``,
+    ``out``) — the identity under which assignment/freeze state is tracked;
+:class:`OriginScopes`
+    scope-stacked assignment tracking: ``name -> (resolved callee that
+    produced it, line)``, giving call-origin provenance for values like
+    generators (RPR110) without a full interprocedural analysis.
+
+All tracking is deliberately flow-*insensitive* across branches (a name
+assigned in either arm of an ``if`` is tracked with the last-seen origin)
+and flow-sensitive in statement order — conservative in the right
+direction for hazard rules: a write after a freeze is flagged even when a
+branch might skip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """Literal dotted text of a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class AliasTable:
+    """Fully-dotted resolution of names through the module's imports."""
+
+    def __init__(self) -> None:
+        #: local name -> fully dotted module/object it refers to
+        self.map: Dict[str, str] = {}
+
+    def record_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.map[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".")[0]
+                self.map[root] = root
+
+    def record_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.map[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        return self.map.get(name)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully dotted name of an attribute chain, through import aliases."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.map.get(current.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class OriginScopes:
+    """Scope-stacked ``name -> (producing callee, line)`` assignment tracking."""
+
+    def __init__(self) -> None:
+        self._scopes: List[Dict[str, Tuple[str, int]]] = [{}]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        self._scopes.pop()
+
+    def assign(self, name: str, callee: Optional[str], lineno: int) -> None:
+        """Record that ``name`` was (re)bound; unknown producers clear it."""
+        if callee is None:
+            self._scopes[-1].pop(name, None)
+        else:
+            self._scopes[-1][name] = (callee, lineno)
+
+    def origin(self, name: str) -> Optional[Tuple[str, int]]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+
+__all__ = ["AliasTable", "OriginScopes", "dotted"]

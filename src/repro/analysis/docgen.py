@@ -1,0 +1,98 @@
+"""Rule-reference generation — docs rendered from the registry.
+
+The rule table in DESIGN §12 is generated from
+:data:`repro.analysis.registry.RULES` between the two HTML markers below;
+``python -m repro.analysis.docgen`` rewrites it in place and
+``tests/analysis/test_docgen.py`` fails whenever the committed block
+drifts from the registry — the table cannot go stale.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.registry import RULES
+
+BEGIN_MARKER = "<!-- BEGIN GENERATED RULE TABLE (repro.analysis.docgen) -->"
+END_MARKER = "<!-- END GENERATED RULE TABLE -->"
+
+
+def rules_markdown() -> str:
+    """The generated rule reference: one table row per registered rule."""
+    lines = [
+        "| ID | name | severity | invariant |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule in RULES.values():
+        summary = rule.summary.replace("|", "\\|")
+        lines.append(
+            f"| {rule.id} | {rule.name} | {rule.severity} | {summary} |"
+        )
+    lines.append("")
+    lines.append("Rationales (also from the registry):")
+    lines.append("")
+    for rule in RULES.values():
+        rationale = " ".join(rule.rationale.split()) or rule.summary
+        lines.append(f"- **{rule.id} ({rule.name})** — {rationale}")
+    return "\n".join(lines)
+
+
+def generated_block() -> str:
+    """The full block including markers, as it must appear in the docs."""
+    return f"{BEGIN_MARKER}\n{rules_markdown()}\n{END_MARKER}"
+
+
+_BLOCK_RE = re.compile(
+    re.escape(BEGIN_MARKER) + r".*?" + re.escape(END_MARKER), re.DOTALL
+)
+
+
+def extract_block(text: str) -> Optional[str]:
+    """The marker-delimited block currently present in ``text``, if any."""
+    match = _BLOCK_RE.search(text)
+    return match.group(0) if match else None
+
+
+def inject(text: str) -> str:
+    """``text`` with its marker-delimited block replaced by the fresh table."""
+    if _BLOCK_RE.search(text) is None:
+        raise ValueError(
+            f"no generated-rule-table markers found; add\n{BEGIN_MARKER}\n"
+            f"{END_MARKER}\nwhere the table belongs"
+        )
+    return _BLOCK_RE.sub(generated_block().replace("\\", "\\\\"), text)
+
+
+def rewrite_file(path: Path) -> bool:
+    """Regenerate the block inside ``path``; returns True when it changed."""
+    old = path.read_text(encoding="utf-8")
+    new = inject(old)
+    if new != old:
+        path.write_text(new, encoding="utf-8")
+        return True
+    return False
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    target = Path(args[0]) if args else Path("DESIGN.md")
+    changed = rewrite_file(target)
+    print(f"{target}: {'updated' if changed else 'already up to date'}")
+    return 0
+
+
+__all__ = [
+    "BEGIN_MARKER",
+    "END_MARKER",
+    "extract_block",
+    "generated_block",
+    "inject",
+    "rewrite_file",
+    "rules_markdown",
+]
+
+if __name__ == "__main__":
+    sys.exit(main())

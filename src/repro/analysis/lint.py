@@ -1,44 +1,21 @@
-"""Repo-specific AST linter — ``python -m repro lint <paths>``.
+"""Per-file analysis pass — ``python -m repro lint <paths>``.
 
-Rules (each can be silenced on its line with ``# repro-lint: disable=RPRxxx``
-or ``disable=all``; add a short reason after the IDs):
+This module owns the **single-file** half of the static-analysis framework:
+the syntactic checker for RPR001–RPR008 plus the dataflow rule families
+RPR110 (RNG provenance) and RPR120 (buffer write-hazards), which need only
+one file's AST and its layer.  The whole-project passes (RPR100 layer
+contract, RPR130 fork-shared state) and the baseline/strict drivers live in
+:mod:`repro.analysis.runner`; the authoritative rule table — ids, names,
+severities, rationales — is :data:`repro.analysis.registry.RULES`.
 
-========  ==================================================================
-RPR001    Global-state RNG: calls into ``np.random.*`` convenience functions
-          or the stdlib ``random`` module.  All randomness must flow through
-          ``np.random.Generator`` objects built by ``repro.utils.seeding``
-          (``as_generator`` / ``spawn_generators``), or results stop being
-          reproducible from a seed and streams cross-contaminate.
-RPR002    In-place mutation of ``Tensor.data`` / ``Tensor.grad`` outside the
-          nn internals (``src/repro/nn/``).  Backward closures capture those
-          buffers by reference; mutating them from user code silently
-          corrupts gradients.  (The runtime version counters catch this at
-          backward time; the lint catches it at review time.)
-RPR003    Wall-clock reads (``time.time``/``perf_counter``/``monotonic``,
-          ``datetime.now`` …) inside ``sim/``, ``nn/`` or ``rl/`` logic.
-          Simulated time is the only clock those layers may observe;
-          wall-clock reads break replayability.  Measurement utilities
-          (``utils/timing``, ``eval/profiling``) live outside those dirs.
-RPR004    Iteration over a bare ``set`` (set literal, ``set()`` call, set
-          comprehension, or a local assigned one).  Set iteration order
-          depends on hash seeding/history; any scheduling decision fed from
-          it is non-deterministic.  Wrap in ``sorted(...)`` or use arrays.
-RPR005    Mutable default argument (list/dict/set display or constructor).
-          The default is shared across calls — episode state leaks between
-          runs.
-RPR006    Bare ``except:``.  Swallows ``KeyboardInterrupt``/``SystemExit``
-          and hides simulator invariant violations.
-RPR007    Float equality (``==`` / ``!=``) against a float literal on a
-          duration/makespan/time-valued expression.  Accumulated event times
-          are sums of floats; compare with ``pytest.approx`` or
-          ``math.isclose``.  (Comparing two *computed* makespans for exact
-          equality — a determinism check — is allowed.)
-RPR008    Import of :mod:`repro.nn.compile` internals outside ``nn/``, tests
-          or benchmarks.  The capture/replay engine's plan/arena/step types
-          are private; consumers use the public re-exports
-          (``from repro.nn import InferenceCompiler``) or the agent's
-          ``enable_compiled`` API so the engine can evolve freely.
-========  ==================================================================
+Suppression comments (see :mod:`repro.analysis.suppress`)::
+
+    x = np.random.rand(3)  # repro-lint: disable=RPR001 -- reason
+    # repro-lint: disable-next-line=RPR007 -- reason
+    assert sim.makespan == 60.0
+
+Unknown rule ids in a disable comment are reported as RPR009, never
+silently ignored.
 """
 
 from __future__ import annotations
@@ -47,50 +24,19 @@ import argparse
 import ast
 import re
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
-#: rule id -> (short name, one-line description)
-RULES: Dict[str, Tuple[str, str]] = {
-    "RPR000": (
-        "parse-error",
-        "file does not parse as Python",
-    ),
-    "RPR001": (
-        "global-rng",
-        "use np.random.Generator via repro.utils.seeding, not global-state RNG",
-    ),
-    "RPR002": (
-        "tensor-mutation",
-        "Tensor.data/.grad may only be mutated inside src/repro/nn/",
-    ),
-    "RPR003": (
-        "wall-clock",
-        "no wall-clock reads inside sim/, nn/ or rl/ logic",
-    ),
-    "RPR004": (
-        "set-iteration",
-        "no iteration over bare sets (non-deterministic order)",
-    ),
-    "RPR005": (
-        "mutable-default",
-        "no mutable default arguments",
-    ),
-    "RPR006": (
-        "bare-except",
-        "no bare except clauses",
-    ),
-    "RPR007": (
-        "float-equality",
-        "no float == on duration/makespan values against float literals",
-    ),
-    "RPR008": (
-        "compile-internals",
-        "repro.nn.compile internals may only be imported from nn/, tests "
-        "or benchmarks — use the repro.nn re-exports",
-    ),
-}
+from repro.analysis.dataflow import AliasTable
+from repro.analysis.project import layer_of_path
+from repro.analysis.registry import RULES, Violation
+from repro.analysis.rules_project import (
+    buffer_hazard_violations,
+    fork_state_violations,
+    rng_provenance_violations,
+)
+from repro.analysis.suppress import Suppressions, parse_suppressions
 
 #: names of repro.nn.compile that are re-exported from repro.nn (public API)
 _COMPILE_PUBLIC = {"InferenceCompiler", "CompileStats", "BufferArena"}
@@ -151,37 +97,6 @@ _DURATION_WORDS = re.compile(
     re.IGNORECASE,
 )
 
-_DISABLE_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+?)(?:\s+--.*|\s*#.*)?$"
-)
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One lint finding."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        name = RULES[self.rule][0]
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{name}] {self.message}"
-
-
-def _parse_disables(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of rule ids disabled on that line ('all' wins)."""
-    disables: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _DISABLE_RE.search(line)
-        if match is None:
-            continue
-        ids = {part.strip().upper() for part in match.group(1).split(",") if part.strip()}
-        disables[lineno] = {"ALL"} if "ALL" in ids else ids
-    return disables
-
 
 def _is_nn_internal(path: str) -> bool:
     return "repro/nn/" in Path(path).as_posix()
@@ -193,16 +108,14 @@ def _is_sim_logic(path: str) -> bool:
 
 
 class _Checker(ast.NodeVisitor):
-    """Single-pass AST walk collecting violations for one module."""
+    """Single-pass AST walk collecting RPR001–RPR008 findings for one module."""
 
-    def __init__(self, path: str, disables: Dict[int, Set[str]]) -> None:
+    def __init__(self, path: str) -> None:
         self.path = Path(path).as_posix()
-        self.disables = disables
         self.violations: List[Violation] = []
-        #: local import alias -> fully dotted module/object name
-        self.aliases: Dict[str, str] = {}
+        self.aliases = AliasTable()
         #: stack of per-scope {name: is-a-set} maps for RPR004 local flow
-        self.set_locals: List[Dict[str, bool]] = [{}]
+        self.set_locals: List[dict] = [{}]
         self.nn_internal = _is_nn_internal(self.path)
         self.sim_logic = _is_sim_logic(self.path)
         self.compile_allowed = any(
@@ -212,21 +125,21 @@ class _Checker(ast.NodeVisitor):
     # -- reporting ------------------------------------------------------ #
 
     def report(self, node: ast.AST, rule: str, message: str) -> None:
-        line = getattr(node, "lineno", 0)
-        disabled = self.disables.get(line, ())
-        if "ALL" in disabled or rule in disabled:
-            return
         self.violations.append(
-            Violation(self.path, line, getattr(node, "col_offset", 0) + 1, rule, message)
+            Violation(
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0) + 1,
+                rule,
+                message,
+            )
         )
 
     # -- import alias tracking ------------------------------------------ #
 
     def visit_Import(self, node: ast.Import) -> None:
+        self.aliases.record_import(node)
         for alias in node.names:
-            self.aliases[alias.asname or alias.name.split(".")[0]] = (
-                alias.name if alias.asname else alias.name.split(".")[0]
-            )
             if not self.compile_allowed and (
                 alias.name == "repro.nn.compile"
                 or alias.name.startswith("repro.nn.compile.")
@@ -243,8 +156,7 @@ class _Checker(ast.NodeVisitor):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module and node.level == 0:
-            for alias in node.names:
-                self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self.aliases.record_import_from(node)
             self._check_compile_import_from(node)
         self.generic_visit(node)
 
@@ -276,19 +188,7 @@ class _Checker(ast.NodeVisitor):
                     )
 
     def _resolve(self, node: ast.AST) -> Optional[str]:
-        """Fully dotted name of an attribute chain, through import aliases."""
-        parts: List[str] = []
-        current = node
-        while isinstance(current, ast.Attribute):
-            parts.append(current.attr)
-            current = current.value
-        if not isinstance(current, ast.Name):
-            return None
-        root = self.aliases.get(current.id)
-        if root is None:
-            return None
-        parts.append(root)
-        return ".".join(reversed(parts))
+        return self.aliases.resolve(node)
 
     # -- RPR001 / RPR003: calls ----------------------------------------- #
 
@@ -385,7 +285,9 @@ class _Checker(ast.NodeVisitor):
         if isinstance(node, (ast.Set, ast.SetComp)):
             return True
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-            if node.func.id in ("set", "frozenset") and node.func.id not in self.aliases:
+            if node.func.id in ("set", "frozenset") and not self.aliases.resolve_name(
+                node.func.id
+            ):
                 return True
         if isinstance(node, ast.BinOp) and isinstance(
             node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
@@ -524,43 +426,97 @@ class _Checker(ast.NodeVisitor):
 
 
 # --------------------------------------------------------------------------- #
-# drivers
+# single-file engine
 # --------------------------------------------------------------------------- #
 
 
-def lint_source(source: str, path: str = "<string>") -> List[Violation]:
-    """Lint Python ``source``; ``path`` scopes the path-dependent rules."""
+@dataclass
+class FileAnalysis:
+    """Result of the per-file passes over one source file.
+
+    ``tree`` is ``None`` when the file failed to parse (the RPR000 finding
+    is then the only violation); the project passes consume ``tree`` and
+    ``suppressions`` so nothing is parsed twice.
+    """
+
+    path: str
+    source: str
+    tree: Optional[ast.AST]
+    suppressions: Suppressions
+    violations: List[Violation] = field(default_factory=list)
+
+
+def analyze_source(
+    source: str, path: str = "<string>", include_fork_rule: bool = True
+) -> FileAnalysis:
+    """Run every per-file pass over ``source``.
+
+    ``include_fork_rule=False`` lets the project runner replace the
+    layer-scoped RPR130 approximation with the fork-reachability version
+    (import closure of ``repro.rl.workers``) without double-reporting.
+    """
+    posix = Path(path).as_posix()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Violation(
-                Path(path).as_posix(),
-                exc.lineno or 0,
-                (exc.offset or 0) or 1,
-                "RPR000",
-                f"file does not parse: {exc.msg}",
-            )
-        ]
-    checker = _Checker(path, _parse_disables(source))
+        violation = Violation(
+            posix,
+            exc.lineno or 0,
+            (exc.offset or 0) or 1,
+            "RPR000",
+            f"file does not parse: {exc.msg}",
+        )
+        return FileAnalysis(posix, source, None, Suppressions(), [violation])
+
+    suppressions = parse_suppressions(source)
+    checker = _Checker(path)
     checker.visit(tree)
-    return sorted(checker.violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+    violations = list(checker.violations)
+    violations += rng_provenance_violations(tree, posix)
+    violations += buffer_hazard_violations(tree, posix)
+    if include_fork_rule and layer_of_path(posix) == "rl":
+        violations += fork_state_violations(tree, posix)
+    for lineno, col, bad_id in suppressions.unknown:
+        violations.append(
+            Violation(
+                posix,
+                lineno,
+                col,
+                "RPR009",
+                f"unknown rule id '{bad_id}' in repro-lint disable comment — "
+                f"nothing is suppressed; see --list-rules for valid ids",
+            )
+        )
+    violations = [
+        v for v in violations if not suppressions.is_suppressed(v.line, v.rule)
+    ]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return FileAnalysis(posix, source, tree, suppressions, violations)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Per-file findings for ``source``; ``path`` scopes the layered rules."""
+    return analyze_source(source, path).violations
 
 
 def lint_file(path: Union[str, Path]) -> List[Violation]:
-    """Lint one file on disk."""
+    """Lint one file on disk (per-file passes only)."""
     p = Path(path)
     return lint_source(p.read_text(encoding="utf-8"), str(p))
 
 
-def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+def iter_python_files(
+    paths: Iterable[Union[str, Path]],
+    exclude: Iterable[str] = EXCLUDED_DIR_NAMES,
+) -> List[Path]:
     """Expand files/directories into the sorted list of lintable .py files."""
+    excluded = set(exclude)
     out: List[Path] = []
     for entry in paths:
         p = Path(entry)
         if p.is_dir():
             for f in sorted(p.rglob("*.py")):
-                if not EXCLUDED_DIR_NAMES.intersection(f.parts):
+                if not excluded.intersection(f.parts):
                     out.append(f)
         elif p.suffix == ".py":
             out.append(p)
@@ -570,52 +526,48 @@ def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
 
 
 def lint_paths(paths: Iterable[Union[str, Path]]) -> List[Violation]:
-    """Lint every Python file under ``paths`` (dirs are walked recursively)."""
-    violations: List[Violation] = []
-    for f in iter_python_files(paths):
-        violations.extend(lint_file(f))
-    return violations
+    """All findings under ``paths`` — per-file *and* project passes.
+
+    Convenience API over :func:`repro.analysis.runner.analyze_paths` with
+    no baseline applied; use the runner directly for baseline/strict
+    workflows.
+    """
+    from repro.analysis import runner
+
+    return runner.analyze_paths(paths).violations
 
 
-def run(paths: Sequence[str], list_rules: bool = False) -> int:
-    """CLI driver: print findings, return the process exit code."""
-    if list_rules:
-        width = max(len(name) for name, _ in RULES.values())
-        for rule_id, (name, description) in sorted(RULES.items()):
-            print(f"{rule_id}  {name:<{width}}  {description}")
-        return 0
-    if not paths:
-        print("usage: repro lint <paths> (or --list-rules)", file=sys.stderr)
-        return 2
-    try:
-        files = iter_python_files(paths)
-        violations = [v for f in files for v in lint_file(f)]
-    except (FileNotFoundError, OSError) as exc:
-        print(f"repro lint: {exc}", file=sys.stderr)
-        return 2
-    for v in violations:
-        print(v)
-    summary = f"{len(violations)} finding(s) in {len(files)} file(s)"
-    print(summary if not violations else f"\n{summary}", file=sys.stderr)
-    return 1 if violations else 0
+def run(paths: Sequence[str], list_rules: bool = False, **kwargs) -> int:
+    """CLI driver (delegates to :func:`repro.analysis.runner.run`)."""
+    from repro.analysis import runner
+
+    return runner.run(paths, list_rules=list_rules, **kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro lint",
-        description="repo-specific correctness lints (see repro.analysis.lint)",
-    )
-    parser.add_argument("paths", nargs="*", help="files or directories to lint")
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
-    )
-    return parser
+    from repro.analysis import runner
+
+    return runner.build_parser()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return run(args.paths, list_rules=args.list_rules)
+    from repro.analysis import runner
 
+    return runner.main(argv)
+
+
+__all__ = [
+    "EXCLUDED_DIR_NAMES",
+    "FileAnalysis",
+    "RULES",
+    "Violation",
+    "analyze_source",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run",
+]
 
 if __name__ == "__main__":
     sys.exit(main())

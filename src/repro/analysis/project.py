@@ -1,0 +1,303 @@
+"""Project model — the whole-program pass behind the cross-file rules.
+
+A :class:`ProjectModel` is built once per analysis run from every file that
+maps to a ``repro.*`` module (the path contains a ``src/repro/`` package
+root; files outside — tests, benchmarks, examples — are linted per-file but
+carry no module identity).  For each module it records:
+
+* every import statement (top-level or lazy/function-scoped) as an
+  :class:`ImportRecord`;
+* the module's top-level symbol table (defs/classes/assignments), used to
+  resolve ``from pkg import name`` to either the submodule ``pkg.name`` or
+  an attribute of ``pkg`` itself;
+* its **layer** — the first package component under ``repro`` (``sim``,
+  ``nn``, ``rl``, …; single modules like ``spec``/``cli`` are their own
+  layer).
+
+On top of that the model answers resolved dependency edges
+(:meth:`ProjectModel.deps`) and transitive import closures
+(:meth:`ProjectModel.closure`), which the RPR100 layer contract and the
+RPR130 fork-reachability rule consume.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+#: the allowed layer-dependency DAG (RPR100).  A layer may always import
+#: itself; ``utils`` is the bottom; ``cli``/``__main__`` and the root
+#: package re-export surface (``__init__``) may import anything.
+ALLOWED_LAYER_DEPS: Dict[str, Set[str]] = {
+    "utils": set(),
+    "obs": {"utils"},
+    "platforms": {"utils"},
+    "graphs": {"utils", "platforms"},
+    "nn": {"utils"},
+    "sim": {"utils", "obs", "graphs", "platforms"},
+    "schedulers": {"utils", "obs", "graphs", "platforms", "sim"},
+    "spec": {"utils", "graphs", "platforms", "sim"},
+    "rl": {"utils", "obs", "graphs", "platforms", "nn", "sim", "schedulers", "spec"},
+    "eval": {
+        "utils", "obs", "graphs", "platforms", "nn", "sim", "schedulers", "spec", "rl",
+    },
+    "analysis": {"utils"},
+}
+
+#: layers exempt from the contract (top of the DAG — may import anything)
+UNCONSTRAINED_LAYERS = {"cli", "__main__", "__init__"}
+
+_LAYER_RE = re.compile(r"(?:^|/)repro/([^/]+)")
+
+
+def layer_of_path(path: Union[str, Path]) -> Optional[str]:
+    """Layer of ``path``, from its last ``repro/<layer>`` component.
+
+    ``src/repro/sim/env.py`` → ``"sim"``; ``src/repro/spec.py`` → ``"spec"``;
+    paths outside a ``repro`` package root → ``None``.
+    """
+    posix = Path(path).as_posix()
+    matches = _LAYER_RE.findall(posix)
+    if not matches:
+        return None
+    component = matches[-1]
+    return component[:-3] if component.endswith(".py") else component
+
+
+def module_name_of_path(path: Union[str, Path]) -> Optional[str]:
+    """Dotted ``repro.*`` module name for a file under a ``src/repro`` root."""
+    parts = Path(path).as_posix().split("/")
+    root = None
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            root = i + 1
+            break
+    if root is None:
+        return None
+    rel = parts[root:]
+    if rel[-1] == "__init__.py":
+        rel = rel[:-1]
+    elif rel[-1].endswith(".py"):
+        rel[-1] = rel[-1][:-3]
+    else:
+        return None
+    return ".".join(rel)
+
+
+def layer_of_module(module: str) -> str:
+    """Layer of a dotted ``repro.*`` module name (``repro`` root → ``__init__``)."""
+    parts = module.split(".")
+    return "__init__" if len(parts) == 1 else parts[1]
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement in one module."""
+
+    #: module text as written (``from X import ...`` → X; ``import X`` → X)
+    target: str
+    #: imported (name, asname) pairs; ``None`` for a plain ``import X``
+    names: Optional[Tuple[Tuple[str, Optional[str]], ...]]
+    lineno: int
+    col: int
+    #: not at module top level (inside a function/class — imported lazily)
+    lazy: bool
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project passes know about one module."""
+
+    name: str
+    path: str
+    layer: str
+    tree: ast.AST
+    imports: List[ImportRecord] = field(default_factory=list)
+    #: top-level bound names (functions, classes, assignments, import aliases)
+    symbols: Set[str] = field(default_factory=set)
+
+
+def _collect_imports(tree: ast.AST, module: str, is_package: bool) -> List[ImportRecord]:
+    records: List[ImportRecord] = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def visit_Import(self, node: ast.Import) -> None:
+            for alias in node.names:
+                records.append(
+                    ImportRecord(alias.name, None, node.lineno,
+                                 node.col_offset + 1, self.depth > 0)
+                )
+
+        def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+            target = _absolutize(node, module, is_package)
+            if target is not None:
+                names = tuple((a.name, a.asname) for a in node.names)
+                records.append(
+                    ImportRecord(target, names, node.lineno,
+                                 node.col_offset + 1, self.depth > 0)
+                )
+
+        def _scoped(self, node: ast.AST) -> None:
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_FunctionDef = _scoped
+        visit_AsyncFunctionDef = _scoped
+        visit_ClassDef = _scoped
+
+    Visitor().visit(tree)
+    return records
+
+
+def _absolutize(node: ast.ImportFrom, module: str, is_package: bool) -> Optional[str]:
+    """Absolute target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    base = module.split(".")
+    # level 1 is the containing package: drop the module's own leaf name
+    # unless the module *is* a package (__init__)
+    drop = node.level - (1 if is_package else 0)
+    if drop >= len(base):
+        return None  # beyond the project root — unresolvable
+    base = base[: len(base) - drop] if drop else base
+    return ".".join(base + node.module.split(".")) if node.module else ".".join(base)
+
+
+def _top_level_symbols(tree: ast.AST) -> Set[str]:
+    symbols: Set[str] = set()
+    for node in getattr(tree, "body", []):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            symbols.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    symbols.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            symbols.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                symbols.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                symbols.add(alias.asname or alias.name)
+    return symbols
+
+
+class ProjectModel:
+    """Module/import graph plus per-module symbol tables."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: package name -> set of direct submodule leaf names
+        self._submodules: Dict[str, Set[str]] = {}
+
+    # -- construction ---------------------------------------------------- #
+
+    @classmethod
+    def from_sources(cls, sources: List[Tuple[str, ast.AST]]) -> "ProjectModel":
+        """Build from ``(path, parsed tree)`` pairs; non-project paths skipped."""
+        model = cls()
+        for path, tree in sources:
+            name = module_name_of_path(path)
+            if name is None:
+                continue
+            posix = Path(path).as_posix()
+            info = ModuleInfo(
+                name=name,
+                path=posix,
+                layer=layer_of_module(name),
+                tree=tree,
+                imports=_collect_imports(tree, name, posix.endswith("__init__.py")),
+                symbols=_top_level_symbols(tree),
+            )
+            model.modules[name] = info
+        for name in model.modules:
+            if "." in name:
+                pkg, leaf = name.rsplit(".", 1)
+                model._submodules.setdefault(pkg, set()).add(leaf)
+        return model
+
+    # -- resolution ------------------------------------------------------ #
+
+    def resolve(self, record: ImportRecord) -> List[Tuple[str, Optional[str]]]:
+        """Resolved dependency targets of one import record.
+
+        Returns ``(module, imported_name)`` pairs: ``from repro import obs``
+        resolves to ``("repro.obs", None)`` because ``obs`` is a submodule,
+        while ``from repro.nn import Tensor`` resolves to
+        ``("repro.nn", "Tensor")`` — an attribute of the package itself.
+        Plain ``import X`` yields ``(X, None)``.
+        """
+        if record.names is None:
+            return [(record.target, None)]
+        resolved: List[Tuple[str, Optional[str]]] = []
+        for name, _ in record.names:
+            candidate = f"{record.target}.{name}"
+            if candidate in self.modules or name in self._submodules.get(
+                record.target, ()
+            ):
+                resolved.append((candidate, None))
+            else:
+                resolved.append((record.target, name))
+        return resolved
+
+    def deps(self, module: str) -> List[Tuple[str, ImportRecord]]:
+        """All resolved in-project dependency edges of ``module``."""
+        info = self.modules.get(module)
+        if info is None:
+            return []
+        out: List[Tuple[str, ImportRecord]] = []
+        for record in info.imports:
+            for target, _ in self.resolve(record):
+                if target == "repro" or target.startswith("repro."):
+                    out.append((target, record))
+        return out
+
+    def closure(self, root: str) -> Set[str]:
+        """Transitive in-project import closure of ``root`` (inclusive).
+
+        Edges follow resolved dependencies; a dependency on a module outside
+        the model (e.g. the real ``repro`` when analyzing a fixture tree) is
+        ignored.  Importing a package pulls in its ``__init__`` and, through
+        it, whatever the ``__init__`` imports — exactly runtime semantics.
+        """
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.modules:
+                continue
+            seen.add(current)
+            for target, _ in self.deps(current):
+                stack.append(target)
+                # `import a.b.c` binds and initialises every parent package
+                while "." in target:
+                    target = target.rsplit(".", 1)[0]
+                    stack.append(target)
+        return seen
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """Module -> set of resolved in-project dependency module names."""
+        return {
+            name: {target for target, _ in self.deps(name)}
+            for name in self.modules
+        }
+
+
+__all__ = [
+    "ALLOWED_LAYER_DEPS",
+    "UNCONSTRAINED_LAYERS",
+    "ImportRecord",
+    "ModuleInfo",
+    "ProjectModel",
+    "layer_of_module",
+    "layer_of_path",
+    "module_name_of_path",
+]

@@ -1,0 +1,559 @@
+"""Project-aware and dataflow rule families (RPR100–RPR130).
+
+Two kinds of checkers live here:
+
+* **per-file dataflow rules** (RPR110 rng-provenance, RPR120 buffer-hazard)
+  — need only the file's AST plus its layer (derived from the path), so
+  they run in :func:`repro.analysis.lint.lint_source` like the syntactic
+  rules, but consume the :mod:`repro.analysis.dataflow` machinery
+  (import-alias resolution, assignment origins, freeze tracking);
+
+* **whole-project rules** (RPR100 layer-contract, RPR130 fork-shared
+  state) — consume a :class:`repro.analysis.project.ProjectModel` built
+  over every analyzed file, and run once per analysis in
+  :func:`repro.analysis.runner.analyze_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.dataflow import AliasTable, OriginScopes, dotted
+from repro.analysis.project import (
+    ALLOWED_LAYER_DEPS,
+    UNCONSTRAINED_LAYERS,
+    ProjectModel,
+    layer_of_module,
+    layer_of_path,
+)
+from repro.analysis.registry import Violation
+
+# --------------------------------------------------------------------------- #
+# RPR110 — RNG provenance
+# --------------------------------------------------------------------------- #
+
+#: fully-dotted Generator constructors (the unblessed origins)
+_GEN_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.Generator"}
+
+#: layers whose code must never construct Generators directly
+_RNG_RESTRICTED_LAYERS = {"sim", "nn", "rl"}
+
+#: resolved callee prefixes that count as "flowing into" restricted code
+_RNG_SINK_PREFIXES = ("repro.sim", "repro.rl", "repro.nn")
+
+#: the one module allowed to construct Generators (it is the blessing)
+_SEEDING_MODULE_SUFFIX = "repro/utils/seeding.py"
+
+
+class _RngChecker(ast.NodeVisitor):
+    def __init__(self, path: str, layer: str) -> None:
+        self.path = path
+        self.layer = layer
+        self.restricted = layer in _RNG_RESTRICTED_LAYERS
+        self.aliases = AliasTable()
+        self.origins = OriginScopes()
+        self.violations: List[Violation] = []
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(self.path, node.lineno, node.col_offset + 1, "RPR110", message)
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.aliases.record_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.aliases.record_import_from(node)
+
+    def _visit_function(self, node) -> None:
+        self.origins.push()
+        self.generic_visit(node)
+        self.origins.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        callee = (
+            self.aliases.resolve(node.value.func)
+            if isinstance(node.value, ast.Call)
+            else None
+        )
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.origins.assign(
+                    target.id,
+                    callee if callee in _GEN_CONSTRUCTORS else None,
+                    node.lineno,
+                )
+        self.generic_visit(node)
+
+    def _is_unblessed_generator(self, node: ast.AST) -> Optional[str]:
+        """Constructor name if ``node`` is/holds an unblessed Generator."""
+        if isinstance(node, ast.Call):
+            resolved = self.aliases.resolve(node.func)
+            if resolved in _GEN_CONSTRUCTORS:
+                return resolved
+        if isinstance(node, ast.Name):
+            origin = self.origins.origin(node.id)
+            if origin is not None:
+                return origin[0]
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.aliases.resolve(node.func)
+        if resolved in _GEN_CONSTRUCTORS:
+            if self.restricted:
+                self._report(
+                    node,
+                    f"direct '{resolved}' construction in {self.layer}/ — "
+                    f"derive the stream with repro.utils.seeding "
+                    f"(as_generator / spawn_generators) so it descends from "
+                    f"the experiment's root SeedSequence",
+                )
+            elif resolved == "numpy.random.default_rng" and not (
+                node.args or node.keywords
+            ):
+                self._report(
+                    node,
+                    "np.random.default_rng() with no seed draws ambient "
+                    "entropy — results are irreproducible; thread a seed "
+                    "through repro.utils.seeding.as_generator",
+                )
+        elif resolved is not None and resolved.startswith(_RNG_SINK_PREFIXES):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                ctor = self._is_unblessed_generator(arg)
+                if ctor is not None:
+                    self._report(
+                        node,
+                        f"generator built by '{ctor}' flows into "
+                        f"'{resolved}' — derive it via repro.utils.seeding "
+                        f"so the stream descends from the root SeedSequence",
+                    )
+        self.generic_visit(node)
+
+
+def rng_provenance_violations(tree: ast.AST, path: str) -> List[Violation]:
+    """RPR110 findings for one module (empty outside the repro package)."""
+    posix = Path(path).as_posix()
+    layer = layer_of_path(posix)
+    if layer is None or posix.endswith(_SEEDING_MODULE_SUFFIX):
+        return []
+    checker = _RngChecker(posix, layer)
+    checker.visit(tree)
+    return checker.violations
+
+
+# --------------------------------------------------------------------------- #
+# RPR120 — buffer write-hazards
+# --------------------------------------------------------------------------- #
+
+#: layers whose kernels use out= replay buffers / frozen memo arrays
+_BUFFER_LAYERS = {"nn", "sim"}
+
+#: elementwise numpy callables for which out=input in-place chains are
+#: well-defined (ufunc loops read each element before writing it)
+_ELEMENTWISE_SAFE = {
+    "numpy." + name
+    for name in (
+        "add", "subtract", "multiply", "divide", "true_divide", "floor_divide",
+        "negative", "positive", "reciprocal", "sign", "absolute", "abs", "fabs",
+        "exp", "expm1", "log", "log1p", "log2", "log10", "sqrt", "square",
+        "power", "float_power", "mod", "remainder",
+        "maximum", "minimum", "fmax", "fmin", "clip", "where",
+        "logical_and", "logical_or", "logical_not", "logical_xor",
+        "greater", "greater_equal", "less", "less_equal", "equal", "not_equal",
+        "sin", "cos", "tanh", "copyto",
+    )
+}
+
+#: ndarray methods that mutate the buffer in place
+_MUTATOR_METHODS = {
+    "fill", "sort", "partition", "put", "itemset", "resize", "byteswap",
+}
+
+
+def _setflags_write_arg(node: ast.Call) -> Optional[bool]:
+    """The ``write=`` value of a ``setflags`` call, if a literal bool."""
+    value: Optional[ast.AST] = None
+    if node.args:
+        value = node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "write":
+            value = kw.value
+    if isinstance(value, ast.Constant) and isinstance(value.value, bool):
+        return value.value
+    return None
+
+
+class _BufferChecker(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.aliases = AliasTable()
+        self.violations: List[Violation] = []
+        #: stack of per-function {dotted name: freeze line}
+        self.frozen: List[Dict[str, int]] = [{}]
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(self.path, node.lineno, node.col_offset + 1, "RPR120", message)
+        )
+
+    def _freeze_line(self, name: str) -> Optional[int]:
+        for scope in reversed(self.frozen):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _unfreeze(self, name: str) -> None:
+        for scope in reversed(self.frozen):
+            scope.pop(name, None)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.aliases.record_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.aliases.record_import_from(node)
+
+    def _visit_function(self, node) -> None:
+        self.frozen.append({})
+        self.generic_visit(node)
+        self.frozen.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- frozen-array mutation ------------------------------------------ #
+
+    def _check_frozen_write(self, node: ast.AST, target: ast.AST, how: str) -> None:
+        base = target.value if isinstance(target, ast.Subscript) else target
+        name = dotted(base)
+        if name is None:
+            return
+        line = self._freeze_line(name)
+        if line is not None:
+            self._report(
+                node,
+                f"{how} to '{name}', frozen by setflags(write=False) at "
+                f"line {line} — frozen memo arrays are shared across every "
+                f"later observation; build a fresh array instead",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                self._check_frozen_write(node, target, "indexed/masked write")
+            elif isinstance(target, ast.Name):
+                self._unfreeze(target.id)  # rebound to a new object
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_frozen_write(node, node.target, "augmented in-place write")
+        self.generic_visit(node)
+
+    # -- calls: setflags tracking, mutators, out= hazards ---------------- #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = dotted(func.value)
+            if func.attr == "setflags" and name is not None:
+                write = _setflags_write_arg(node)
+                if write is False:
+                    self.frozen[-1][name] = node.lineno
+                elif write is True:
+                    self._unfreeze(name)
+            elif func.attr in _MUTATOR_METHODS and name is not None:
+                line = self._freeze_line(name)
+                if line is not None:
+                    self._report(
+                        node,
+                        f"mutating call '.{func.attr}()' on '{name}', frozen "
+                        f"by setflags(write=False) at line {line}",
+                    )
+        self._check_out_kwarg(node)
+        self.generic_visit(node)
+
+    def _check_out_kwarg(self, node: ast.Call) -> None:
+        out_value: Optional[ast.AST] = None
+        for kw in node.keywords:
+            if kw.arg == "out":
+                out_value = kw.value
+        if out_value is None:
+            return
+        out_name = dotted(out_value)
+        if out_name is None:
+            return
+        # writing through out= into a frozen buffer is a write like any other
+        line = self._freeze_line(out_name)
+        if line is not None:
+            self._report(
+                node,
+                f"'{out_name}' used as an out= target but frozen by "
+                f"setflags(write=False) at line {line}",
+            )
+        reads = [dotted(arg) for arg in node.args] + [
+            dotted(kw.value) for kw in node.keywords if kw.arg != "out"
+        ]
+        if out_name not in reads:
+            return
+        resolved = self.aliases.resolve(node.func)
+        if resolved in _ELEMENTWISE_SAFE:
+            return  # in-place ufunc chains are well-defined
+        display = resolved or dotted(node.func) or "<call>"
+        self._report(
+            node,
+            f"out= buffer '{out_name}' aliases an operand also read by "
+            f"'{display}' — only elementwise ufuncs may write over their "
+            f"input; non-elementwise ops read partially overwritten data",
+        )
+
+
+def buffer_hazard_violations(tree: ast.AST, path: str) -> List[Violation]:
+    """RPR120 findings for one module (nn/ and sim/ layers only)."""
+    posix = Path(path).as_posix()
+    if layer_of_path(posix) not in _BUFFER_LAYERS:
+        return []
+    checker = _BufferChecker(posix)
+    checker.visit(tree)
+    return checker.violations
+
+
+# --------------------------------------------------------------------------- #
+# RPR130 — fork-shared mutable module state
+# --------------------------------------------------------------------------- #
+
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter",
+}
+
+_CONTAINER_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "sort", "reverse",
+    "appendleft", "popleft",
+}
+
+
+def _is_mutable_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+def _module_level_mutables(tree: ast.AST) -> Dict[str, int]:
+    """Top-level ``NAME = <mutable>`` bindings -> definition line."""
+    out: Dict[str, int] = {}
+    for node in getattr(tree, "body", []):
+        if isinstance(node, ast.Assign) and _is_mutable_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = node.lineno
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+            and _is_mutable_expr(node.value)
+        ):
+            out[node.target.id] = node.lineno
+    return out
+
+
+def _walk_own_body(func: ast.AST):
+    """Walk a function's own statements without descending into nested
+    function definitions (those are scanned with their own scope)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _function_locals(node: ast.AST) -> Set[str]:
+    """Names bound locally in a function body (params, assigns, loops, withs),
+    excluding names declared ``global``."""
+    bound: Set[str] = set()
+    hoisted_global: Set[str] = set()
+    args = node.args
+    for a in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(a.arg)
+    for sub in _walk_own_body(node):
+        if isinstance(sub, ast.Global):
+            hoisted_global.update(sub.names)
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(sub.target, ast.Name):
+                bound.add(sub.target.id)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            for n in ast.walk(sub.target):
+                if isinstance(n, ast.Name):
+                    bound.add(n.id)
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    for n in ast.walk(item.optional_vars):
+                        if isinstance(n, ast.Name):
+                            bound.add(n.id)
+    return bound - hoisted_global
+
+
+def fork_state_violations(tree: ast.AST, path: str) -> List[Violation]:
+    """RPR130 findings for one module: runtime mutation of module globals.
+
+    Import-time mutation (registry population at module top level) is legal
+    — it happens identically in every process before the fork.  Only
+    mutations inside function/method bodies run after workers fork.
+    """
+    posix = Path(path).as_posix()
+    mutables = _module_level_mutables(tree)
+    if not mutables:
+        return []
+    violations: List[Violation] = []
+
+    def report(node: ast.AST, name: str, how: str) -> None:
+        violations.append(
+            Violation(
+                posix, node.lineno, node.col_offset + 1, "RPR130",
+                f"{how} of module-level mutable '{name}' (defined at line "
+                f"{mutables[name]}) at runtime — forked rollout workers "
+                f"snapshot module state copy-on-write, so parent and child "
+                f"copies diverge silently; move this state onto the "
+                f"trainer/worker object",
+            )
+        )
+
+    def scan_function(func: ast.AST) -> None:
+        shadowed = _function_locals(func)
+        for sub in _walk_own_body(func):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutables
+                        and target.value.id not in shadowed
+                    ):
+                        report(sub, target.value.id, "indexed write")
+            elif isinstance(sub, ast.AugAssign):
+                target = sub.target
+                base = target.value if isinstance(target, ast.Subscript) else target
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in mutables
+                    and base.id not in shadowed
+                ):
+                    report(sub, base.id, "augmented write")
+            elif isinstance(sub, ast.Call):
+                func_expr = sub.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr in _CONTAINER_MUTATORS
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id in mutables
+                    and func_expr.value.id not in shadowed
+                ):
+                    report(sub, func_expr.value.id, f"'.{func_expr.attr}()' call")
+            elif isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutables
+                        and target.value.id not in shadowed
+                    ):
+                        report(sub, target.value.id, "deletion")
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(node)
+    return sorted(violations, key=lambda v: (v.line, v.col))
+
+
+# --------------------------------------------------------------------------- #
+# whole-project drivers
+# --------------------------------------------------------------------------- #
+
+#: the module whose import closure defines the fork-shared scope
+FORK_ROOT = "repro.rl.workers"
+
+
+def layer_contract_violations(model: ProjectModel) -> List[Violation]:
+    """RPR100: every resolved in-project import edge against the allowed DAG."""
+    violations: List[Violation] = []
+    for name in sorted(model.modules):
+        info = model.modules[name]
+        if info.layer in UNCONSTRAINED_LAYERS:
+            continue
+        allowed = ALLOWED_LAYER_DEPS.get(info.layer)
+        if allowed is None:
+            continue  # unknown layer: contract extends by editing the DAG
+        seen = set()
+        for target, record in model.deps(name):
+            target_layer = layer_of_module(target)
+            if target_layer == info.layer or target_layer in allowed:
+                continue
+            key = (target, record.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            lazy_note = " (function-level import — still a dependency)" if record.lazy else ""
+            shown = (
+                "the repro root re-export hub"
+                if target_layer == "__init__"
+                else f"layer '{target_layer}'"
+            )
+            violations.append(
+                Violation(
+                    info.path, record.lineno, record.col, "RPR100",
+                    f"layer '{info.layer}' may not import '{target}' "
+                    f"({shown}); allowed layers: "
+                    f"{', '.join(sorted(allowed)) or 'none'}{lazy_note}",
+                )
+            )
+    return violations
+
+
+def fork_shared_violations(model: ProjectModel, root: str = FORK_ROOT) -> List[Violation]:
+    """RPR130 over the project: rl-layer modules on the fork path only.
+
+    The fork path is the import closure of ``root`` (parent and child
+    processes both execute it); rl modules outside the closure (offline
+    tooling) may keep module-level caches.  When ``root`` is not part of
+    the analyzed set (partial analyses, fixture trees without a workers
+    module) every rl-layer module is checked — the same approximation the
+    per-file mode uses.
+    """
+    reachable = (
+        model.closure(root) if root in model.modules else set(model.modules)
+    )
+    violations: List[Violation] = []
+    for name in sorted(reachable):
+        info = model.modules[name]
+        if info.layer != "rl":
+            continue
+        violations.extend(fork_state_violations(info.tree, info.path))
+    return violations
+
+
+__all__ = [
+    "FORK_ROOT",
+    "buffer_hazard_violations",
+    "fork_shared_violations",
+    "fork_state_violations",
+    "layer_contract_violations",
+    "rng_provenance_violations",
+]

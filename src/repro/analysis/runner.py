@@ -1,0 +1,346 @@
+"""Multi-pass analysis driver — orchestration, baseline gating, output.
+
+The pass pipeline for ``analyze_paths``:
+
+1. **per-file passes** — parse once, run the syntactic checker
+   (RPR001–008), the dataflow rules (RPR110/120) and suppression handling
+   (:func:`repro.analysis.lint.analyze_source`);
+2. **project model** — build the module/import graph over every file that
+   maps to a ``repro.*`` module (:class:`repro.analysis.project.ProjectModel`);
+3. **project rules** — RPR100 layer contract and RPR130 fork-shared state
+   over the model, filtered through each file's suppression comments;
+4. **baseline split** — partition findings into new / baselined / stale
+   against the committed baseline (:mod:`repro.analysis.baseline`).
+
+Exit-code contract (``run``):
+
+========  ==================================================================
+0         clean — or warnings only (non-strict), or everything baselined
+1         error-severity findings; under ``--strict`` any unbaselined
+          finding (warnings included) or any stale baseline entry
+2         usage/configuration error (bad path, malformed baseline)
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    DEFAULT_BASELINE_NAME,
+    entries_for,
+)
+from repro.analysis.lint import (
+    EXCLUDED_DIR_NAMES,
+    FileAnalysis,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.project import ProjectModel
+from repro.analysis.registry import RULES, Violation
+from repro.analysis.rules_project import (
+    fork_shared_violations,
+    layer_contract_violations,
+)
+
+#: schema version of the ``--format json`` document (bump on breaking change)
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one multi-pass analysis."""
+
+    files: List[Path] = field(default_factory=list)
+    #: unsuppressed findings not covered by the baseline
+    violations: List[Violation] = field(default_factory=list)
+    #: findings matched by a baseline entry (accepted debt)
+    baselined: List[Tuple[Violation, BaselineEntry]] = field(default_factory=list)
+    #: baseline entries that matched nothing (the violation was fixed)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if strict:
+            return 1 if (self.violations or self.stale) else 0
+        return 1 if self.errors else 0
+
+
+def analyze_paths(
+    paths: Iterable[Union[str, Path]],
+    baseline: Optional[Baseline] = None,
+    exclude: Iterable[str] = EXCLUDED_DIR_NAMES,
+) -> AnalysisReport:
+    """Run all passes over every Python file under ``paths``."""
+    files = iter_python_files(paths, exclude=exclude)
+    analyses: List[FileAnalysis] = []
+    for f in files:
+        source = f.read_text(encoding="utf-8")
+        analyses.append(analyze_source(source, str(f), include_fork_rule=False))
+
+    model = ProjectModel.from_sources(
+        [(fa.path, fa.tree) for fa in analyses if fa.tree is not None]
+    )
+    by_path: Dict[str, FileAnalysis] = {fa.path: fa for fa in analyses}
+
+    violations: List[Violation] = [v for fa in analyses for v in fa.violations]
+    for v in layer_contract_violations(model) + fork_shared_violations(model):
+        fa = by_path.get(v.path)
+        if fa is not None and fa.suppressions.is_suppressed(v.line, v.rule):
+            continue
+        violations.append(v)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+
+    report = AnalysisReport(files=files)
+    if baseline is None:
+        report.violations = violations
+    else:
+        context_of = {fa.path: fa.source.splitlines() for fa in analyses}
+        report.violations, report.baselined, report.stale = baseline.split(
+            violations, context_of
+        )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# output formatting
+# --------------------------------------------------------------------------- #
+
+
+def report_to_json(report: AnalysisReport, strict: bool = False) -> dict:
+    """Stable JSON document for ``--format json`` (schema version pinned)."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "name": v.rule_name,
+                "severity": v.severity,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "baselined": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "rule": v.rule,
+                "justification": entry.justification,
+            }
+            for v, entry in report.baselined
+        ],
+        "stale_baseline": [entry.to_dict() for entry in report.stale],
+        "summary": {
+            "files": len(report.files),
+            "findings": len(report.violations),
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "baselined": len(report.baselined),
+            "stale": len(report.stale),
+        },
+        "exit_code": report.exit_code(strict),
+    }
+
+
+def _print_text(report: AnalysisReport, strict: bool) -> None:
+    for v in report.violations:
+        print(f"{v} [{v.severity}]")
+    if strict:
+        for entry in report.stale:
+            print(
+                f"{entry.path}: stale baseline entry for {entry.rule} "
+                f"(context: {entry.context!r}) — the finding is gone; "
+                f"delete the entry"
+            )
+    summary = (
+        f"{len(report.violations)} finding(s) "
+        f"({len(report.errors)} error(s), {len(report.warnings)} warning(s)) "
+        f"in {len(report.files)} file(s)"
+    )
+    if report.baselined:
+        summary += f"; {len(report.baselined)} baselined"
+    if report.stale:
+        summary += f"; {len(report.stale)} stale baseline entr(y/ies)"
+    stream = sys.stderr
+    print(("\n" if report.violations else "") + summary, file=stream)
+
+
+def _print_rules(output_format: str) -> None:
+    if output_format == "json":
+        doc = {
+            "version": JSON_SCHEMA_VERSION,
+            "rules": [
+                {
+                    "id": r.id,
+                    "name": r.name,
+                    "severity": r.severity,
+                    "summary": r.summary,
+                }
+                for r in RULES.values()
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return
+    width = max(len(r.name) for r in RULES.values())
+    for rule_id, rule in sorted(RULES.items()):
+        print(f"{rule_id}  {rule.name:<{width}}  {rule.severity:<7}  {rule.summary}")
+
+
+# --------------------------------------------------------------------------- #
+# CLI driver
+# --------------------------------------------------------------------------- #
+
+
+def _resolve_baseline(
+    baseline_path: Optional[str], no_baseline: bool
+) -> Optional[Baseline]:
+    if no_baseline:
+        return None
+    if baseline_path is not None:
+        return Baseline.load(baseline_path)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return Baseline.load(default) if default.is_file() else None
+
+
+def run(
+    paths: Sequence[str],
+    list_rules: bool = False,
+    strict: bool = False,
+    output_format: str = "text",
+    baseline_path: Optional[str] = None,
+    no_baseline: bool = False,
+    write_baseline: Optional[str] = None,
+) -> int:
+    """CLI driver: print findings, return the process exit code."""
+    if list_rules:
+        _print_rules(output_format)
+        return 0
+    if not paths:
+        print("usage: repro lint <paths> (or --list-rules)", file=sys.stderr)
+        return 2
+    try:
+        baseline = _resolve_baseline(baseline_path, no_baseline)
+    except BaselineError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = analyze_paths(paths, baseline=baseline)
+    except (FileNotFoundError, OSError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if write_baseline is not None:
+        context_of = {}
+        for f in report.files:
+            try:
+                context_of[Path(f).as_posix()] = f.read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except OSError:
+                pass
+        fresh = entries_for(report.violations, context_of)
+        kept = [entry for _, entry in report.baselined]
+        merged = Baseline(kept + fresh)
+        merged.save(write_baseline)
+        print(
+            f"baseline written to {write_baseline}: {len(fresh)} new entr(y/ies) "
+            f"need a justification, {len(kept)} carried over",
+            file=sys.stderr,
+        )
+        return 0
+
+    if output_format == "json":
+        print(json.dumps(report_to_json(report, strict), indent=2))
+    else:
+        _print_text(report, strict)
+    return report.exit_code(strict)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="repo-specific static analysis (see repro.analysis)",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="gate baseline drift: any unbaselined finding (warnings "
+        "included) or stale baseline entry fails",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json"],
+        help="output format (json schema version is pinned)",
+    )
+    parser.add_argument(
+        "--baseline",
+        dest="baseline_path",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} in the "
+        f"working directory, when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report accepted findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline (existing "
+        "justifications are carried over; new entries get a TODO)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(
+        args.paths,
+        list_rules=args.list_rules,
+        strict=args.strict,
+        output_format=args.output_format,
+        baseline_path=args.baseline_path,
+        no_baseline=args.no_baseline,
+        write_baseline=args.write_baseline,
+    )
+
+
+__all__ = [
+    "AnalysisReport",
+    "JSON_SCHEMA_VERSION",
+    "analyze_paths",
+    "build_parser",
+    "main",
+    "report_to_json",
+    "run",
+]
+
+if __name__ == "__main__":
+    sys.exit(main())

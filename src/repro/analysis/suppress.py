@@ -1,0 +1,75 @@
+"""Suppression comments — the linter's escape hatch.
+
+Two forms, both taking a comma-separated id list (or ``all``) and an
+optional ``-- reason`` suffix:
+
+``# repro-lint: disable=RPR001 -- reason``
+    suppresses matching findings reported *on that physical line*;
+``# repro-lint: disable-next-line=RPR001 -- reason``
+    suppresses matching findings on the *next* physical line — the form to
+    use for multi-line statements, whose findings anchor to the first line.
+
+Ids that are not registered rules are **not** silently ignored: they are
+surfaced as RPR009 diagnostics at the comment (and do not suppress
+anything), so a typo'd ``disable=RPR03`` can't leave its author believing a
+finding was handled.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.registry import RULES
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next-line)="
+    r"([A-Za-z0-9,\s]+?)(?:\s+--.*|\s*#.*)?$"
+)
+
+#: sentinel member of a per-line rule set meaning "every rule"
+ALL = "ALL"
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one source file."""
+
+    #: target line -> rule ids suppressed there ({ALL} suppresses everything)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (comment line, column, bad id) for ids that name no registered rule
+    unknown: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        active = self.by_line.get(line, ())
+        return ALL in active or rule in active
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for disable comments.
+
+    ``disable`` targets its own line, ``disable-next-line`` the following
+    one; when both target the same line the suppressed sets union.
+    """
+    supp = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        target = lineno if match.group(1) == "disable" else lineno + 1
+        ids = {part.strip().upper() for part in match.group(2).split(",") if part.strip()}
+        valid: Set[str] = set()
+        for rule_id in sorted(ids):
+            if rule_id == ALL:
+                valid.add(ALL)
+            elif rule_id in RULES:
+                valid.add(rule_id)
+            else:
+                supp.unknown.append((lineno, match.start() + 1, rule_id))
+        if valid:
+            supp.by_line.setdefault(target, set()).update(valid)
+    return supp
+
+
+__all__ = ["ALL", "Suppressions", "parse_suppressions"]

@@ -262,7 +262,15 @@ def cmd_report_run(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    return analysis_lint.run(args.paths, list_rules=args.list_rules)
+    return analysis_lint.run(
+        args.paths,
+        list_rules=args.list_rules,
+        strict=args.strict,
+        output_format=args.output_format,
+        baseline_path=args.baseline_path,
+        no_baseline=args.no_baseline,
+        write_baseline=args.write_baseline,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,6 +360,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="gate baseline drift: any unbaselined finding (warnings "
+             "included) or stale baseline entry fails",
+    )
+    p_lint.add_argument(
+        "--format", dest="output_format", default="text",
+        choices=["text", "json"],
+        help="output format (json schema version is pinned)",
+    )
+    p_lint.add_argument(
+        "--baseline", dest="baseline_path", default=None, metavar="FILE",
+        help="baseline file (default: .repro-lint-baseline.json in the "
+             "working directory, when present)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report accepted findings too)",
+    )
+    p_lint.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current findings as a baseline (existing "
+             "justifications are carried over; new entries get a TODO)",
     )
     p_lint.set_defaults(func=cmd_lint)
 

@@ -175,11 +175,11 @@ def _worker_main(
         children = seed_seq.spawn(spec.num_envs + 1)
         vec_env = VecSchedulingEnv(
             [
-                spec.make_env(rng=np.random.default_rng(child))
+                spec.make_env(rng=as_generator(child))
                 for child in children[: spec.num_envs]
             ]
         )
-        sample_rng = np.random.default_rng(children[-1])
+        sample_rng = as_generator(children[-1])
         agent = ReadysAgent(AgentConfig(**agent_config_dict), rng=0)
         if spec.compiled:
             # workers only run no-grad rollouts — exactly the compiled

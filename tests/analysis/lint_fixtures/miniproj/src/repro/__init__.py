@@ -1,0 +1,1 @@
+"""Miniature repro package exercising the whole-project rule families."""

@@ -1,0 +1,7 @@
+"""Clean negative: eval may depend on rl, and only reads the shared state."""
+
+from repro.rl.shared import ROLLOUT_COUNTS
+
+
+def summarize():
+    return dict(ROLLOUT_COUNTS)

@@ -1,0 +1,33 @@
+"""Buffer-hazard fixtures: RPR120 positives and negatives side by side."""
+
+import numpy as np
+
+
+def bad_matmul(a, out):
+    # hazard: matmul is not elementwise, out aliases an operand
+    np.matmul(a, out, out=out)
+
+
+def safe_chain(x, out):
+    # negative: in-place elementwise ufunc chains are well-defined
+    np.exp(x, out=out)
+    np.add(out, 1.0, out=out)
+    return out
+
+
+def frozen_write(memo):
+    memo.setflags(write=False)
+    memo[0] = 1.0  # hazard: indexed write to a frozen memo array
+
+
+def legal_then_freeze(buf):
+    buf[0] = 2.0  # negative: the write happens before the freeze
+    buf.setflags(write=False)
+    return buf
+
+
+def thaw_then_write(buf):
+    buf.setflags(write=False)
+    buf.setflags(write=True)
+    buf[0] = 3.0  # negative: explicitly thawed again
+    return buf

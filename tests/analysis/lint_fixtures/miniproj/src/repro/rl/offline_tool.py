@@ -1,0 +1,7 @@
+"""Offline rl tooling: outside the workers closure, caches are fine there."""
+
+CACHE = {}
+
+
+def remember(key, value):
+    CACHE[key] = value  # not reachable from rl.workers — no project finding

@@ -1,0 +1,18 @@
+"""Fork-shared state fixture: RPR130 positive (reached from rl.workers)."""
+
+ROLLOUT_COUNTS = {}
+
+LAYOUT = {"version": 1}  # populated at import time below — legal
+
+LAYOUT["frozen"] = True
+
+
+def note_rollout(name):
+    # hazard: runtime mutation of module state diverges across forked workers
+    ROLLOUT_COUNTS[name] = ROLLOUT_COUNTS.get(name, 0) + 1
+
+
+def local_shadow():
+    ROLLOUT_COUNTS = {}
+    ROLLOUT_COUNTS["x"] = 1  # negative: local shadow, not the module global
+    return ROLLOUT_COUNTS

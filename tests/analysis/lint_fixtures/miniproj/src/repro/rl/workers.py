@@ -1,0 +1,8 @@
+"""The fork root: its import closure defines the RPR130 scope."""
+
+from repro.rl import shared
+
+
+def run_worker(conn):
+    shared.note_rollout("worker")
+    return conn

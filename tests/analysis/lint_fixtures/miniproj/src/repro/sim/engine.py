@@ -1,0 +1,14 @@
+"""Layer-contract and RNG-provenance fixtures: RPR100 + RPR110 positives."""
+
+import numpy as np
+
+from repro.rl.shared import ROLLOUT_COUNTS  # sim may not depend on rl
+
+
+def make_stream(seed):
+    # hazard: sim/ must derive streams through repro.utils.seeding
+    return np.random.default_rng(seed)
+
+
+def pressure():
+    return len(ROLLOUT_COUNTS)

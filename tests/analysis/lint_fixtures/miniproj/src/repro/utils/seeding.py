@@ -1,0 +1,7 @@
+"""The blessed RNG module — the one place Generators may be constructed."""
+
+import numpy as np
+
+
+def as_generator(seed=None):
+    return np.random.default_rng(seed)

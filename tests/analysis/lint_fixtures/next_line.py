@@ -1,0 +1,12 @@
+"""disable-next-line fixture: the shielded line and its neighbours."""
+
+import numpy as np
+
+# repro-lint: disable-next-line=RPR001 -- exercising the next-line form
+suppressed = np.random.rand(3)
+
+# repro-lint: disable-next-line=RPR001 -- shields only the NEXT line
+shielded = np.random.rand(2)
+not_shielded = np.random.rand(2)
+
+wrong_rule = np.random.rand(1)  # repro-lint: disable=RPR002 -- valid id, wrong rule

@@ -1,0 +1,9 @@
+"""unknown ids in disable comments are RPR009 diagnostics, never no-ops."""
+
+import numpy as np
+
+value = np.random.rand(3)  # repro-lint: disable=RPR999 -- typo'd id
+# repro-lint: disable-next-line=NOTARULE
+other = np.random.rand(1)
+# repro-lint: disable-next-line=RPR001,RPR998 -- the valid id still works
+mixed = np.random.rand(1)

@@ -1,0 +1,122 @@
+"""Baseline loading, matching, drift splitting, and validation errors."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    entries_for,
+)
+from repro.analysis.registry import Violation
+
+
+def write_baseline(tmp_path, entries, version=BASELINE_VERSION):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": version, "entries": entries}))
+    return path
+
+
+GOOD_ENTRY = {
+    "rule": "RPR100",
+    "path": "src/repro/sim/env.py",
+    "context": "from repro.schedulers.heft import heft_makespan",
+    "justification": "reward normalisation needs the HEFT makespan",
+}
+
+
+class TestLoading:
+    def test_round_trip(self, tmp_path):
+        path = write_baseline(tmp_path, [GOOD_ENTRY])
+        baseline = Baseline.load(path)
+        assert len(baseline.entries) == 1
+        assert baseline.entries[0].rule == "RPR100"
+
+    def test_save_then_load(self, tmp_path):
+        out = tmp_path / "out.json"
+        Baseline([BaselineEntry(**{k: GOOD_ENTRY[k] for k in GOOD_ENTRY})]).save(out)
+        assert Baseline.load(out).entries[0].justification == GOOD_ENTRY["justification"]
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = write_baseline(tmp_path, [GOOD_ENTRY], version=99)
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_missing_key_rejected(self, tmp_path):
+        entry = {k: v for k, v in GOOD_ENTRY.items() if k != "context"}
+        path = write_baseline(tmp_path, [entry])
+        with pytest.raises(BaselineError, match="missing"):
+            Baseline.load(path)
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        entry = dict(GOOD_ENTRY, rule="RPR999")
+        path = write_baseline(tmp_path, [entry])
+        with pytest.raises(BaselineError, match="unknown rule"):
+            Baseline.load(path)
+
+    def test_empty_justification_rejected(self, tmp_path):
+        entry = dict(GOOD_ENTRY, justification="   ")
+        path = write_baseline(tmp_path, [entry])
+        with pytest.raises(BaselineError, match="justification"):
+            Baseline.load(path)
+
+
+class TestMatching:
+    def make(self):
+        return Baseline([BaselineEntry(**GOOD_ENTRY)])
+
+    def test_match_on_context_not_line_number(self):
+        baseline = self.make()
+        v = Violation("src/repro/sim/env.py", 999, 1, "RPR100", "msg")
+        assert baseline.match(v, GOOD_ENTRY["context"]) is not None
+        assert baseline.match(v, "something_else = 1") is None
+
+    def test_path_suffix_match(self):
+        baseline = self.make()
+        v = Violation("/abs/checkout/src/repro/sim/env.py", 1, 1, "RPR100", "m")
+        assert baseline.match(v, GOOD_ENTRY["context"]) is not None
+        # a different file that merely ends with the same leaf must not match
+        other = Violation("other/sim/env.py", 1, 1, "RPR100", "m")
+        assert baseline.match(other, GOOD_ENTRY["context"]) is None
+
+    def test_split_new_matched_stale(self):
+        baseline = self.make()
+        covered = Violation("src/repro/sim/env.py", 2, 1, "RPR100", "m")
+        novel = Violation("src/repro/sim/env.py", 3, 1, "RPR110", "m")
+        context_of = {
+            "src/repro/sim/env.py": [
+                "import x",
+                GOOD_ENTRY["context"],
+                "rng = np.random.default_rng()",
+            ]
+        }
+        new, matched, stale = baseline.split([covered, novel], context_of)
+        assert new == [novel]
+        assert [v for v, _ in matched] == [covered]
+        assert stale == []
+
+    def test_stale_entry_surfaces_when_nothing_matches(self):
+        baseline = self.make()
+        new, matched, stale = baseline.split([], {})
+        assert (new, matched) == ([], [])
+        assert stale == baseline.entries
+
+
+class TestEntriesFor:
+    def test_dedup_and_context_capture(self):
+        v1 = Violation("src/repro/sim/state.py", 1, 1, "RPR100", "m")
+        v2 = Violation("src/repro/sim/state.py", 2, 1, "RPR100", "m")
+        context_of = {"src/repro/sim/state.py": ["from repro.nn.sparse import (", "from repro.nn.sparse import ("]}
+        entries = entries_for([v1, v2], context_of)
+        assert len(entries) == 1  # same (rule, path, context) key
+        assert entries[0].context == "from repro.nn.sparse import ("
+        assert "TODO" in entries[0].justification

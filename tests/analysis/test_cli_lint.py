@@ -1,0 +1,167 @@
+"""CLI edge cases: exit codes, disable=all, parse errors, JSON schema, strict."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.runner import (
+    JSON_SCHEMA_VERSION,
+    build_parser,
+    main,
+    run,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self):
+        assert run([str(FIXTURES / "clean.py")]) == 0
+
+    def test_violations_exit_one(self):
+        assert run([str(FIXTURES / "violations.py")]) == 1
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert run([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert run(["does/not/exist.py"]) == 2
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        code = run([str(FIXTURES / "clean.py")], baseline_path=str(bad))
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_warnings_only_exit_zero_unless_strict(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "warn.py"
+        f.write_text("x = 1  # repro-lint: " + "disable=RPR999 -- typo\n")
+        assert run([str(f)]) == 0  # RPR009 is warning severity
+        assert run([str(f)], strict=True) == 1
+
+    def test_disable_all_silences_a_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "noisy.py"
+        f.write_text(
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro-lint: disable=all -- fixture\n"
+        )
+        assert run([str(f)], strict=True) == 0
+
+    def test_parse_error_reported_as_rpr000(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "broken.py"
+        f.write_text("def broken(:\n")
+        assert run([str(f)]) == 1
+        assert "RPR000" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_schema_is_stable(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        f = tmp_path / "bad.py"
+        f.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert run([str(f)], output_format="json") == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        assert set(doc) == {
+            "version", "findings", "baselined", "stale_baseline",
+            "summary", "exit_code",
+        }
+        (finding,) = doc["findings"]
+        assert set(finding) == {
+            "path", "line", "col", "rule", "name", "severity", "message",
+        }
+        assert finding["rule"] == "RPR001"
+        assert doc["summary"]["errors"] == 1
+        assert doc["exit_code"] == 1
+
+    def test_list_rules_json(self, capsys):
+        assert run([], list_rules=True, output_format="json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        ids = [r["id"] for r in doc["rules"]]
+        assert "RPR001" in ids and "RPR130" in ids
+        assert all({"id", "name", "severity", "summary"} <= set(r) for r in doc["rules"])
+
+
+class TestBaselineWorkflow:
+    def seed_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "engine.py"
+        mod.write_text(
+            "import numpy as np\n\n\ndef stream(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        return mod
+
+    def test_write_then_strict_then_stale(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        mod = self.seed_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        # 1. unbaselined finding fails strict
+        assert run([str(tmp_path / "src")], strict=True) == 1
+
+        # 2. write a baseline, accept the finding
+        assert run([str(tmp_path / "src")], write_baseline=str(baseline)) == 0
+        assert run(
+            [str(tmp_path / "src")], strict=True, baseline_path=str(baseline)
+        ) == 0
+
+        # 3. --no-baseline reports the accepted finding again
+        assert run(
+            [str(tmp_path / "src")],
+            strict=True,
+            baseline_path=str(baseline),
+            no_baseline=True,
+        ) == 1
+
+        # 4. fixing the code makes the baseline entry stale under strict
+        mod.write_text(
+            "from repro.utils.seeding import as_generator\n\n\n"
+            "def stream(seed):\n    return as_generator(seed)\n"
+        )
+        capsys.readouterr()
+        assert run(
+            [str(tmp_path / "src")], strict=True, baseline_path=str(baseline)
+        ) == 1
+        assert "stale" in capsys.readouterr().out
+
+        # ...but non-strict tolerates staleness
+        assert run([str(tmp_path / "src")], baseline_path=str(baseline)) == 0
+
+    def test_default_baseline_discovered_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        self.seed_tree(tmp_path)
+        assert run(
+            [str(tmp_path / "src")],
+            write_baseline=str(tmp_path / ".repro-lint-baseline.json"),
+        ) == 0
+        assert run([str(tmp_path / "src")], strict=True) == 0
+
+
+class TestArgparseAndCliWiring:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["src", "--strict", "--format", "json", "--no-baseline"]
+        )
+        assert args.paths == ["src"]
+        assert args.strict and args.no_baseline
+        assert args.output_format == "json"
+
+    def test_main_entry(self, capsys):
+        assert main(["--list-rules"]) == 0
+        assert "RPR100" in capsys.readouterr().out
+
+    def test_repro_cli_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", "--list-rules", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(r["id"] == "RPR120" for r in doc["rules"])

@@ -1,0 +1,55 @@
+"""The generated rule reference must track the registry exactly."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.docgen import (
+    extract_block,
+    generated_block,
+    inject,
+    rules_markdown,
+)
+from repro.analysis.registry import RULES
+
+DESIGN = Path(__file__).resolve().parents[2] / "DESIGN.md"
+
+
+class TestRulesMarkdown:
+    def test_every_rule_present(self):
+        table = rules_markdown()
+        for rule_id, rule in RULES.items():
+            assert rule_id in table
+            assert rule.name in table
+            assert rule.severity in table
+
+    def test_pipes_escaped_in_summaries(self):
+        table = rules_markdown()
+        rows = [line for line in table.splitlines() if line.startswith("| RPR")]
+        assert len(rows) == len(RULES)
+        # each row has exactly the four columns: id, name, severity, summary
+        for row in rows:
+            assert len([c for c in row.split("|") if c.strip()]) == 4
+
+
+class TestInjection:
+    def test_inject_replaces_block(self):
+        doc = "before\n<!-- BEGIN GENERATED RULE TABLE (repro.analysis.docgen) -->\nstale\n<!-- END GENERATED RULE TABLE -->\nafter\n"
+        out = inject(doc)
+        assert "stale" not in out
+        assert out.startswith("before\n") and out.endswith("after\n")
+        assert extract_block(out) == generated_block()
+
+    def test_inject_without_markers_raises(self):
+        with pytest.raises(ValueError, match="markers"):
+            inject("no markers here\n")
+
+
+class TestCommittedDoc:
+    def test_design_md_block_is_current(self):
+        committed = extract_block(DESIGN.read_text(encoding="utf-8"))
+        assert committed is not None, "DESIGN.md lost its rule-table markers"
+        assert committed == generated_block(), (
+            "DESIGN.md rule table drifted from the registry — run "
+            "`python -m repro.analysis.docgen DESIGN.md`"
+        )

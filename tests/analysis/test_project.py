@@ -1,0 +1,95 @@
+"""Project-model pass: module naming, layers, import resolution, closures."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.project import (
+    ALLOWED_LAYER_DEPS,
+    ProjectModel,
+    layer_of_module,
+    layer_of_path,
+    module_name_of_path,
+)
+from repro.analysis.runner import analyze_paths
+
+MINIPROJ = Path(__file__).parent / "lint_fixtures" / "miniproj"
+
+
+def build_model(root=MINIPROJ):
+    sources = []
+    for f in sorted(root.rglob("*.py")):
+        sources.append((str(f), ast.parse(f.read_text(), filename=str(f))))
+    return ProjectModel.from_sources(sources)
+
+
+class TestNaming:
+    def test_module_name_of_path(self):
+        assert module_name_of_path("src/repro/sim/env.py") == "repro.sim.env"
+        assert module_name_of_path("src/repro/spec.py") == "repro.spec"
+        assert module_name_of_path("src/repro/__init__.py") == "repro"
+        assert module_name_of_path("src/repro/rl/__init__.py") == "repro.rl"
+        assert module_name_of_path("tests/test_x.py") is None
+
+    def test_nested_src_root_uses_last_marker(self):
+        deep = "tests/analysis/lint_fixtures/miniproj/src/repro/sim/engine.py"
+        assert module_name_of_path(deep) == "repro.sim.engine"
+
+    def test_layer_of_path(self):
+        assert layer_of_path("src/repro/sim/env.py") == "sim"
+        assert layer_of_path("src/repro/spec.py") == "spec"
+        assert layer_of_path("scratch/notes.py") is None
+
+    def test_layer_of_module(self):
+        assert layer_of_module("repro.rl.workers") == "rl"
+        assert layer_of_module("repro.cli") == "cli"
+        assert layer_of_module("repro") == "__init__"
+
+
+class TestModel:
+    def test_every_fixture_module_discovered(self):
+        model = build_model()
+        assert "repro.rl.workers" in model.modules
+        assert "repro.sim.engine" in model.modules
+        assert model.modules["repro.sim.engine"].layer == "sim"
+
+    def test_from_import_of_submodule_resolves_to_module(self):
+        model = build_model()
+        deps = dict(model.deps("repro.rl.workers"))
+        assert "repro.rl.shared" in deps  # `from repro.rl import shared`
+
+    def test_from_import_of_attribute_resolves_to_owner(self):
+        model = build_model()
+        targets = {t for t, _ in model.deps("repro.sim.engine")}
+        # `from repro.rl.shared import ROLLOUT_COUNTS` is an attribute import
+        assert "repro.rl.shared" in targets
+        assert "repro.rl.shared.ROLLOUT_COUNTS" not in targets
+
+    def test_closure_follows_imports_and_parents(self):
+        model = build_model()
+        closure = model.closure("repro.rl.workers")
+        assert "repro.rl.shared" in closure
+        assert "repro.rl" in closure  # parent package initialised
+        assert "repro.rl.offline_tool" not in closure
+        assert "repro.eval.report" not in closure
+
+    def test_import_graph_shape(self):
+        model = build_model()
+        graph = model.import_graph()
+        assert graph["repro.eval.report"] == {"repro.rl.shared"}
+
+
+class TestRealTreeContract:
+    def test_dag_is_closed_under_itself(self):
+        # every layer named in an allow-set must itself be in the DAG
+        for layer, allowed in ALLOWED_LAYER_DEPS.items():
+            for dep in allowed:
+                assert dep in ALLOWED_LAYER_DEPS, (layer, dep)
+
+    def test_shipped_tree_has_no_unknown_layers(self):
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        report = analyze_paths([repo_src])
+        known = set(ALLOWED_LAYER_DEPS) | {"cli", "__main__", "__init__"}
+        for f in report.files:
+            layer = layer_of_path(f)
+            if layer is not None and not layer.startswith("_"):
+                assert layer in known, f

@@ -1,0 +1,241 @@
+"""Rule families RPR100/110/120/130 over snippets and the miniproj tree."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint import lint_source
+from repro.analysis.rules_project import (
+    buffer_hazard_violations,
+    fork_shared_violations,
+    fork_state_violations,
+    layer_contract_violations,
+    rng_provenance_violations,
+)
+from repro.analysis.runner import analyze_paths
+
+MINIPROJ = Path(__file__).parent / "lint_fixtures" / "miniproj"
+
+
+def rule_ids(violations):
+    return [v.rule for v in violations]
+
+
+def check_rng(source, path):
+    return rng_provenance_violations(ast.parse(source), path)
+
+
+def check_buffers(source, path="src/repro/nn/kernels.py"):
+    return buffer_hazard_violations(ast.parse(source), path)
+
+
+def analyze_miniproj():
+    return analyze_paths([MINIPROJ], exclude=("__pycache__",))
+
+
+class TestRngProvenance:
+    def test_direct_construction_flagged_in_restricted_layers(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        for layer in ("sim", "nn", "rl"):
+            found = check_rng(src, f"src/repro/{layer}/mod.py")
+            assert rule_ids(found) == ["RPR110"], layer
+
+    def test_unrestricted_layer_with_seed_allowed(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert check_rng(src, "src/repro/eval/mod.py") == []
+
+    def test_ambient_entropy_flagged_everywhere(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        found = check_rng(src, "src/repro/eval/mod.py")
+        assert rule_ids(found) == ["RPR110"]
+        assert "ambient" in found[0].message
+
+    def test_seeding_module_is_blessed(self):
+        src = "import numpy as np\ndef as_generator(s):\n    return np.random.default_rng(s)\n"
+        assert check_rng(src, "src/repro/utils/seeding.py") == []
+
+    def test_generator_flowing_into_sink_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.sim.env import SchedulingEnv\n"
+            "def make():\n"
+            "    rng = np.random.default_rng(3)\n"
+            "    return SchedulingEnv(rng=rng)\n"
+        )
+        found = check_rng(src, "src/repro/eval/mod.py")
+        assert rule_ids(found) == ["RPR110"]
+        assert "flows into" in found[0].message
+
+    def test_blessed_generator_into_sink_allowed(self):
+        src = (
+            "from repro.sim.env import SchedulingEnv\n"
+            "from repro.utils.seeding import as_generator\n"
+            "def make(seed):\n"
+            "    return SchedulingEnv(rng=as_generator(seed))\n"
+        )
+        assert check_rng(src, "src/repro/eval/mod.py") == []
+
+    def test_rebinding_clears_origin(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.sim.env import SchedulingEnv\n"
+            "from repro.utils.seeding import as_generator\n"
+            "def make(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    rng = as_generator(seed)\n"
+            "    return SchedulingEnv(rng=rng)\n"
+        )
+        assert check_rng(src, "src/repro/eval/mod.py") == []
+
+
+class TestBufferHazards:
+    def test_non_elementwise_aliased_out_flagged(self):
+        src = "import numpy as np\ndef f(a, out):\n    np.matmul(a, out, out=out)\n"
+        found = check_buffers(src)
+        assert rule_ids(found) == ["RPR120"]
+        assert "elementwise" in found[0].message
+
+    def test_elementwise_inplace_chain_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x, out):\n"
+            "    np.exp(x, out=out)\n"
+            "    np.add(out, 1.0, out=out)\n"
+        )
+        assert check_buffers(src) == []
+
+    def test_out_not_aliasing_inputs_allowed(self):
+        src = "import numpy as np\ndef f(a, b, out):\n    np.matmul(a, b, out=out)\n"
+        assert check_buffers(src) == []
+
+    def test_frozen_indexed_write_flagged(self):
+        src = "def f(memo):\n    memo.setflags(write=False)\n    memo[0] = 1.0\n"
+        found = check_buffers(src)
+        assert rule_ids(found) == ["RPR120"]
+        assert "setflags(write=False)" in found[0].message
+
+    def test_write_before_freeze_allowed(self):
+        src = "def f(buf):\n    buf[0] = 2.0\n    buf.setflags(write=False)\n"
+        assert check_buffers(src) == []
+
+    def test_thaw_reenables_writes(self):
+        src = (
+            "def f(buf):\n"
+            "    buf.setflags(write=False)\n"
+            "    buf.setflags(write=True)\n"
+            "    buf[0] = 3.0\n"
+        )
+        assert check_buffers(src) == []
+
+    def test_frozen_as_out_target_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(memo, x):\n"
+            "    memo.setflags(write=False)\n"
+            "    np.exp(x, out=memo)\n"
+        )
+        found = check_buffers(src)
+        assert rule_ids(found) == ["RPR120"]
+
+    def test_mutator_method_on_frozen_flagged(self):
+        src = "def f(memo):\n    memo.setflags(write=False)\n    memo.sort()\n"
+        found = check_buffers(src)
+        assert rule_ids(found) == ["RPR120"]
+
+    def test_only_nn_and_sim_layers_checked(self):
+        src = "import numpy as np\ndef f(a, out):\n    np.matmul(a, out, out=out)\n"
+        assert buffer_hazard_violations(ast.parse(src), "src/repro/eval/mod.py") == []
+
+
+class TestForkState:
+    def test_runtime_mutation_flagged(self):
+        src = "CACHE = {}\ndef f(k, v):\n    CACHE[k] = v\n"
+        found = fork_state_violations(ast.parse(src), "src/repro/rl/mod.py")
+        assert rule_ids(found) == ["RPR130"]
+        assert "copy-on-write" in found[0].message
+
+    def test_import_time_population_allowed(self):
+        src = "REGISTRY = {}\nREGISTRY['heft'] = 1\n"
+        assert fork_state_violations(ast.parse(src), "src/repro/rl/mod.py") == []
+
+    def test_local_shadow_allowed(self):
+        src = "CACHE = {}\ndef f():\n    CACHE = {}\n    CACHE['x'] = 1\n"
+        assert fork_state_violations(ast.parse(src), "src/repro/rl/mod.py") == []
+
+    def test_global_declaration_not_a_shadow(self):
+        src = (
+            "COUNTS = {}\n"
+            "def f():\n"
+            "    global COUNTS\n"
+            "    COUNTS['x'] = 1\n"
+        )
+        found = fork_state_violations(ast.parse(src), "src/repro/rl/mod.py")
+        assert rule_ids(found) == ["RPR130"]
+
+    def test_container_mutator_calls_flagged(self):
+        src = "EVENTS = []\ndef f(e):\n    EVENTS.append(e)\n"
+        found = fork_state_violations(ast.parse(src), "src/repro/rl/mod.py")
+        assert rule_ids(found) == ["RPR130"]
+
+    def test_nested_function_scanned_once(self):
+        src = (
+            "CACHE = {}\n"
+            "def outer():\n"
+            "    def inner():\n"
+            "        CACHE['x'] = 1\n"
+            "    return inner\n"
+        )
+        found = fork_state_violations(ast.parse(src), "src/repro/rl/mod.py")
+        assert rule_ids(found) == ["RPR130"]
+
+    def test_per_file_mode_reports_rl_layer(self):
+        src = "CACHE = {}\ndef f(k, v):\n    CACHE[k] = v\n"
+        assert "RPR130" in rule_ids(lint_source(src, "src/repro/rl/mod.py"))
+        assert lint_source(src, "src/repro/eval/mod.py") == []
+
+
+class TestMiniprojIntegration:
+    def test_expected_findings_and_nothing_else(self):
+        report = analyze_miniproj()
+        by_rule = {}
+        for v in report.violations:
+            by_rule.setdefault(v.rule, []).append(v)
+        assert set(by_rule) == {"RPR100", "RPR110", "RPR120", "RPR130"}
+
+    def test_layer_contract_finding(self):
+        report = analyze_miniproj()
+        hits = [v for v in report.violations if v.rule == "RPR100"]
+        assert len(hits) == 1
+        assert hits[0].path.endswith("src/repro/sim/engine.py")
+        assert "repro.rl.shared" in hits[0].message
+
+    def test_rng_finding_in_sim(self):
+        report = analyze_miniproj()
+        hits = [v for v in report.violations if v.rule == "RPR110"]
+        assert [Path(v.path).name for v in hits] == ["engine.py"]
+
+    def test_buffer_findings_in_nn(self):
+        report = analyze_miniproj()
+        hits = [v for v in report.violations if v.rule == "RPR120"]
+        assert len(hits) == 2  # bad_matmul + frozen_write, negatives stay clean
+        assert all(Path(v.path).name == "kernels.py" for v in hits)
+
+    def test_fork_rule_respects_workers_closure(self):
+        report = analyze_miniproj()
+        hits = [v for v in report.violations if v.rule == "RPR130"]
+        assert [Path(v.path).name for v in hits] == ["shared.py"]
+        # offline_tool mutates a module dict too, but is outside the closure
+
+    def test_project_driver_functions_directly(self):
+        import ast as _ast
+
+        sources = [
+            (str(f), _ast.parse(f.read_text(), filename=str(f)))
+            for f in sorted(MINIPROJ.rglob("*.py"))
+        ]
+        from repro.analysis.project import ProjectModel
+
+        model = ProjectModel.from_sources(sources)
+        assert rule_ids(layer_contract_violations(model)) == ["RPR100"]
+        fork = fork_shared_violations(model)
+        assert all(v.path.endswith("rl/shared.py") for v in fork)
+        assert fork  # note_rollout's indexed write

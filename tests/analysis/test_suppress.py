@@ -1,0 +1,88 @@
+"""Suppression comments: disable / disable-next-line / unknown-id handling."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_file, lint_source
+from repro.analysis.suppress import ALL, parse_suppressions
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def rule_ids(violations):
+    return [v.rule for v in violations]
+
+
+class TestParsing:
+    def test_disable_targets_own_line(self):
+        supp = parse_suppressions("x = 1  # repro-lint: disable=RPR001\n")
+        assert supp.is_suppressed(1, "RPR001")
+        assert not supp.is_suppressed(2, "RPR001")
+        assert not supp.is_suppressed(1, "RPR002")
+
+    def test_disable_next_line_targets_following_line(self):
+        supp = parse_suppressions("# repro-lint: disable-next-line=RPR007\nassert t == 1\n")
+        assert supp.is_suppressed(2, "RPR007")
+        assert not supp.is_suppressed(1, "RPR007")
+
+    def test_comma_separated_ids_and_reason_suffix(self):
+        supp = parse_suppressions(
+            "x = 1  # repro-lint: disable=RPR001, RPR002 -- both deliberate\n"
+        )
+        assert supp.is_suppressed(1, "RPR001")
+        assert supp.is_suppressed(1, "RPR002")
+
+    def test_disable_all_sentinel(self):
+        supp = parse_suppressions("x = 1  # repro-lint: disable=all\n")
+        assert ALL in supp.by_line[1]
+        assert supp.is_suppressed(1, "RPR120")
+
+    def test_both_forms_union_on_one_line(self):
+        src = (
+            "# repro-lint: disable-next-line=RPR001\n"
+            "x = 1  # repro-lint: disable=RPR007\n"
+        )
+        supp = parse_suppressions(src)
+        assert supp.is_suppressed(2, "RPR001")
+        assert supp.is_suppressed(2, "RPR007")
+
+    def test_unknown_id_recorded_not_applied(self):
+        supp = parse_suppressions("x = 1  # repro-lint: disable=RPR999\n")
+        assert [(line, bad) for line, _, bad in supp.unknown] == [(1, "RPR999")]
+        assert not supp.is_suppressed(1, "RPR999")
+
+    def test_ids_are_case_insensitive(self):
+        supp = parse_suppressions("x = 1  # repro-lint: disable=rpr001\n")
+        assert supp.is_suppressed(1, "RPR001")
+
+
+class TestNextLineFixture:
+    def test_positive_and_negative_lines(self):
+        found = lint_file(FIXTURES / "next_line.py")
+        assert rule_ids(found) == ["RPR001", "RPR001"]
+        lines = sorted(v.line for v in found)
+        source = (FIXTURES / "next_line.py").read_text().splitlines()
+        assert "not_shielded" in source[lines[0] - 1]
+        assert "wrong_rule" in source[lines[1] - 1]
+
+
+class TestUnknownRuleFixture:
+    def test_unknown_ids_become_rpr009(self):
+        found = lint_file(FIXTURES / "unknown_rule.py")
+        unknown = [v for v in found if v.rule == "RPR009"]
+        bad_ids = sorted(v.message.split("'")[1] for v in unknown)
+        assert bad_ids == ["NOTARULE", "RPR998", "RPR999"]
+        assert all("nothing is suppressed" in v.message for v in unknown)
+        assert all(v.severity == "warning" for v in unknown)
+
+    def test_valid_id_in_mixed_list_still_suppresses(self):
+        found = lint_file(FIXTURES / "unknown_rule.py")
+        flagged_lines = {v.line for v in found if v.rule == "RPR001"}
+        source = (FIXTURES / "unknown_rule.py").read_text().splitlines()
+        # `mixed` is shielded by the valid RPR001 in the mixed list
+        assert all("mixed" not in source[line - 1] for line in sorted(flagged_lines))
+        # `value` and `other` are not (their disables were typo'd)
+        assert len(flagged_lines) == 2
+
+    def test_rpr009_is_itself_suppressible(self):
+        src = "x = 1  # repro-lint: disable=RPR009, RPR999 -- known-bad id\n"
+        assert lint_source(src, "tests/snippet.py") == []
