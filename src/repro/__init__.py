@@ -73,7 +73,7 @@ from repro.schedulers import (
     get_entry,
     register,
 )
-from repro.spec import ExperimentSpec, make_env, make_train_env
+from repro.spec import ExperimentSpec, ServeSpec, make_env, make_train_env
 from repro.rl import (
     ReadysAgent,
     AgentConfig,
@@ -91,6 +91,14 @@ from repro.rl import (
     transfer_evaluate,
 )
 from repro.eval import compare_methods, improvement_over, inference_timing
+from repro.policy import (
+    AgentPolicy,
+    DecisionReply,
+    DecisionRequest,
+    InProcessClient,
+    Policy,
+    evaluate_policy,
+)
 
 __all__ = [
     "__version__",
@@ -164,4 +172,12 @@ __all__ = [
     "compare_methods",
     "improvement_over",
     "inference_timing",
+    # policy / serving (transport-neutral; the socket server is repro.serve)
+    "ServeSpec",
+    "Policy",
+    "AgentPolicy",
+    "DecisionRequest",
+    "DecisionReply",
+    "InProcessClient",
+    "evaluate_policy",
 ]

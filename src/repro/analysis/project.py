@@ -44,11 +44,29 @@ ALLOWED_LAYER_DEPS: Dict[str, Set[str]] = {
     "eval": {
         "utils", "obs", "graphs", "platforms", "nn", "sim", "schedulers", "spec", "rl",
     },
+    "policy": {
+        "utils", "obs", "graphs", "platforms", "nn", "sim", "schedulers", "spec", "rl",
+    },
+    "serve": {
+        "utils", "obs", "graphs", "platforms", "nn", "sim", "schedulers", "spec",
+        "rl", "eval", "policy",
+    },
     "analysis": {"utils"},
 }
 
 #: layers exempt from the contract (top of the DAG — may import anything)
 UNCONSTRAINED_LAYERS = {"cli", "__main__", "__init__"}
+
+#: stdlib modules fenced to a single layer.  Everything below ``serve`` is
+#: transport-neutral by design — the Policy API works identically in-process
+#: and over a socket — so the event loop and socket machinery may only be
+#: imported from the ``serve`` layer.  Unlike the layer DAG this applies to
+#: *every* layer, including the otherwise-unconstrained ``cli``.
+RESTRICTED_STDLIB: Dict[str, str] = {
+    "asyncio": "serve",
+    "socket": "serve",
+    "selectors": "serve",
+}
 
 _LAYER_RE = re.compile(r"(?:^|/)repro/([^/]+)")
 
@@ -293,6 +311,7 @@ class ProjectModel:
 
 __all__ = [
     "ALLOWED_LAYER_DEPS",
+    "RESTRICTED_STDLIB",
     "UNCONSTRAINED_LAYERS",
     "ImportRecord",
     "ModuleInfo",

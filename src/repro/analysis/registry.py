@@ -133,14 +133,18 @@ RULES: Dict[str, Rule] = dict(
         _rule(
             "RPR100",
             "layer-contract",
-            "imports must follow the allowed layer-dependency DAG",
+            "imports must follow the allowed layer-dependency DAG, and "
+            "asyncio/socket/selectors may only be imported from serve/",
             rationale="The project model resolves every import (including "
             "`from repro import obs`-style attribute imports and lazy "
             "function-level imports) to a target module and checks the edge "
             "against the allowed DAG over "
             "utils/obs/platforms/graphs/nn/sim/schedulers/spec/rl/eval/"
-            "analysis/cli. Upward or sideways imports couple layers the "
-            "bit-exactness claims need isolated.",
+            "policy/serve/analysis/cli. Upward or sideways imports couple "
+            "layers the bit-exactness claims need isolated. The stdlib "
+            "fence keeps every layer below `repro.serve` transport-neutral "
+            "— the Policy API must behave identically in-process and over "
+            "a socket — and binds even the otherwise-unconstrained cli.",
         ),
         _rule(
             "RPR110",

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set
 from repro.analysis.dataflow import AliasTable, OriginScopes, dotted
 from repro.analysis.project import (
     ALLOWED_LAYER_DEPS,
+    RESTRICTED_STDLIB,
     UNCONSTRAINED_LAYERS,
     ProjectModel,
     layer_of_module,
@@ -492,10 +493,28 @@ FORK_ROOT = "repro.rl.workers"
 
 
 def layer_contract_violations(model: ProjectModel) -> List[Violation]:
-    """RPR100: every resolved in-project import edge against the allowed DAG."""
+    """RPR100: every resolved in-project import edge against the allowed DAG,
+    plus the restricted-stdlib fence (asyncio/socket/selectors → serve only).
+
+    The stdlib fence applies to every layer, including the otherwise
+    unconstrained ``cli``: a CLI that imports asyncio directly would grow a
+    second transport next to :mod:`repro.serve`.
+    """
     violations: List[Violation] = []
     for name in sorted(model.modules):
         info = model.modules[name]
+        for record in info.imports:
+            root = record.target.split(".")[0]
+            only = RESTRICTED_STDLIB.get(root)
+            if only is not None and info.layer != only:
+                violations.append(
+                    Violation(
+                        info.path, record.lineno, record.col, "RPR100",
+                        f"'{root}' may only be imported from the '{only}' "
+                        f"layer — every layer below it is transport-neutral; "
+                        f"go through repro.{only} instead",
+                    )
+                )
         if info.layer in UNCONSTRAINED_LAYERS:
             continue
         allowed = ALLOWED_LAYER_DEPS.get(info.layer)

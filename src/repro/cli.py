@@ -34,7 +34,7 @@ from repro.rl.a2c import A2CConfig
 from repro.rl.trainer import ReadysTrainer, evaluate_agent
 from repro.rl.transfer import load_agent, save_agent
 from repro.schedulers import available, heft_makespan
-from repro.spec import KERNELS, NOISE_MODELS, ExperimentSpec
+from repro.spec import KERNELS, NOISE_MODELS, ExperimentSpec, ServeSpec
 from repro.utils.tables import format_table
 
 
@@ -221,6 +221,8 @@ def cmd_train(args) -> int:
 def cmd_evaluate(args) -> int:
     spec = ExperimentSpec.from_args(args)
     graph, platform, durations, _ = spec.make_instance()
+    if getattr(args, "server", None):
+        return _evaluate_against_server(args, spec, graph, platform, durations)
     agent = load_agent(args.agent)
     engine = (
         agent.enable_compiled(dtype=spec.compiled_dtype) if spec.compiled else None
@@ -238,6 +240,53 @@ def cmd_evaluate(args) -> int:
         f"(HEFT σ=0 plan: {heft:.2f}, ratio {heft / np.mean(mks):.3f})"
     )
     return 0
+
+
+def _evaluate_against_server(args, spec, graph, platform, durations) -> int:
+    """``evaluate --server``: the same episodes, decided remotely."""
+    from repro.policy import evaluate_policy
+    from repro.serve import RemoteClient
+
+    env = spec.make_env()
+    with _observed(args, spec, "evaluate"):
+        with RemoteClient.for_checkpoint(args.server, args.agent) as client:
+            records = evaluate_policy(
+                env, client, episodes=args.runs, seed=spec.seed
+            )
+            stats = client.stats()
+    mks = [r.makespan for r in records]
+    heft = heft_makespan(graph, platform, durations)
+    print(
+        f"readys (served via {args.server}) mean {np.mean(mks):.2f} over "
+        f"{len(mks)} episodes (HEFT σ=0 plan: {heft:.2f}, "
+        f"ratio {heft / np.mean(mks):.3f})"
+    )
+    print(
+        "server: {d:.0f} decisions, mean batch {b:.2f}".format(
+            d=stats.get("decisions_total", 0.0),
+            b=stats.get("mean_batch_size", 0.0),
+        )
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the decision server until SIGTERM/SIGINT, then drain."""
+    from repro.serve import serve_main
+
+    serve_spec = ServeSpec.from_args(args)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        obs.METRICS.reset()
+        obs.METRICS.enabled = True
+    try:
+        return serve_main(
+            serve_spec, checkpoint=args.checkpoint, mode=args.mode
+        )
+    finally:
+        if metrics_path:
+            obs.METRICS.write(metrics_path)
+            obs.METRICS.enabled = False
 
 
 def cmd_report_run(args) -> int:
@@ -335,9 +384,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--agent", required=True)
     p_eval.add_argument("--runs", type=int, default=5)
     p_eval.add_argument("--window", type=int, default=2)
+    p_eval.add_argument(
+        "--server", default=None, metavar="ENDPOINT",
+        help="evaluate against a running decision server instead of "
+             "in-process ('unix:<path>' or 'host:port'); --agent then names "
+             "the checkpoint path as the *server* sees it",
+    )
     _add_compiled_args(p_eval)
     _add_obs_args(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the decision server (drains cleanly on SIGTERM)"
+    )
+    p_serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="agent checkpoint (.npz) preloaded as the "
+                              "default model for {'kind': 'default'} sessions")
+    p_serve.add_argument("--mode", default="greedy",
+                         choices=["greedy", "sample"],
+                         help="decision mode of agent policies")
+    p_serve.add_argument("--host", default=None,
+                         help="TCP bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port (0 = OS-assigned; default 8641)")
+    p_serve.add_argument("--unix-socket", dest="unix_socket", default=None,
+                         metavar="PATH", help="serve on an AF_UNIX socket "
+                         "instead of TCP")
+    p_serve.add_argument("--max-batch", dest="max_batch", type=int,
+                         default=None, help="flush at this many queued "
+                         "requests (1 disables cross-episode batching)")
+    p_serve.add_argument("--max-wait-us", dest="max_wait_us", type=int,
+                         default=None, help="flush an under-full batch after "
+                         "this many microseconds")
+    p_serve.add_argument("--queue-cap", dest="queue_cap", type=int,
+                         default=None, help="pending-request cap; beyond it "
+                         "requests get retry_after replies")
+    p_serve.add_argument("--deadline-ms", dest="deadline_ms", type=float,
+                         default=None, help="default per-request deadline")
+    p_serve.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the serve metrics registry on exit (.csv or .jsonl)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_report = sub.add_parser(
         "report-run", help="render a recorded --trace file as markdown"

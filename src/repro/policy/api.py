@@ -1,0 +1,143 @@
+"""The unified decision surface: the :class:`Policy` protocol.
+
+READYS is an *online* scheduler: at every decision instant something must
+answer "which ready task should this processor start" (paper §III-B).  The
+repo grew several answerers — the trained :class:`~repro.rl.agent.ReadysAgent`,
+the dynamic baseline schedulers, and (since this module) a remote decision
+server — each with its own calling convention.  :class:`Policy` is the one
+interface they all meet:
+
+* ``decide(obs) -> action`` — answer one decision point;
+* ``decide_many(obs_list) -> actions`` — answer a batch of *independent*
+  decision points (possibly from different episodes) in one call.
+
+An action is an index into the observation's action set: ``0..len(ready)-1``
+select the corresponding entry of ``obs.ready_tasks``; ``len(ready)`` is the
+∅ action when ``obs.allow_pass`` is true.
+
+``decide_many`` is the contract that makes scheduling-as-a-service fast:
+the :mod:`repro.serve` micro-batcher collects in-flight requests from many
+client episodes and answers them with one ``decide_many`` — for agent
+policies one block-diagonal :meth:`~repro.rl.agent.ReadysAgent.forward_batch`
+instead of N single forwards.  Implementations must answer each observation
+*independently* (the reply for one request may not depend on which other
+requests shared the batch); stateful policies that cannot batch simply
+inherit the sequential default.
+
+Everything here is transport-neutral: no sockets, no asyncio (those live
+only in :mod:`repro.serve` — enforced by lint rule RPR100).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Protocol, Sequence, runtime_checkable
+
+from repro.sim.state import Observation, action_for_task
+from repro.utils.seeding import SeedLike, as_generator
+
+__all__ = [
+    "AgentPolicy",
+    "Policy",
+    "PolicyBase",
+    "action_for_task",
+    "agent_policy_from_checkpoint",
+    "checkpoint_fingerprint",
+    "policy_fingerprint",
+]
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """Structural interface of every decision maker (agent, baseline, client)."""
+
+    def decide(self, obs: Observation) -> int:
+        """Action index for one decision point."""
+        ...  # pragma: no cover - protocol stub
+
+    def decide_many(self, obs_list: Sequence[Observation]) -> List[int]:
+        """Action indices for a batch of independent decision points."""
+        ...  # pragma: no cover - protocol stub
+
+
+class PolicyBase:
+    """Sequential default: ``decide_many`` loops ``decide``.
+
+    Subclasses override ``decide``; batchable policies (one network pass for
+    the whole batch) additionally override ``decide_many``.
+    """
+
+    def decide(self, obs: Observation) -> int:
+        raise NotImplementedError
+
+    def decide_many(self, obs_list: Sequence[Observation]) -> List[int]:
+        return [self.decide(obs) for obs in obs_list]
+
+
+class AgentPolicy(PolicyBase):
+    """A :class:`~repro.rl.agent.ReadysAgent` behind the :class:`Policy` interface.
+
+    ``mode="greedy"`` (default, the paper's evaluation style) answers with the
+    policy mode; ``mode="sample"`` draws from π(a|s) using ``rng`` — one draw
+    per decision, in request order, so a seeded sampling policy is
+    reproducible for a fixed request sequence.
+
+    ``decide_many`` routes through the agent's batched helpers: one
+    block-diagonal GCN pass answers the whole batch (the mechanism the
+    decision server's cross-episode micro-batching exploits).  Batched greedy
+    answers match the single-observation path action-for-action (pinned by
+    ``tests/rl/test_forward_batch.py``), so micro-batched serving cannot
+    change a schedule.
+    """
+
+    def __init__(
+        self, agent, mode: str = "greedy", rng: SeedLike = None
+    ) -> None:
+        if mode not in ("greedy", "sample"):
+            raise ValueError(f"mode must be 'greedy' or 'sample', got {mode!r}")
+        self.agent = agent
+        self.mode = mode
+        self.rng = as_generator(rng) if mode == "sample" else None
+
+    def decide(self, obs: Observation) -> int:
+        if self.mode == "greedy":
+            return int(self.agent.greedy_action(obs))
+        return int(self.agent.sample_action(obs, self.rng))
+
+    def decide_many(self, obs_list: Sequence[Observation]) -> List[int]:
+        if not obs_list:
+            return []
+        if self.mode == "greedy":
+            return [int(a) for a in self.agent.greedy_actions(list(obs_list))]
+        return [int(a) for a in self.agent.sample_actions(list(obs_list), self.rng)]
+
+
+def agent_policy_from_checkpoint(
+    path: str, mode: str = "greedy", rng: SeedLike = None
+) -> AgentPolicy:
+    """Load a :func:`~repro.rl.transfer.save_agent` checkpoint as a policy."""
+    from repro.rl.transfer import load_agent  # local: keep module import light
+
+    return AgentPolicy(load_agent(path), mode=mode, rng=rng)
+
+
+def checkpoint_fingerprint(path: str) -> str:
+    """Content hash of an agent checkpoint file (the serve model-registry key).
+
+    Sessions opened against byte-identical checkpoints share one loaded
+    model (and therefore one micro-batching group) regardless of the path
+    they named.
+    """
+    resolved = path if path.endswith(".npz") else path + ".npz"
+    digest = hashlib.sha256()
+    with open(resolved, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()[:16]
+
+
+def policy_fingerprint(kind: str, payload: dict) -> str:
+    """Stable fingerprint of a policy description (serve batching-group key)."""
+    blob = json.dumps({"kind": kind, **payload}, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,80 @@
+"""Environment-driven evaluation against any :class:`~repro.policy.api.Policy`.
+
+The loop is deliberately policy-agnostic: the same code evaluates a local
+agent, a baseline-scheduler adapter, an :class:`~repro.policy.clients.InProcessClient`
+or a :class:`~repro.serve.client.RemoteClient` — whatever answers
+``decide(obs)``.  Episodes are seeded individually (children of one root),
+so two evaluations with the same ``(spec, seed)`` replay identical episode
+streams decision-for-decision; the returned records carry the full action
+sequence, which is what the local-vs-remote row-identity tests compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.policy.api import Policy
+from repro.sim.env import SchedulingEnv
+from repro.utils.seeding import SeedLike, spawn_seed_sequences
+
+
+@dataclass(frozen=True)
+class EpisodeRecord:
+    """Full trace of one evaluated episode (the row of row-identity)."""
+
+    makespan: float
+    heft_makespan: float
+    reward: float
+    actions: Tuple[int, ...]
+    """every action taken, in decision order"""
+
+    @property
+    def num_decisions(self) -> int:
+        return len(self.actions)
+
+
+def evaluate_policy(
+    env: SchedulingEnv,
+    policy: Policy,
+    episodes: int = 1,
+    seed: SeedLike = 0,
+    max_decisions: int = 1_000_000,
+) -> List[EpisodeRecord]:
+    """Roll ``episodes`` full episodes of ``env`` under ``policy``.
+
+    Each episode re-seeds the environment with an independent child of
+    ``seed`` (one root, :func:`~repro.utils.seeding.spawn_seed_sequences`),
+    so the episode stream depends only on ``(env instance, seed)`` — not on
+    the policy, prior history, or the transport the policy sits behind.
+    ``max_decisions`` guards against runaway-pass policies.
+    """
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+    records: List[EpisodeRecord] = []
+    reset_policy = getattr(policy, "reset", None)
+    for child in spawn_seed_sequences(seed, episodes):
+        observation = env.reset(seed=child).obs
+        # stateful policies (static-replay cursors, remote sessions) restart
+        # their episode state here; stateless ones simply lack the hook
+        if callable(reset_policy):
+            reset_policy()
+        actions: List[int] = []
+        for _ in range(max_decisions):
+            action = int(policy.decide(observation))
+            actions.append(action)
+            result = env.step(action)
+            if result.done:
+                records.append(
+                    EpisodeRecord(
+                        makespan=float(result.info["makespan"]),
+                        heft_makespan=float(result.info["heft_makespan"]),
+                        reward=float(result.reward),
+                        actions=tuple(actions),
+                    )
+                )
+                break
+            observation = result.obs
+        else:
+            raise RuntimeError(f"episode exceeded {max_decisions} decisions")
+    return records

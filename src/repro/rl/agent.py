@@ -549,7 +549,13 @@ class ReadysAgent(Module):
     def greedy_actions(
         self, obs_list: Sequence[Observation], compiled: bool = True
     ) -> np.ndarray:
-        """Batched :meth:`greedy_action` — deterministic evaluation at scale."""
+        """Batched :meth:`greedy_action` — deterministic evaluation at scale.
+
+        One block-diagonal forward answers every observation; the batch may
+        mix decision points from unrelated episodes.  This is the primitive
+        behind ``repro.policy.AgentPolicy.decide_many`` and therefore behind
+        the decision server's cross-episode micro-batching (DESIGN.md §13).
+        """
         if len(obs_list) == 1:
             return np.array(
                 [self.greedy_action(obs_list[0], compiled=compiled)], dtype=np.int64

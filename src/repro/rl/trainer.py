@@ -22,7 +22,6 @@ gym-style ``infos[k]["terminal_observation"]`` alongside the auto-reset.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
@@ -112,8 +111,9 @@ class ReadysTrainer:
     entrypoint (it also dispatches to the multiprocess
     :class:`~repro.rl.workers.ParallelRolloutTrainer` when
     ``spec.workers > 1``), and :meth:`from_components` composes a trainer
-    from pre-built parts.  Calling ``ReadysTrainer(env, ...)`` directly still
-    works as a deprecated loose-kwarg shim.
+    from pre-built parts.  The historical loose-kwarg ``ReadysTrainer(env,
+    ...)`` ctor was deprecated in the spec-first release and is now a
+    ``TypeError`` — call a factory.
 
     ``env`` may be a single :class:`SchedulingEnv` (wrapped into a K=1
     :class:`VecSchedulingEnv`) or a pre-built ``VecSchedulingEnv`` whose K
@@ -130,12 +130,12 @@ class ReadysTrainer:
         _via_factory: bool = False,
     ) -> None:
         if not _via_factory:
-            warnings.warn(
-                "constructing ReadysTrainer(env, ...) directly is deprecated; "
-                "use ReadysTrainer.from_spec(spec) or "
-                "ReadysTrainer.from_components(env, ...)",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "constructing ReadysTrainer(env, ...) directly was removed "
+                "after its deprecation period; migrate to "
+                "ReadysTrainer.from_spec(spec) for spec-described runs or "
+                "ReadysTrainer.from_components(env, agent=..., config=..., "
+                "rng=...) for pre-built parts"
             )
         if isinstance(env, VecSchedulingEnv):
             self.vec_env = env

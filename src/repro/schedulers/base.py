@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.sim.engine import Simulation
+from repro.sim.state import Observation, action_for_task
 from repro.utils.seeding import SeedLike, as_generator
 
 
@@ -32,6 +33,12 @@ class DynamicScheduler(abc.ABC):
     """Processor-driven scheduler: choose a ready task for an idle processor."""
 
     name = "dynamic"
+
+    #: True when :meth:`decide_observation` is implemented — the scheduler can
+    #: answer decisions from an :class:`~repro.sim.state.Observation` alone
+    #: (no simulator handle), which is what makes it servable behind the
+    #: Policy API / the decision server.
+    servable = False
 
     def reset(self, sim: Simulation) -> None:
         """Called once before an episode; default is stateless."""
@@ -44,6 +51,97 @@ class DynamicScheduler(abc.ABC):
         next completion event"; returning ``None`` when nothing is running
         and tasks are ready is a scheduler bug (the driver raises).
         """
+
+    # -- Policy-adapter surface ----------------------------------------- #
+
+    def reset_observation(self) -> None:
+        """Reset observation-mode episode state; default is stateless.
+
+        The observation-driven counterpart of :meth:`reset` — called by
+        :meth:`SchedulerPolicy.reset` at episode starts when no simulator is
+        bound (e.g. per served session).
+        """
+
+    def decide_observation(self, observation: Observation) -> Optional[int]:
+        """Choose a ready task (or ``None`` = idle) from an observation alone.
+
+        Override in schedulers whose decision depends only on what an
+        observation carries (the enriched window features, the ready set and
+        the current processor) and set ``servable = True``; the base
+        implementation raises because a generic scheduler needs full
+        simulator state.  The contract mirrors :meth:`select`: returned task
+        ids must come from ``observation.ready_tasks``, and overrides must
+        reproduce :meth:`select`'s choice exactly on observations built from
+        the same simulator state — that equivalence is what makes served
+        baselines row-identical to their in-process runs.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot decide from an observation alone "
+            "(it needs full simulator state); bind a simulation with "
+            "as_policy(sim=...) for in-process use, or serve a scheduler "
+            "that overrides decide_observation()."
+        )
+
+    def as_policy(self, sim: Optional[Simulation] = None) -> "SchedulerPolicy":
+        """This scheduler behind the unified Policy interface.
+
+        With ``sim`` the adapter answers from full simulator state
+        (:meth:`select`); without it, from observations alone
+        (:meth:`decide_observation` — requires ``servable``).
+        """
+        return SchedulerPolicy(self, sim=sim)
+
+
+class SchedulerPolicy:
+    """A :class:`DynamicScheduler` behind the ``Policy`` protocol.
+
+    The adapter that unifies the repo's two decision surfaces: baseline
+    schedulers answer ``decide(obs) -> action`` exactly like a trained agent,
+    so the same evaluation loop / client / server code drives either (the
+    one-interface rule, DESIGN.md §13).  The scheduler's task-id-or-``None``
+    choice is mapped onto the observation's action indexing by
+    :func:`~repro.sim.state.action_for_task` (``None`` → the ∅ action).
+
+    Two binding modes:
+
+    * **sim-bound** (``sim`` given): ``decide`` ignores everything in the
+      observation except ``current_proc`` and delegates to
+      ``scheduler.select(sim, proc)`` — works for *every* scheduler, but only
+      in the process that owns the simulation;
+    * **observation-only** (``sim=None``): ``decide`` delegates to
+      ``scheduler.decide_observation(obs)`` — transport-neutral, the mode the
+      decision server uses for servable baselines.
+    """
+
+    def __init__(
+        self, scheduler: DynamicScheduler, sim: Optional[Simulation] = None
+    ) -> None:
+        if sim is None and not scheduler.servable:
+            raise ValueError(
+                f"scheduler {scheduler.name!r} is not observation-servable; "
+                "pass sim=... to bind it to a live simulation"
+            )
+        self.scheduler = scheduler
+        self.sim = sim
+
+    def reset(self, sim: Optional[Simulation] = None) -> None:
+        """Start a new episode (rebinds ``sim`` when given)."""
+        if sim is not None:
+            self.sim = sim
+        if self.sim is not None:
+            self.scheduler.reset(self.sim)
+        else:
+            self.scheduler.reset_observation()
+
+    def decide(self, observation: Observation) -> int:
+        if self.sim is not None:
+            task = self.scheduler.select(self.sim, int(observation.current_proc))
+        else:
+            task = self.scheduler.decide_observation(observation)
+        return action_for_task(observation, task)
+
+    def decide_many(self, obs_list: Sequence[Observation]) -> List[int]:
+        return [self.decide(observation) for observation in obs_list]
 
 
 def run_dynamic(

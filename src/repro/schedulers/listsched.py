@@ -19,10 +19,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.platforms.resources import NUM_RESOURCE_TYPES
 from repro.schedulers.base import DynamicScheduler, run_dynamic
 from repro.schedulers.heft import upward_rank
 from repro.schedulers.registry import register
 from repro.sim.engine import Simulation
+from repro.sim.state import NUM_DYNAMIC_FEATURES, Observation
 from repro.utils.seeding import SeedLike, as_generator
 
 
@@ -30,6 +32,7 @@ class RandomScheduler(DynamicScheduler):
     """Uniformly random ready-task selection (never idles voluntarily)."""
 
     name = "random"
+    servable = True
 
     def __init__(self, rng: SeedLike = None) -> None:
         self.rng = as_generator(rng)
@@ -40,11 +43,17 @@ class RandomScheduler(DynamicScheduler):
             return None
         return int(self.rng.choice(ready))
 
+    def decide_observation(self, observation: Observation) -> Optional[int]:
+        # same draw as select(): choice over the ascending ready set — a
+        # seeded instance answers identically on either surface
+        return int(self.rng.choice(np.asarray(observation.ready_tasks)))
+
 
 class GreedyScheduler(DynamicScheduler):
     """Shortest-expected-duration-on-this-processor ready task."""
 
     name = "greedy-eft"
+    servable = True
 
     def select(self, sim: Simulation, proc: int) -> Optional[int]:
         ready = sim.ready_tasks()
@@ -53,6 +62,18 @@ class GreedyScheduler(DynamicScheduler):
         rtype = sim.platform.type_of(proc)
         exp = sim.durations.expected_vector(sim.graph.task_types[ready])[:, rtype]
         return int(ready[np.argmin(exp)])
+
+    def decide_observation(self, observation: Observation) -> Optional[int]:
+        # The enriched features carry exactly the quantity select() computes:
+        # the "expected duration on the current processor" column is the
+        # per-type expected duration divided by one positive per-instance
+        # scale, and ready rows appear in the same ascending task order as
+        # sim.ready_tasks() — so argmin (first-minimum tie-break included)
+        # picks the identical task.
+        raw_width = observation.features.shape[1] - NUM_DYNAMIC_FEATURES
+        col_exp_current = raw_width + NUM_RESOURCE_TYPES + 1
+        exp = observation.features[observation.ready_positions, col_exp_current]
+        return int(observation.ready_tasks[int(np.argmin(exp))])
 
 
 class RankPriorityScheduler(DynamicScheduler):
@@ -105,7 +126,9 @@ class RankPriorityScheduler(DynamicScheduler):
 
 
 @register("random", cls=RandomScheduler,
-          description="uniform random ready task")
+          description="uniform random ready task",
+          make_policy=lambda spec=None, rng=None:
+          RandomScheduler(rng=rng).as_policy())
 def run_random(sim: Simulation, rng: SeedLike = None) -> float:
     """Random scheduling baseline; returns the makespan."""
     rng = as_generator(rng)

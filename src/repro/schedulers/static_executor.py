@@ -31,6 +31,7 @@ class StaticOrderScheduler(DynamicScheduler):
     """
 
     name = "static-replay"
+    servable = True
 
     def __init__(self, schedule: StaticSchedule) -> None:
         self.schedule = schedule
@@ -38,6 +39,10 @@ class StaticOrderScheduler(DynamicScheduler):
 
     def reset(self, sim: Simulation) -> None:
         self._cursor = np.zeros(sim.platform.num_processors, dtype=np.int64)
+
+    def reset_observation(self) -> None:
+        # the plan itself fixes the processor count — no simulator needed
+        self._cursor = np.zeros(len(self.schedule.proc_order), dtype=np.int64)
 
     def select(self, sim: Simulation, proc: int) -> Optional[int]:
         assert self._cursor is not None, "reset() must run before select()"
@@ -47,6 +52,21 @@ class StaticOrderScheduler(DynamicScheduler):
             return None
         task = order[pos]
         if sim.ready[task]:
+            self._cursor[proc] += 1
+            return task
+        return None
+
+    def decide_observation(self, observation) -> Optional[int]:
+        if self._cursor is None:
+            self.reset_observation()
+        proc = int(observation.current_proc)
+        order = self.schedule.proc_order[proc]
+        pos = int(self._cursor[proc])
+        if pos >= len(order):
+            return None
+        task = int(order[pos])
+        # ready membership: observation.ready_tasks is the full ready set
+        if np.any(np.asarray(observation.ready_tasks) == task):
             self._cursor[proc] += 1
             return task
         return None
@@ -123,7 +143,30 @@ def run_static_vec(
     return np.asarray([m.makespan for m in vec.members])
 
 
-@register("heft", description="static HEFT plan, replayed dynamically")
+def make_heft_policy(spec=None, rng=None):
+    """Policy factory for ``heft``: plan from the spec's instance, then replay.
+
+    HEFT is static — its plan needs the whole graph, which no observation
+    carries — so the served form is *spec-bound*: the factory rebuilds the
+    (deterministic) instance from the experiment spec, plans once, and wraps
+    a :class:`StaticOrderScheduler` whose per-processor cursors advance with
+    the served episode.  One factory call per session keeps cursors isolated.
+    """
+    if spec is None:
+        raise ValueError(
+            "serving 'heft' needs an experiment spec: the static plan is "
+            "computed from the instance, which observations do not carry"
+        )
+    graph, platform, durations, _noise = spec.make_instance()
+    policy = StaticOrderScheduler(
+        heft_schedule(graph, platform, durations)
+    ).as_policy()
+    policy.reset()
+    return policy
+
+
+@register("heft", description="static HEFT plan, replayed dynamically",
+          make_policy=make_heft_policy)
 def run_heft(sim: Simulation, rng: SeedLike = None) -> float:
     """Plan with HEFT on expected durations, then execute under sim's noise."""
     schedule = heft_schedule(sim.graph, sim.platform, sim.durations)

@@ -67,12 +67,17 @@ class FIFOScheduler(DynamicScheduler):
     """Starts the lowest-id ready task on whichever processor asks."""
 
     name = "fifo"
+    servable = True
 
     def select(self, sim: Simulation, proc: int) -> Optional[int]:
         ready = sim.ready_tasks()
         if ready.size == 0:
             return None
         return int(ready.min())
+
+    def decide_observation(self, observation) -> Optional[int]:
+        # observation.ready_tasks is exactly sim.ready_tasks(): same minimum
+        return int(np.min(np.asarray(observation.ready_tasks)))
 
 
 @register("sufferage", cls=SufferageScheduler,

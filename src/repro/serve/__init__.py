@@ -1,0 +1,24 @@
+"""``repro.serve`` — scheduling-as-a-service.
+
+The socket transport over the :mod:`repro.policy` API: an asyncio
+:class:`DecisionServer` with cross-episode micro-batching, and the
+synchronous :class:`RemoteClient` that exposes the identical client surface
+as :class:`repro.policy.clients.InProcessClient`.
+
+This is the **only** layer of the project allowed to import ``asyncio`` /
+``socket`` (lint rule RPR100); everything below it is transport-neutral.
+"""
+
+from repro.serve.client import RemoteClient, ServeError
+from repro.serve.protocol import MAX_FRAME, FrameError, parse_endpoint
+from repro.serve.server import DecisionServer, serve_main
+
+__all__ = [
+    "DecisionServer",
+    "FrameError",
+    "MAX_FRAME",
+    "RemoteClient",
+    "ServeError",
+    "parse_endpoint",
+    "serve_main",
+]

@@ -96,6 +96,31 @@ class Observation:
         return self.features.shape[0]
 
 
+def action_for_task(obs: Observation, task: Optional[int]) -> int:
+    """Map a scheduler-style choice (task id or ``None`` = idle) to an action.
+
+    The inverse of the observation's action indexing: ``None`` maps to the ∅
+    action (requires ``obs.allow_pass``), a task id maps to its position in
+    ``obs.ready_tasks``.  Raises ``ValueError`` for a task outside the ready
+    set and for ∅ where passing is illegal — surfacing scheduler bugs at the
+    decision instead of deadlocking the episode later.
+    """
+    if task is None:
+        if not obs.allow_pass:
+            raise ValueError(
+                "scheduler chose to idle but the ∅ action is illegal here "
+                "(nothing running and no other processor left to ask)"
+            )
+        return int(len(obs.ready_tasks))
+    matches = np.flatnonzero(np.asarray(obs.ready_tasks) == int(task))
+    if matches.size == 0:
+        raise ValueError(
+            f"scheduler chose task {task} which is not ready "
+            f"(ready set: {np.asarray(obs.ready_tasks).tolist()})"
+        )
+    return int(matches[0])
+
+
 class StateBuilder:
     """Builds :class:`Observation` objects from a live :class:`Simulation`.
 

@@ -10,6 +10,7 @@ carries its full instance description and can be re-materialised with
 
 from __future__ import annotations
 
+import difflib
 import json
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Optional, Tuple
@@ -190,6 +191,110 @@ class ExperimentSpec:
         return VecSchedulingEnv(
             [self.make_env(rng=rng) for rng in spawn_generators(self.seed, self.num_envs)]
         )
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Declarative description of one decision-server deployment.
+
+    The sibling of :class:`ExperimentSpec` for the serving surface
+    (:mod:`repro.serve`): transport endpoint plus the micro-batching,
+    backpressure and deadline knobs, with the same JSON round-trip
+    guarantees.  One deliberate difference: :meth:`from_dict` **rejects**
+    unknown keys (with a did-you-mean hint) instead of ignoring them — a
+    typo'd batching knob silently falling back to its default would change
+    latency behaviour without any visible error, whereas the experiment
+    spec's extra keys are just trace-header metadata.
+    """
+
+    host: str = "127.0.0.1"
+    """TCP bind address (loopback by default — the server is not hardened
+    for untrusted networks)"""
+    port: int = 8641
+    """TCP port; 0 lets the OS pick (the bound port is logged/returned)"""
+    unix_socket: Optional[str] = None
+    """filesystem path for an AF_UNIX endpoint; when set it replaces TCP"""
+    max_batch: int = 32
+    """flush the decision queue at this many collected requests (1 disables
+    cross-episode batching — every request answered by its own forward)"""
+    max_wait_us: int = 2000
+    """flush an under-full batch after this many microseconds"""
+    queue_cap: int = 256
+    """pending-request cap; arrivals beyond it get RETRY_AFTER replies"""
+    deadline_ms: float = 1000.0
+    """default per-request deadline; requests may lower (not raise) it"""
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.unix_socket is not None and not isinstance(self.unix_socket, str):
+            raise ValueError(
+                f"unix_socket must be None or a path, got {self.unix_socket!r}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.queue_cap < 1:
+            raise ValueError(f"queue_cap must be >= 1, got {self.queue_cap}")
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+
+    # ------------------------------------------------------------------ #
+    # conversions (mirroring ExperimentSpec, with strict unknown keys)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_args(cls, args: Any) -> "ServeSpec":
+        """Build from an argparse namespace (or any attribute bag)."""
+        kwargs = {
+            f.name: getattr(args, f.name)
+            for f in fields(cls)
+            if getattr(args, f.name, None) is not None and hasattr(args, f.name)
+        }
+        return cls(**kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeSpec":
+        """Inverse of :meth:`to_dict`; **unknown keys are an error**.
+
+        The error names the closest real field when one is plausible::
+
+            ServeSpec.from_dict({"max_batchs": 8})
+            ValueError: unknown ServeSpec key 'max_batchs' — did you mean 'max_batch'?
+        """
+        names = [f.name for f in fields(cls)]
+        for key in data:
+            if key not in names:
+                close = difflib.get_close_matches(key, names, n=1)
+                hint = f" — did you mean {close[0]!r}?" if close else (
+                    f"; valid keys: {', '.join(names)}"
+                )
+                raise ValueError(f"unknown ServeSpec key {key!r}{hint}")
+        return cls(**data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ServeSpec":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"spec JSON must decode to an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+    def to_json(self) -> str:
+        """The spec as a JSON object string (round-trips via :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def replace(self, **changes: Any) -> "ServeSpec":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        return ServeSpec(**{**self.to_dict(), **changes})
 
 
 # ---------------------------------------------------------------------- #

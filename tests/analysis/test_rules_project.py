@@ -193,6 +193,69 @@ class TestForkState:
         assert lint_source(src, "src/repro/eval/mod.py") == []
 
 
+class TestRestrictedStdlib:
+    """RPR100's stdlib fence: asyncio/socket/selectors belong to serve/ only."""
+
+    @staticmethod
+    def model_of(*sources):
+        from repro.analysis.project import ProjectModel
+
+        return ProjectModel.from_sources(
+            [(path, ast.parse(src)) for path, src in sources]
+        )
+
+    def test_asyncio_outside_serve_flagged(self):
+        model = self.model_of(
+            ("src/repro/sim/loop.py", "import asyncio\n"),
+        )
+        found = layer_contract_violations(model)
+        assert rule_ids(found) == ["RPR100"]
+        assert "'asyncio' may only be imported from the 'serve' layer" in (
+            found[0].message
+        )
+
+    def test_fence_binds_unconstrained_cli(self):
+        model = self.model_of(
+            ("src/repro/cli.py", "import socket\n"),
+        )
+        assert rule_ids(layer_contract_violations(model)) == ["RPR100"]
+
+    def test_serve_layer_is_allowed(self):
+        model = self.model_of(
+            ("src/repro/serve/server.py", "import asyncio\nimport socket\n"),
+            ("src/repro/serve/client.py", "import socket\nimport selectors\n"),
+        )
+        assert layer_contract_violations(model) == []
+
+    def test_lazy_and_from_imports_are_fenced_too(self):
+        model = self.model_of(
+            (
+                "src/repro/rl/mod.py",
+                "def f():\n    from socket import create_connection\n",
+            ),
+        )
+        assert rule_ids(layer_contract_violations(model)) == ["RPR100"]
+
+    def test_lookalike_names_pass(self):
+        model = self.model_of(
+            ("src/repro/sim/mod.py", "import socketserver_shim\n"),
+        )
+        assert layer_contract_violations(model) == []
+
+    def test_real_tree_respects_the_fence(self):
+        # drive the full analyzer over the actual src/ tree: the only
+        # asyncio/socket importers must live in repro/serve/
+        report = analyze_paths(
+            [Path(__file__).resolve().parents[2] / "src"],
+            exclude=("__pycache__",),
+        )
+        fence = [
+            v for v in report.violations
+            if v.rule == "RPR100" and "transport-neutral" in v.message
+        ]
+        assert fence == []
+
+
 class TestMiniprojIntegration:
     def test_expected_findings_and_nothing_else(self):
         report = analyze_miniproj()

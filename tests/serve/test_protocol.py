@@ -1,0 +1,71 @@
+"""NDJSON framing and the endpoint grammar."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    parse_endpoint,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"op": "decide", "seq": 3, "x": [1.0 / 3.0, 0.1]}
+        line = encode_frame(payload)
+        assert line.endswith(b"\n")
+        assert decode_frame(line) == payload
+
+    def test_compact_one_line(self):
+        line = encode_frame({"op": "ping", "nested": {"a": [1, 2]}})
+        assert line.count(b"\n") == 1
+        assert b" " not in line  # compact separators
+
+    def test_floats_round_trip_bitwise(self):
+        values = [0.1, 1.0 / 3.0, 1e-300, 2.0 / 7.0]
+        back = decode_frame(encode_frame({"op": "x", "v": values}))
+        assert back["v"] == values  # shortest-repr JSON is exact
+
+    def test_encode_oversize_raises(self):
+        with pytest.raises(FrameError, match="MAX_FRAME"):
+            encode_frame({"op": "x", "blob": "a" * MAX_FRAME})
+
+    def test_decode_oversize_raises(self):
+        with pytest.raises(FrameError, match="MAX_FRAME"):
+            decode_frame(b"a" * (MAX_FRAME + 1))
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(FrameError, match="malformed"):
+            decode_frame(b"not json at all\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(FrameError, match="object"):
+            decode_frame(json.dumps([1, 2]).encode() + b"\n")
+
+    def test_decode_rejects_missing_op(self):
+        with pytest.raises(FrameError, match="'op'"):
+            decode_frame(b'{"seq": 1}\n')
+
+
+class TestEndpointGrammar:
+    def test_unix(self):
+        assert parse_endpoint("unix:/tmp/x.sock") == (None, None, "/tmp/x.sock")
+
+    def test_tcp(self):
+        assert parse_endpoint("10.0.0.5:8641") == ("10.0.0.5", 8641, None)
+
+    def test_omitted_host_is_loopback(self):
+        assert parse_endpoint(":9000") == ("127.0.0.1", 9000, None)
+
+    def test_empty_unix_path_rejected(self):
+        with pytest.raises(ValueError, match="path"):
+            parse_endpoint("unix:")
+
+    def test_garbage_rejected(self):
+        for bad in ("no-port", "host:", "host:abc"):
+            with pytest.raises(ValueError, match="endpoint"):
+                parse_endpoint(bad)

@@ -1,0 +1,114 @@
+"""The ``repro serve`` CLI as a real subprocess: startup, SIGTERM drain,
+and ``repro evaluate --server`` against it (the CI serve-smoke pair)."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.policy import AgentPolicy, InProcessClient, evaluate_policy
+from repro.rl.transfer import load_agent
+from repro.serve.client import RemoteClient
+from repro.sim.env import SchedulingEnv
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def make_env(tiles=3, rng=0):
+    return SchedulingEnv(
+        cholesky_dag(tiles), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(),
+        window=2, rng=rng,
+    )
+
+
+def spawn_server(sock_path, checkpoint, *extra):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--unix-socket", sock_path,
+            "--checkpoint", checkpoint,
+            "--max-batch", "8",
+            *extra,
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if os.path.exists(sock_path):
+            return proc
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise RuntimeError(f"server died at startup:\n{out}\n{err}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server socket never appeared")
+
+
+@pytest.mark.slow
+def test_serve_smoke_two_clients_then_sigterm_drain(
+    tmp_path, trained_checkpoint
+):
+    """The CI serve-smoke scenario: an episode pair, row-equality, drain."""
+    sock = str(tmp_path / "smoke.sock")
+    proc = spawn_server(sock, trained_checkpoint)
+    try:
+        endpoint = f"unix:{sock}"
+        local_policy = InProcessClient(
+            AgentPolicy(load_agent(trained_checkpoint))
+        )
+        for seed in (0, 1):  # two independent client episodes
+            local = evaluate_policy(
+                make_env(), local_policy, episodes=1, seed=seed
+            )
+            with RemoteClient(endpoint) as client:
+                remote = evaluate_policy(
+                    make_env(), client, episodes=1, seed=seed
+                )
+            assert remote == local
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+    assert proc.returncode == 0, err
+    assert "serving on unix:" in out
+    assert "drained:" in out
+
+
+@pytest.mark.slow
+def test_evaluate_cli_against_a_live_server(tmp_path, trained_checkpoint):
+    sock = str(tmp_path / "eval.sock")
+    proc = spawn_server(sock, trained_checkpoint)
+    try:
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "evaluate",
+                "--tiles", "3",
+                "--agent", trained_checkpoint,
+                "--runs", "2",
+                "--server", f"unix:{sock}",
+            ],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert f"served via unix:{sock}" in result.stdout
+        assert "server:" in result.stdout  # decisions + mean batch line
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=30)
+    assert proc.returncode == 0

@@ -1,0 +1,411 @@
+"""DecisionServer end-to-end: row-identity, concurrency, robustness."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.durations import CHOLESKY_DURATIONS
+from repro.obs import clock
+from repro.platforms.noise import NoNoise
+from repro.platforms.resources import Platform
+from repro.policy import (
+    AgentPolicy,
+    InProcessClient,
+    evaluate_policy,
+)
+from repro.rl.transfer import load_agent
+from repro.schedulers import registry
+from repro.serve import protocol
+from repro.serve.client import RemoteClient, ServeError
+from repro.serve.server import DecisionServer, _Session
+from repro.sim.env import SchedulingEnv
+from repro.spec import ExperimentSpec, ServeSpec
+from repro.policy.codec import DecisionRequest, encode_request
+
+
+def make_env(tiles=3, rng=0):
+    return SchedulingEnv(
+        cholesky_dag(tiles), Platform(2, 2), CHOLESKY_DURATIONS, NoNoise(),
+        window=2, rng=rng,
+    )
+
+
+def raw_connect(endpoint):
+    _, _, path = protocol.parse_endpoint(endpoint)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10)
+    sock.connect(path)
+    return sock
+
+
+class TestProtocolSurface:
+    def test_ping_pong_and_stats(self, serve_factory):
+        running = serve_factory()
+        with raw_connect(running.endpoint) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b'{"op":"ping"}\n')
+            fh.flush()
+            assert json.loads(fh.readline()) == {"op": "pong"}
+            fh.write(b'{"op":"stats"}\n')
+            fh.flush()
+            stats = json.loads(fh.readline())
+            assert stats["op"] == "stats_reply"
+            assert stats["sessions"] == 0
+            assert stats["draining"] is False
+
+    def test_malformed_frame_errors_and_closes(self, serve_factory):
+        running = serve_factory()
+        with raw_connect(running.endpoint) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b"this is not json\n")
+            fh.flush()
+            reply = json.loads(fh.readline())
+            assert reply["op"] == "error"
+            assert "malformed" in reply["detail"]
+            assert fh.readline() == b""  # connection closed
+
+    def test_unknown_op_is_reported_without_closing(self, serve_factory):
+        running = serve_factory()
+        with raw_connect(running.endpoint) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b'{"op":"teleport"}\n{"op":"ping"}\n')
+            fh.flush()
+            assert "teleport" in json.loads(fh.readline())["detail"]
+            assert json.loads(fh.readline()) == {"op": "pong"}
+
+    def test_oversized_frame_errors_and_closes(self, serve_factory):
+        running = serve_factory()
+        with raw_connect(running.endpoint) as sock:
+            blob = b"a" * (protocol.MAX_FRAME + 4096) + b"\n"
+            try:
+                sock.sendall(blob)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # server already gave up on us mid-send
+            fh = sock.makefile("rb")
+            try:
+                line = fh.readline()
+            except ConnectionResetError:
+                return
+            if line:
+                reply = json.loads(line)
+                assert reply["op"] == "error"
+                assert "exceeds" in reply["detail"]
+            assert fh.readline() == b""
+
+    def test_open_unknown_scheduler_is_rejected(self, serve_factory):
+        running = serve_factory()
+        with pytest.raises(ServeError, match="unknown scheduler"):
+            RemoteClient.for_scheduler(running.endpoint, "definitely-not-real")
+
+    def test_open_unservable_scheduler_lists_the_servable_set(
+        self, serve_factory
+    ):
+        running = serve_factory()
+        with pytest.raises(ServeError, match="servable"):
+            RemoteClient.for_scheduler(running.endpoint, "mct")
+
+    def test_open_default_without_checkpoint_fails(self, serve_factory):
+        running = serve_factory()
+        with pytest.raises(ServeError, match="checkpoint"):
+            RemoteClient(running.endpoint)
+
+
+class TestRowIdentity:
+    def test_served_baseline_matches_in_process(self, serve_factory):
+        running = serve_factory()
+        local = evaluate_policy(
+            make_env(),
+            InProcessClient(registry.get_policy("greedy-eft")),
+            episodes=3,
+            seed=11,
+        )
+        with RemoteClient.for_scheduler(running.endpoint, "greedy-eft") as client:
+            remote = evaluate_policy(make_env(), client, episodes=3, seed=11)
+        assert remote == local  # makespans, rewards and full action rows
+
+    def test_served_checkpoint_matches_in_process(
+        self, serve_factory, trained_checkpoint
+    ):
+        running = serve_factory(checkpoint=trained_checkpoint)
+        local = evaluate_policy(
+            make_env(),
+            InProcessClient(AgentPolicy(load_agent(trained_checkpoint))),
+            episodes=3,
+            seed=5,
+        )
+        # both admission paths must resolve to the same loaded model
+        with RemoteClient(running.endpoint) as client:
+            via_default = evaluate_policy(make_env(), client, episodes=3, seed=5)
+        with RemoteClient.for_checkpoint(
+            running.endpoint, trained_checkpoint
+        ) as client:
+            via_path = evaluate_policy(make_env(), client, episodes=3, seed=5)
+        assert via_default == local
+        assert via_path == local
+        assert len(running.server._models) == 1  # shared by content hash
+
+    def test_decide_many_pipelining_matches_sequential(self, serve_factory):
+        running = serve_factory()
+        env = make_env()
+        obs = env.reset(seed=0).obs
+        with RemoteClient.for_scheduler(running.endpoint, "greedy-eft") as client:
+            batched = client.decide_many([obs] * 16)
+            sequential = [client.decide(obs) for _ in range(16)]
+        assert batched == sequential
+
+
+class TestConcurrencySoak:
+    def test_concurrent_clients_match_sequential_in_process(self, serve_factory):
+        """N concurrent remote episodes, each bit-identical to its local twin.
+
+        Clients interleave on the server and share micro-batches; grouping
+        must still answer every episode exactly as a sequential in-process
+        evaluation of the same (env, seed) would.
+        """
+        n_clients, episodes = 6, 2
+        expected = [
+            evaluate_policy(
+                make_env(),
+                InProcessClient(registry.get_policy("greedy-eft")),
+                episodes=episodes,
+                seed=seed,
+            )
+            for seed in range(n_clients)
+        ]
+        running = serve_factory()
+        results = [None] * n_clients
+        errors = []
+
+        def run(seed):
+            try:
+                with RemoteClient.for_scheduler(
+                    running.endpoint, "greedy-eft"
+                ) as client:
+                    results[seed] = evaluate_policy(
+                        make_env(), client, episodes=episodes, seed=seed
+                    )
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append((seed, exc))
+
+        threads = [
+            threading.Thread(target=run, args=(seed,))
+            for seed in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors, errors
+        assert results == expected
+        decisions = sum(
+            record.num_decisions for rows in expected for record in rows
+        )
+        assert running.server.counters["decisions_total"] == decisions
+
+
+class TestSessionLifecycle:
+    def test_disconnect_frees_sessions(self, serve_factory):
+        running = serve_factory()
+        env = make_env()
+        obs = env.reset(seed=0).obs
+        client = RemoteClient.for_scheduler(running.endpoint, "greedy-eft")
+        client.decide(obs)
+        # abrupt disconnect: no close_session frame, just a dead socket
+        # (makefile() dups the fd — both must close for the FIN to go out)
+        client._file.close()
+        client._sock.close()
+        with RemoteClient.for_scheduler(running.endpoint, "fifo") as probe:
+            for _ in range(100):
+                if probe.stats()["sessions"] == 1:  # only the probe remains
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("disconnected session was never freed")
+
+    def test_decide_on_closed_session_is_an_error_reply(self, serve_factory):
+        running = serve_factory()
+        env = make_env()
+        obs = env.reset(seed=0).obs
+        client = RemoteClient.for_scheduler(running.endpoint, "greedy-eft")
+        sid = client._session
+        client.close()
+        with RemoteClient.for_scheduler(running.endpoint, "fifo") as probe:
+            probe._session = sid  # impersonate the closed session
+            with pytest.raises(ServeError, match="unknown session"):
+                probe.decide(obs)
+
+    def test_reset_restarts_a_static_replay_session(self, serve_factory):
+        running = serve_factory()
+        spec = ExperimentSpec(tiles=3)
+        with RemoteClient.for_scheduler(
+            running.endpoint, "heft", spec=spec
+        ) as client:
+            first = evaluate_policy(spec.make_env(), client, episodes=2, seed=0)
+            second = evaluate_policy(spec.make_env(), client, episodes=2, seed=0)
+        assert first == second  # replay cursor rewound by reset each episode
+
+
+class TestQueueSemantics:
+    """Deterministic unit drills of the enqueue/flush machinery."""
+
+    class StubWriter:
+        def __init__(self):
+            self.lines = []
+
+        def is_closing(self):
+            return False
+
+        def write(self, data):
+            self.lines.append(data)
+
+        def replies(self):
+            return [json.loads(line) for line in self.lines]
+
+    @staticmethod
+    def decide_frame(obs, seq=1, deadline_ms=None):
+        payload = encode_request(
+            DecisionRequest(
+                session="s1", seq=seq, obs=obs, deadline_ms=deadline_ms
+            )
+        )
+        payload["op"] = protocol.OP_DECIDE
+        return payload
+
+    def drill(self, coro_fn, spec=None):
+        import asyncio
+
+        async def main():
+            server = DecisionServer(spec or ServeSpec())
+            server._queue_event = asyncio.Event()
+            server._sessions["s1"] = _Session(
+                "s1", registry.get_policy("greedy-eft"), "sched:greedy-eft:0"
+            )
+            writer = self.StubWriter()
+            await coro_fn(server, writer)
+            return server, writer
+
+        return asyncio.run(main())
+
+    def test_expired_deadline_gets_a_timeout_reply(self):
+        obs = make_env().reset(seed=0).obs
+        cell = {"t": 0.0}
+        clock.set_clock(lambda: cell["t"])
+        try:
+
+            async def scenario(server, writer):
+                server._handle_decide(self.decide_frame(obs, deadline_ms=50.0), writer)
+                assert len(server._queue) == 1
+                cell["t"] = 1.0  # well past the 50ms deadline
+                server._flush([server._queue.popleft()])
+
+            server, writer = self.drill(scenario)
+        finally:
+            clock.reset_clock()
+        (reply,) = writer.replies()
+        assert reply["status"] == "timeout"
+        assert "deadline" in reply["detail"]
+        assert server.counters["timeout_total"] == 1
+        assert server.counters["decisions_total"] == 0
+
+    def test_request_deadline_cannot_exceed_the_server_default(self):
+        obs = make_env().reset(seed=0).obs
+        cell = {"t": 0.0}
+        clock.set_clock(lambda: cell["t"])
+        try:
+
+            async def scenario(server, writer):
+                server._handle_decide(
+                    self.decide_frame(obs, deadline_ms=10_000_000.0), writer
+                )
+                pending = server._queue[0]
+                assert pending.deadline_at <= server.spec.deadline_ms / 1e3
+
+            self.drill(scenario)
+        finally:
+            clock.reset_clock()
+
+    def test_backpressure_replies_retry_after_at_queue_cap(self):
+        obs = make_env().reset(seed=0).obs
+
+        async def scenario(server, writer):
+            server._handle_decide(self.decide_frame(obs, seq=1), writer)
+            server._handle_decide(self.decide_frame(obs, seq=2), writer)
+
+        server, writer = self.drill(
+            scenario, spec=ServeSpec(queue_cap=1)
+        )
+        replies = writer.replies()
+        assert len(replies) == 1  # first was queued, second answered at once
+        assert replies[0]["status"] == "retry_after"
+        assert replies[0]["seq"] == 2
+        assert "capacity" in replies[0]["detail"]
+        assert server.counters["retry_after_total"] == 1
+
+    def test_draining_server_pushes_back_and_refuses_admission(self):
+        obs = make_env().reset(seed=0).obs
+
+        async def scenario(server, writer):
+            server._draining = True
+            server._handle_decide(self.decide_frame(obs), writer)
+            assert writer.replies()[-1]["status"] == "retry_after"
+            reply = server._handle_open({"op": "open"}, set())
+            assert reply["op"] == "error"
+            assert "draining" in reply["detail"]
+
+        self.drill(scenario)
+
+    def test_policy_error_fails_only_the_bad_request(self):
+        env = make_env()
+        obs = env.reset(seed=0).obs
+
+        class Picky:
+            """Raises on observations whose first ready task is the marker."""
+
+            def decide(self, observation):
+                if int(observation.ready_tasks[0]) == 10_000:
+                    raise RuntimeError("unmappable decision point")
+                return 0
+
+            def decide_many(self, obs_list):
+                return [self.decide(o) for o in obs_list]
+
+        async def scenario(server, writer):
+            server._sessions["s1"].policy = Picky()
+            good = self.decide_frame(obs, seq=1)
+            bad = self.decide_frame(obs, seq=2)
+            bad["obs"]["ready_tasks"] = [10_000] * len(
+                bad["obs"]["ready_tasks"]
+            )
+            server._handle_decide(good, writer)
+            server._handle_decide(bad, writer)
+            # the shared decide_many raises → per-request fallback isolates it
+            server._flush([server._queue.popleft(), server._queue.popleft()])
+
+        server, writer = self.drill(scenario)
+        by_seq = {r["seq"]: r for r in writer.replies()}
+        assert by_seq[1]["status"] == "ok"
+        assert by_seq[2]["status"] == "error"
+        assert server.counters["decisions_total"] == 1
+        assert server.counters["error_total"] == 1
+
+
+class TestClientBackoff:
+    def test_client_resends_after_retry_after(self, serve_factory, tmp_path):
+        # cap the queue at 1 with slow flushes so contention is real
+        spec = ServeSpec(
+            unix_socket=str(tmp_path / "tight.sock"),
+            queue_cap=1,
+            max_batch=1,
+            max_wait_us=0,
+        )
+        running = serve_factory(spec=spec)
+        env = make_env()
+        obs = env.reset(seed=0).obs
+        expected = InProcessClient(registry.get_policy("greedy-eft")).decide(obs)
+        with RemoteClient.for_scheduler(running.endpoint, "greedy-eft") as client:
+            actions = client.decide_many([obs] * 8)
+        assert actions == [expected] * 8

@@ -10,7 +10,7 @@ from repro.rl.a2c import A2CConfig
 from repro.rl.trainer import ReadysTrainer
 from repro.sim.env import SchedulingEnv
 from repro.sim.vec_env import VecSchedulingEnv
-from repro.spec import ExperimentSpec, make_env, make_train_env
+from repro.spec import ExperimentSpec, ServeSpec, make_env, make_train_env
 
 
 class TestSpecFirstConstruction:
@@ -52,23 +52,23 @@ class TestSpecFirstConstruction:
         ]
 
 
-class TestDeprecationShim:
-    def test_direct_construction_warns(self):
+class TestRemovedLooseKwargCtor:
+    """The PR 4 deprecation graduated: direct construction is a TypeError."""
+
+    def test_direct_construction_raises_with_migration_hint(self):
         env = make_env(ExperimentSpec(tiles=2))
-        with pytest.warns(DeprecationWarning, match="from_spec"):
+        with pytest.raises(TypeError, match="from_spec"):
             ReadysTrainer(env, rng=0)
 
-    def test_factories_do_not_warn(self):
+    def test_error_names_both_factories(self):
+        with pytest.raises(TypeError, match="from_components"):
+            ReadysTrainer(make_env(ExperimentSpec(tiles=2)))
+
+    def test_factories_do_not_warn_or_raise(self):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             ReadysTrainer.from_spec(ExperimentSpec(tiles=2))
             ReadysTrainer.from_components(make_env(ExperimentSpec(tiles=2)), rng=0)
-
-    def test_shim_still_trains(self):
-        env = make_env(ExperimentSpec(tiles=2))
-        with pytest.warns(DeprecationWarning):
-            trainer = ReadysTrainer(env, config=A2CConfig(unroll_length=4), rng=0)
-        assert len(trainer.train_updates(1).update_stats) == 1
 
 
 class TestSpecSerialization:
@@ -92,6 +92,53 @@ class TestSpecSerialization:
     def test_from_dict_ignores_unknown_keys(self):
         spec = ExperimentSpec.from_dict({"tiles": 3, "not_a_field": 1})
         assert spec.tiles == 3
+
+
+class TestServeSpec:
+    def test_defaults(self):
+        spec = ServeSpec()
+        assert spec.host == "127.0.0.1"
+        assert spec.unix_socket is None
+        assert spec.max_batch == 32
+        assert spec.queue_cap == 256
+
+    def test_json_round_trip_is_a_sorted_object(self):
+        spec = ServeSpec(unix_socket="/tmp/x.sock", max_batch=8, port=0)
+        assert ServeSpec.from_json(spec.to_json()) == spec
+        data = json.loads(spec.to_json())
+        assert list(data) == sorted(data)
+
+    def test_unknown_key_gets_a_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean 'max_batch'"):
+            ServeSpec.from_dict({"max_batchs": 8})
+
+    def test_unknown_key_without_close_match_lists_valid_keys(self):
+        with pytest.raises(ValueError, match="valid keys"):
+            ServeSpec.from_dict({"zzz": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="port"):
+            ServeSpec(port=70000)
+        with pytest.raises(ValueError, match="max_batch"):
+            ServeSpec(max_batch=0)
+        with pytest.raises(ValueError, match="queue_cap"):
+            ServeSpec(queue_cap=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            ServeSpec(deadline_ms=0)
+
+    def test_from_args_skips_unset_attributes(self):
+        class Args:
+            max_batch = 4
+            port = None  # CLI default: fall back to the spec default
+
+        spec = ServeSpec.from_args(Args())
+        assert spec.max_batch == 4
+        assert spec.port == ServeSpec().port
+
+    def test_replace(self):
+        spec = ServeSpec().replace(queue_cap=7)
+        assert spec.queue_cap == 7
+        assert spec.max_batch == ServeSpec().max_batch
 
 
 class TestNewSpecFields:
