@@ -144,7 +144,12 @@ RULES: Dict[str, Rule] = dict(
             "layers the bit-exactness claims need isolated. The stdlib "
             "fence keeps every layer below `repro.serve` transport-neutral "
             "— the Policy API must behave identically in-process and over "
-            "a socket — and binds even the otherwise-unconstrained cli.",
+            "a socket — and binds even the otherwise-unconstrained cli. "
+            "The one tolerated upward edge is sim → schedulers.heft for "
+            "reward normalisers (the static env's HEFT baseline and the "
+            "streaming env's per-job ideal JCTs); both imports are pinned "
+            "in the baseline file rather than allowed in the DAG, so any "
+            "new sim-layer scheduler import still fails strict lint.",
         ),
         _rule(
             "RPR110",

@@ -34,7 +34,7 @@ from repro.rl.a2c import A2CConfig
 from repro.rl.trainer import ReadysTrainer, evaluate_agent
 from repro.rl.transfer import load_agent, save_agent
 from repro.schedulers import available, heft_makespan
-from repro.spec import KERNELS, NOISE_MODELS, ExperimentSpec, ServeSpec
+from repro.spec import ARRIVALS, KERNELS, NOISE_MODELS, ExperimentSpec, ServeSpec
 from repro.utils.tables import format_table
 
 
@@ -46,6 +46,92 @@ def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sigma", type=float, default=0.0, help="relative noise level")
     parser.add_argument("--noise", default="gaussian", choices=list(NOISE_MODELS))
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """Workload/arrival flags: streaming multi-job episodes (DESIGN.md §14)."""
+    parser.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="registered workload name (repro.graphs.workloads); defaults to "
+             "'single' from --kernel/--tiles, or 'mixed-families'/"
+             "'size-mixture' when --families/--tile-choices are given",
+    )
+    parser.add_argument(
+        "--arrival", default=None, choices=list(ARRIVALS),
+        help="job arrival process; anything but 'none' makes episodes "
+             "streaming (multi-job)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="Poisson arrival rate in jobs/ms (with --arrival poisson)",
+    )
+    parser.add_argument(
+        "--num-jobs", dest="num_jobs", type=int, default=None,
+        help="jobs per streaming episode (the job-count horizon)",
+    )
+    parser.add_argument(
+        "--arrival-trace", dest="arrival_trace", default=None, metavar="FILE",
+        help="trace file of arrival instants, one per line (implies "
+             "--arrival trace)",
+    )
+    parser.add_argument(
+        "--horizon-time", dest="horizon_time", type=float, default=None,
+        help="drop jobs arriving after this instant (time horizon)",
+    )
+    parser.add_argument(
+        "--tile-choices", dest="tile_choices", type=int, nargs="+", default=None,
+        help="tile counts sampled per job (size-mixture workloads)",
+    )
+    parser.add_argument(
+        "--families", nargs="+", default=None, metavar="FAMILY",
+        help="graph families mixed per job, e.g. cholesky lu qr random",
+    )
+
+
+#: CLI flags that route into the nested WorkloadSpec instead of loose fields
+_WORKLOAD_CLI_FLAGS = (
+    "workload", "arrival", "rate", "num_jobs", "arrival_trace",
+    "horizon_time", "tile_choices", "families",
+)
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Gather a spec; workload flags (if any) become the nested WorkloadSpec."""
+    given = {name: getattr(args, name, None) for name in _WORKLOAD_CLI_FLAGS}
+    if all(v is None for v in given.values()):
+        return ExperimentSpec.from_args(args)
+    if given["workload"]:
+        name = given["workload"]
+    elif given["families"]:
+        name = "mixed-families"
+    elif given["tile_choices"]:
+        name = "size-mixture"
+    else:
+        name = "single"
+    wl = {
+        "name": name,
+        "kernel": getattr(args, "kernel", "cholesky"),
+        "tiles": getattr(args, "tiles", 4),
+        "noise": getattr(args, "noise", "gaussian"),
+        "sigma": getattr(args, "sigma", 0.0),
+    }
+    if given["tile_choices"]:
+        wl["tile_choices"] = tuple(given["tile_choices"])
+    if given["families"]:
+        wl["families"] = tuple(given["families"])
+    if given["arrival_trace"]:
+        wl["trace_file"] = given["arrival_trace"]
+        wl["arrival"] = given["arrival"] or "trace"
+    elif given["arrival"]:
+        wl["arrival"] = given["arrival"]
+    if given["rate"] is not None:
+        wl["rate"] = given["rate"]
+    if given["num_jobs"] is not None:
+        wl["num_jobs"] = given["num_jobs"]
+    if given["horizon_time"] is not None:
+        wl["horizon_time"] = given["horizon_time"]
+    args.workload = wl
+    return ExperimentSpec.from_args(args)
 
 
 def _add_compiled_args(parser: argparse.ArgumentParser) -> None:
@@ -170,10 +256,9 @@ def cmd_compare(args) -> int:
 def cmd_train(args) -> int:
     if args.num_envs < 1:
         raise SystemExit("--num-envs must be >= 1")
-    spec = ExperimentSpec.from_args(args)
+    spec = _spec_from_args(args)
     if spec.checkpoint_every and not args.checkpoint:
         raise SystemExit("--checkpoint-every needs --checkpoint PATH")
-    graph, platform, durations, _ = spec.make_instance()
     if spec.resume:
         # the checkpoint carries its own spec/config/RNG state; --updates is
         # the *total* budget of the logical run, not an increment
@@ -207,11 +292,21 @@ def cmd_train(args) -> int:
     ms = trainer.result.episode_makespans
     if getattr(trainer.agent, "compiled", False):
         _print_compile_stats(trainer.agent)
-    print(
-        f"trained {remaining} updates / {len(ms)} episodes; "
-        f"last-10 mean makespan {np.mean(ms[-10:]):.2f}, "
-        f"HEFT {heft_makespan(graph, platform, durations):.2f}"
-    )
+    if spec.workload.is_streaming:
+        tail = f"{np.mean(ms[-10:]):.2f}" if len(ms) else "n/a (none finished)"
+        print(
+            f"trained {remaining} updates / {len(ms)} episodes on streaming "
+            f"workload {spec.workload.name!r} ({spec.workload.arrival} "
+            f"arrivals, reward {spec.reward_mode}); "
+            f"last-10 mean episode makespan {tail}"
+        )
+    else:
+        graph, platform, durations, _ = spec.make_instance()
+        print(
+            f"trained {remaining} updates / {len(ms)} episodes; "
+            f"last-10 mean makespan {np.mean(ms[-10:]):.2f}, "
+            f"HEFT {heft_makespan(graph, platform, durations):.2f}"
+        )
     if args.out:
         save_agent(trainer.agent, args.out, kernel=spec.kernel, tiles=str(spec.tiles))
         print(f"checkpoint written to {args.out}")
@@ -219,7 +314,9 @@ def cmd_train(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
-    spec = ExperimentSpec.from_args(args)
+    spec = _spec_from_args(args)
+    if spec.workload.is_streaming:
+        return _evaluate_streaming(args, spec)
     graph, platform, durations, _ = spec.make_instance()
     if getattr(args, "server", None):
         return _evaluate_against_server(args, spec, graph, platform, durations)
@@ -239,6 +336,76 @@ def cmd_evaluate(args) -> int:
         f"readys mean {np.mean(mks):.2f} over {len(mks)} episodes "
         f"(HEFT σ=0 plan: {heft:.2f}, ratio {heft / np.mean(mks):.3f})"
     )
+    return 0
+
+
+def _evaluate_streaming(args, spec) -> int:
+    """``evaluate`` on a streaming workload: mean JCT / slowdown table.
+
+    The agent (locally, or served via ``--server``) and the online-adapted
+    baselines are rolled over the identical episode stream — evaluation
+    re-seeds each episode from the same root, so every method sees the same
+    job sequences and arrival instants.
+    """
+    from repro.policy import AgentPolicy, evaluate_streaming
+    from repro.schedulers import EnvBoundSchedulerPolicy
+    from repro.schedulers.registry import get_entry
+
+    env = spec.make_env()
+    rows = []
+
+    def summarize(name, records) -> None:
+        rows.append([
+            name,
+            float(np.mean([r.mean_jct for r in records])),
+            float(np.mean([r.mean_slowdown for r in records])),
+            float(np.mean([r.makespan for r in records])),
+        ])
+
+    engine = None
+    with _observed(args, spec, "evaluate"):
+        if getattr(args, "server", None):
+            from repro.serve import RemoteClient
+
+            with RemoteClient.for_checkpoint(args.server, args.agent) as client:
+                agent_records = evaluate_streaming(
+                    env, client, episodes=args.runs, seed=spec.seed
+                )
+        else:
+            agent = load_agent(args.agent)
+            engine = (
+                agent.enable_compiled(dtype=spec.compiled_dtype)
+                if spec.compiled
+                else None
+            )
+            agent_records = evaluate_streaming(
+                env, AgentPolicy(agent), episodes=args.runs, seed=spec.seed
+            )
+            if engine is not None:
+                engine.publish_metrics(obs.METRICS)
+        summarize("readys", agent_records)
+        for base in getattr(args, "baselines", None) or ():
+            entry = get_entry(base)
+            if entry.cls is None:
+                raise SystemExit(
+                    f"baseline {base!r} has no scheduler class to adapt"
+                )
+            policy = EnvBoundSchedulerPolicy(entry.cls(), env)
+            summarize(
+                base,
+                evaluate_streaming(env, policy, episodes=args.runs, seed=spec.seed),
+            )
+    if engine is not None:
+        _print_compile_stats(agent)
+    served = f" (served via {args.server})" if getattr(args, "server", None) else ""
+    print(
+        f"streaming workload {spec.workload.name!r}: {spec.workload.arrival} "
+        f"arrivals, {args.runs} episodes{served}"
+    )
+    print(format_table(
+        ["method", "mean JCT", "mean slowdown", "mean makespan"],
+        rows, floatfmt=".2f",
+    ))
     return 0
 
 
@@ -351,9 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--lr", type=float, default=1e-2)
     p_train.add_argument("--entropy", type=float, default=1e-2)
     p_train.add_argument("--reward-mode", default="dense",
-                         choices=["dense", "terminal"],
+                         choices=["dense", "terminal",
+                                  "jct", "slowdown", "makespan"],
                          help="dense = telescoped shaping (default); "
-                              "terminal = the paper's eq. 1 exactly")
+                              "terminal = the paper's eq. 1 exactly; "
+                              "jct/slowdown/makespan = streaming modes "
+                              "(require an arrival process)")
     p_train.add_argument("--sparse-state", action="store_true",
                          help="CSR window adjacency (large instances)")
     p_train.add_argument("--num-envs", type=int, default=1,
@@ -377,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="weight-only agent checkpoint (.npz) output path")
     _add_compiled_args(p_train)
     _add_obs_args(p_train)
+    _add_workload_args(p_train)
     p_train.set_defaults(func=cmd_train)
 
     p_eval = sub.add_parser("evaluate", help="evaluate a trained agent")
@@ -392,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compiled_args(p_eval)
     _add_obs_args(p_eval)
+    _add_workload_args(p_eval)
+    p_eval.add_argument(
+        "--baselines", nargs="+", default=["online-heft", "online-mct"],
+        metavar="NAME",
+        help="baseline schedulers evaluated alongside the agent on "
+             "streaming workloads (online re-invocation adapters)",
+    )
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_serve = sub.add_parser(

@@ -13,6 +13,8 @@ from repro.graphs.lu import lu_dag, LU_KERNELS
 from repro.graphs.qr import qr_dag, QR_KERNELS
 from repro.graphs.random_dag import layered_dag, erdos_dag, chain_dag, fork_join_dag
 from repro.graphs.mixture import size_mixture, random_structure_mixture
+from repro.graphs import workloads
+from repro.graphs.workloads import Workload, register_workload
 from repro.graphs.features import (
     descendant_type_fractions,
     node_features,
@@ -58,6 +60,9 @@ __all__ = [
     "fork_join_dag",
     "size_mixture",
     "random_structure_mixture",
+    "workloads",
+    "Workload",
+    "register_workload",
     "make_dag",
     "KERNEL_FAMILIES",
     "CHOLESKY_KERNELS",

@@ -1,0 +1,334 @@
+"""Workload registry: named job distributions behind one surface.
+
+A *workload* is what an experiment actually samples: a distribution over
+task graphs **plus** the duration table those graphs are priced with.  The
+streaming environment (PR 9) needs both halves together — a Poisson stream
+of mixed Cholesky/LU/QR jobs cannot be described by the old loose
+``graph=``/``tiles=`` kwargs, because the family mixture changes the kernel
+vocabulary (and hence the duration table and the observation feature width).
+
+This module unifies the per-family generators and :mod:`repro.graphs.mixture`
+behind ``@register_workload("name")`` entries, mirroring the scheduler
+registry surface (``get``/``get_entry``/``available``/``entries``, unknown
+names raise listing what exists).  Built-ins:
+
+* ``single`` — one fixed tiled-factorization DAG (the paper's setting);
+* ``size-mixture`` — one family, random tile count per job;
+* ``random-structure`` — fresh random DAGs (layered/Erdős) per job;
+* ``mixed-families`` — jobs drawn across families over a *combined* kernel
+  vocabulary (task types offset per family, duration tables concatenated),
+  so one agent sees POTRF and GETRF as distinct kernel types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.durations import (
+    DurationTable,
+    GENERIC_DURATIONS,
+    duration_table_for,
+)
+from repro.graphs.mixture import (
+    GraphFactory,
+    random_structure_mixture,
+    size_mixture,
+)
+from repro.graphs.cholesky import cholesky_dag
+from repro.graphs.lu import lu_dag
+from repro.graphs.qr import qr_dag
+from repro.graphs.taskgraph import TaskGraph
+from repro.platforms.resources import CPU, GPU
+
+_BUILDERS = {"cholesky": cholesky_dag, "lu": lu_dag, "qr": qr_dag}
+
+#: the family spellings ``mixed-families`` accepts (``random`` draws a fresh
+#: random-structure DAG priced with the generic table)
+MIXABLE_FAMILIES = ("cholesky", "lu", "qr", "random")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A sampleable job distribution and the duration table pricing it.
+
+    ``sample(rng)`` returns the next job's :class:`TaskGraph`; every graph it
+    can return has ``task_types`` valid under ``durations`` (the env asserts
+    ``durations.num_kernels >= graph.num_types`` at attach time).
+    """
+
+    name: str
+    durations: DurationTable
+    sample: GraphFactory
+    description: str = ""
+
+
+#: workload-factory signature: ``factory(**params) -> Workload``
+WorkloadFactory = Callable[..., Workload]
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One registered workload family."""
+
+    name: str
+    factory: WorkloadFactory
+    description: str = ""
+    #: parameter names the factory accepts (shown by the CLI's listing)
+    params: Tuple[str, ...] = field(default_factory=tuple)
+
+
+_REGISTRY: Dict[str, WorkloadEntry] = {}
+
+
+def register_workload(
+    name: str,
+    factory: Optional[WorkloadFactory] = None,
+    description: str = "",
+    params: Sequence[str] = (),
+):
+    """Register a workload factory under ``name``.
+
+    Two forms, matching :func:`repro.schedulers.registry.register`:
+
+    * direct — ``register_workload("single", make_single, description=...)``;
+    * decorator (omit ``factory``)::
+
+          @register_workload("size-mixture", description="...", params=(...))
+          def make_size_mixture(kernel="cholesky", ...) -> Workload: ...
+
+    Raises ``ValueError`` on duplicate names.
+    """
+    if factory is None:
+        def decorator(fn: WorkloadFactory) -> WorkloadFactory:
+            register_workload(name, fn, description=description, params=params)
+            return fn
+
+        return decorator
+    if name in _REGISTRY:
+        raise ValueError(f"workload {name!r} is already registered")
+    _REGISTRY[name] = WorkloadEntry(name, factory, description, tuple(params))
+
+
+def get(name: str, **params) -> Workload:
+    """Build the workload ``name`` with ``params``; unknown names raise with
+    the list, and the factory's own signature rejects unknown params."""
+    entry = get_entry(name)
+    return entry.factory(**params)
+
+
+def get_entry(name: str) -> WorkloadEntry:
+    """The full registry entry for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available()}"
+        ) from None
+
+
+def available() -> List[str]:
+    """Sorted names of every registered workload."""
+    return sorted(_REGISTRY)
+
+
+def entries() -> List[WorkloadEntry]:
+    """Every registry entry, sorted by name."""
+    return [_REGISTRY[name] for name in available()]
+
+
+# --------------------------------------------------------------------- #
+# built-in workloads
+# --------------------------------------------------------------------- #
+
+
+@register_workload(
+    "single",
+    description="one fixed tiled-factorization DAG (the paper's setting)",
+    params=("kernel", "tiles"),
+)
+def make_single(kernel: str = "cholesky", tiles: int = 4) -> Workload:
+    """Every job is the same ``kernel`` DAG at ``tiles`` tiles.
+
+    ``sample`` consumes **no** randomness (the instance is fixed), which is
+    what lets a one-job streaming trace align bit-for-bit with the static
+    single-DAG environment in the parity tests.
+    """
+    if kernel not in _BUILDERS:
+        raise KeyError(
+            f"unknown DAG family {kernel!r}; options: {sorted(_BUILDERS)}"
+        )
+    graph = _BUILDERS[kernel](tiles)
+
+    def sample(rng: np.random.Generator) -> TaskGraph:
+        return graph
+
+    return Workload(
+        name="single",
+        durations=duration_table_for(kernel),
+        sample=sample,
+        description=f"fixed {kernel} T={tiles}",
+    )
+
+
+@register_workload(
+    "size-mixture",
+    description="one family, random tile count per job",
+    params=("kernel", "tile_choices", "weights"),
+)
+def make_size_mixture(
+    kernel: str = "cholesky",
+    tile_choices: Sequence[int] = (4, 6, 8),
+    weights: Optional[Sequence[float]] = None,
+) -> Workload:
+    """Jobs are ``kernel`` DAGs with tile counts drawn from ``tile_choices``."""
+    sample = size_mixture(kernel, tile_choices, weights)
+    return Workload(
+        name="size-mixture",
+        durations=duration_table_for(kernel),
+        sample=sample,
+        description=f"{kernel} T∈{list(tile_choices)}",
+    )
+
+
+@register_workload(
+    "random-structure",
+    description="fresh random DAGs (layered/Erdős) per job",
+    params=("min_nodes", "max_nodes"),
+)
+def make_random_structure(min_nodes: int = 10, max_nodes: int = 40) -> Workload:
+    """Jobs are fresh random DAGs priced with the generic duration table."""
+    sample = random_structure_mixture(
+        min_nodes, max_nodes, num_types=GENERIC_DURATIONS.num_kernels
+    )
+    return Workload(
+        name="random-structure",
+        durations=GENERIC_DURATIONS,
+        sample=sample,
+        description=f"random DAGs, {min_nodes}–{max_nodes} nodes",
+    )
+
+
+def combined_duration_table(families: Sequence[str]) -> DurationTable:
+    """Concatenate per-family tables into one kernel vocabulary.
+
+    Kernel names are prefixed with their family (``cholesky:POTRF``) so the
+    combined table stays unambiguous — GEMM exists in both the Cholesky and
+    LU tables with different timings.
+    """
+    names: List[str] = []
+    cpu: List[float] = []
+    gpu: List[float] = []
+    for family in families:
+        table = (
+            GENERIC_DURATIONS if family == "random"
+            else duration_table_for(family)
+        )
+        names.extend(f"{family}:{k}" for k in table.kernel_names)
+        cpu.extend(table.table[:, CPU].tolist())
+        gpu.extend(table.table[:, GPU].tolist())
+    return DurationTable(names, cpu, gpu)
+
+
+def _offset_types(
+    graph: TaskGraph, offset: int, type_names: Sequence[str], name: str
+) -> TaskGraph:
+    """Rebuild ``graph`` with its task types shifted into a combined vocabulary."""
+    return TaskGraph(
+        graph.num_tasks,
+        [tuple(e) for e in graph.edges],
+        graph.task_types + offset,
+        type_names,
+        name=name,
+    )
+
+
+@register_workload(
+    "mixed-families",
+    description="jobs drawn across families over a combined kernel vocabulary",
+    params=("families", "tile_choices", "min_nodes", "max_nodes"),
+)
+def make_mixed_families(
+    families: Sequence[str] = ("cholesky", "lu", "qr"),
+    tile_choices: Sequence[int] = (4, 6),
+    min_nodes: int = 10,
+    max_nodes: int = 30,
+) -> Workload:
+    """Jobs drawn uniformly across ``families`` (subset of
+    :data:`MIXABLE_FAMILIES`), tile counts uniform over ``tile_choices``.
+
+    Task types are offset per family into the combined table, so the agent's
+    one-hot kernel features distinguish e.g. POTRF from GETRF.  Factorization
+    instances are cached per ``(family, tiles)``; ``random`` jobs are built
+    fresh per draw.
+    """
+    families = tuple(families)
+    if not families:
+        raise ValueError("families must be non-empty")
+    for family in families:
+        if family not in MIXABLE_FAMILIES:
+            raise KeyError(
+                f"unknown family {family!r}; options: {list(MIXABLE_FAMILIES)}"
+            )
+    if len(set(families)) != len(families):
+        raise ValueError(f"duplicate family in {families}")
+    tile_choices = [int(t) for t in tile_choices]
+    if not tile_choices:
+        raise ValueError("tile_choices must be non-empty")
+    if min(tile_choices) < 1:
+        raise ValueError("tile counts must be >= 1")
+
+    durations = combined_duration_table(families)
+    offsets: Dict[str, int] = {}
+    offset = 0
+    for family in families:
+        offsets[family] = offset
+        offset += (
+            GENERIC_DURATIONS if family == "random"
+            else duration_table_for(family)
+        ).num_kernels
+
+    random_sample = random_structure_mixture(
+        min_nodes, max_nodes, num_types=GENERIC_DURATIONS.num_kernels
+    )
+    cache: Dict[Tuple[str, int], TaskGraph] = {}
+
+    def sample(rng: np.random.Generator) -> TaskGraph:
+        family = families[int(rng.integers(len(families)))]
+        if family == "random":
+            raw = random_sample(rng)
+            return _offset_types(
+                raw, offsets[family], durations.kernel_names,
+                name=f"random_{raw.num_tasks}",
+            )
+        tiles = int(rng.choice(tile_choices))
+        key = (family, tiles)
+        if key not in cache:
+            raw = _BUILDERS[family](tiles)
+            cache[key] = _offset_types(
+                raw, offsets[family], durations.kernel_names,
+                name=f"{family}_T{tiles}",
+            )
+        return cache[key]
+
+    return Workload(
+        name="mixed-families",
+        durations=durations,
+        sample=sample,
+        description=f"{'/'.join(families)} T∈{tile_choices}",
+    )
+
+
+__all__ = [
+    "MIXABLE_FAMILIES",
+    "Workload",
+    "WorkloadEntry",
+    "available",
+    "combined_duration_table",
+    "entries",
+    "get",
+    "get_entry",
+    "register_workload",
+]

@@ -32,7 +32,12 @@ from repro.policy.codec import (
     encode_reply,
     encode_request,
 )
-from repro.policy.evaluate import EpisodeRecord, evaluate_policy
+from repro.policy.evaluate import (
+    EpisodeRecord,
+    StreamingEpisodeRecord,
+    evaluate_policy,
+    evaluate_streaming,
+)
 
 # the scheduler adapter is defined next to the schedulers themselves (layer
 # order: policy sits above schedulers) and re-exported here as part of the
@@ -54,6 +59,7 @@ __all__ = [
     "STATUS_RETRY_AFTER",
     "STATUS_TIMEOUT",
     "SchedulerPolicy",
+    "StreamingEpisodeRecord",
     "action_for_task",
     "agent_policy_from_checkpoint",
     "checkpoint_fingerprint",
@@ -64,5 +70,6 @@ __all__ = [
     "encode_reply",
     "encode_request",
     "evaluate_policy",
+    "evaluate_streaming",
     "policy_fingerprint",
 ]

@@ -50,6 +50,13 @@ class DecisionRequest:
     """the decision point (transport-neutral observation value)"""
     deadline_ms: Optional[float] = None
     """per-request answer deadline; ``None`` defers to the server default"""
+    job_id: Optional[int] = None
+    """streaming job attribution: the job the decision's current processor is
+    being offered work for (``None`` on single-job sessions — old clients
+    simply never set it and old servers never see the block)"""
+    arrived_at: Optional[float] = None
+    """arrival instant of ``job_id`` on the shared platform (requires
+    ``job_id``; carried for server-side logging/fairness policies)"""
 
 
 @dataclass(frozen=True)
@@ -111,6 +118,13 @@ def encode_observation(obs: Observation) -> Dict[str, Any]:
         "proc_features": _finite_list(obs.proc_features, "proc_features"),
         "current_proc": int(obs.current_proc),
         "allow_pass": bool(obs.allow_pass),
+        # emitted only when set: keeps single-job payloads byte-identical to
+        # the pre-streaming wire format (old servers/tests never see the key)
+        **(
+            {"extra_node_features": int(obs.extra_node_features)}
+            if obs.extra_node_features
+            else {}
+        ),
     }
 
 
@@ -158,6 +172,7 @@ def decode_observation(payload: Dict[str, Any]) -> Observation:
             proc_features=np.asarray(payload["proc_features"], dtype=np.float64),
             current_proc=int(payload["current_proc"]),
             allow_pass=bool(payload["allow_pass"]),
+            extra_node_features=int(payload.get("extra_node_features", 0)),
         )
     except CodecError:
         raise
@@ -190,6 +205,11 @@ def encode_request(req: DecisionRequest) -> Dict[str, Any]:
     }
     if req.deadline_ms is not None:
         payload["deadline_ms"] = float(req.deadline_ms)
+    if req.job_id is not None:
+        job: Dict[str, Any] = {"id": int(req.job_id)}
+        if req.arrived_at is not None:
+            job["arrived_at"] = float(req.arrived_at)
+        payload["job"] = job
     return payload
 
 
@@ -203,11 +223,25 @@ def decode_request(payload: Dict[str, Any]) -> DecisionRequest:
     if not isinstance(session, str) or not session:
         raise CodecError("decision request needs a non-empty string session")
     deadline = payload.get("deadline_ms")
+    job = payload.get("job")
+    job_id: Optional[int] = None
+    arrived_at: Optional[float] = None
+    if job is not None:
+        if not isinstance(job, dict) or "id" not in job:
+            raise CodecError("decision request 'job' block needs an 'id'")
+        try:
+            job_id = int(job["id"])
+            raw_arrived = job.get("arrived_at")
+            arrived_at = float(raw_arrived) if raw_arrived is not None else None
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"malformed decision request job block: {exc}") from None
     return DecisionRequest(
         session=session,
         seq=seq,
         obs=decode_observation(payload.get("obs")),
         deadline_ms=float(deadline) if deadline is not None else None,
+        job_id=job_id,
+        arrived_at=arrived_at,
     )
 
 

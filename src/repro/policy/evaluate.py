@@ -34,6 +34,33 @@ class EpisodeRecord:
         return len(self.actions)
 
 
+@dataclass(frozen=True)
+class StreamingEpisodeRecord:
+    """Full trace of one streaming (multi-job) episode.
+
+    ``reward`` is the episode *return* (sum over steps — streaming rewards
+    are dense), and the per-job vectors make the record self-describing: the
+    row-identity tests compare whole records, so a served evaluation must
+    reproduce every action **and** every JCT bit-for-bit.
+    """
+
+    makespan: float
+    heft_makespan: float
+    """sum of per-job ideal (empty-platform HEFT) makespans"""
+    reward: float
+    actions: Tuple[int, ...]
+    num_jobs: int
+    mean_jct: float
+    mean_slowdown: float
+    jcts: Tuple[float, ...]
+    slowdowns: Tuple[float, ...]
+    arrivals: Tuple[float, ...]
+
+    @property
+    def num_decisions(self) -> int:
+        return len(self.actions)
+
+
 def evaluate_policy(
     env: SchedulingEnv,
     policy: Policy,
@@ -71,6 +98,58 @@ def evaluate_policy(
                         heft_makespan=float(result.info["heft_makespan"]),
                         reward=float(result.reward),
                         actions=tuple(actions),
+                    )
+                )
+                break
+            observation = result.obs
+        else:
+            raise RuntimeError(f"episode exceeded {max_decisions} decisions")
+    return records
+
+
+def evaluate_streaming(
+    env: SchedulingEnv,
+    policy: Policy,
+    episodes: int = 1,
+    seed: SeedLike = 0,
+    max_decisions: int = 1_000_000,
+) -> List[StreamingEpisodeRecord]:
+    """Roll ``episodes`` streaming episodes of ``env`` under ``policy``.
+
+    The streaming sibling of :func:`evaluate_policy` — identical seeding and
+    driving discipline (so the row-identity guarantee carries over), but the
+    record accumulates the dense return and reads the multi-job terminal
+    statistics (``jcts``/``slowdowns``) the streaming environment reports.
+    """
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+    records: List[StreamingEpisodeRecord] = []
+    reset_policy = getattr(policy, "reset", None)
+    for child in spawn_seed_sequences(seed, episodes):
+        observation = env.reset(seed=child).obs
+        if callable(reset_policy):
+            reset_policy()
+        actions: List[int] = []
+        total_reward = 0.0
+        for _ in range(max_decisions):
+            action = int(policy.decide(observation))
+            actions.append(action)
+            result = env.step(action)
+            total_reward += float(result.reward)
+            if result.done:
+                info = result.info
+                records.append(
+                    StreamingEpisodeRecord(
+                        makespan=float(info["makespan"]),
+                        heft_makespan=float(info["heft_makespan"]),
+                        reward=total_reward,
+                        actions=tuple(actions),
+                        num_jobs=int(info["num_jobs"]),
+                        mean_jct=float(info["mean_jct"]),
+                        mean_slowdown=float(info["mean_slowdown"]),
+                        jcts=tuple(float(v) for v in info["jcts"]),
+                        slowdowns=tuple(float(v) for v in info["slowdowns"]),
+                        arrivals=tuple(float(v) for v in info["arrivals"]),
                     )
                 )
                 break

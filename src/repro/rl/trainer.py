@@ -52,11 +52,12 @@ def agent_config_for_spec(
     the parent, so this derives it from the spec alone (duration table width
     and window depth fix every dimension).
     """
-    from repro.graphs import duration_table_for
-
-    num_types = duration_table_for(spec.kernel).num_kernels
+    workload = spec.workload.make_workload()
+    num_types = workload.durations.num_kernels
+    # streaming observations append job-attribution columns (job id + age)
+    extra = 2 if spec.workload.is_streaming else 0
     return AgentConfig(
-        feature_dim=observation_feature_dim(num_types),
+        feature_dim=observation_feature_dim(num_types) + extra,
         proc_feature_dim=PROC_FEATURE_DIM,
         hidden_dim=hidden_dim,
         num_gcn_layers=(
@@ -95,8 +96,14 @@ def default_agent(
     a :class:`VecSchedulingEnv` (members share the observation shape).
     """
     num_types = env.durations.num_kernels
+    builder = (
+        env.state_builder
+        if isinstance(env, SchedulingEnv)
+        else env.envs[0].state_builder
+    )
+    extra = int(getattr(builder, "extra_node_features", 0))
     config = AgentConfig(
-        feature_dim=observation_feature_dim(num_types),
+        feature_dim=observation_feature_dim(num_types) + extra,
         proc_feature_dim=PROC_FEATURE_DIM,
         hidden_dim=hidden_dim,
         num_gcn_layers=num_gcn_layers if num_gcn_layers is not None else max(env.window, 1),

@@ -12,6 +12,7 @@ from typing import Callable, Dict
 
 from repro.schedulers.base import (
     DynamicScheduler,
+    EnvBoundSchedulerPolicy,
     QueueScheduler,
     CompletionEstimator,
     run_dynamic,
@@ -50,6 +51,14 @@ from repro.schedulers.peft import (
     peft_schedule,
     run_peft,
 )
+from repro.schedulers.online import (
+    OnlineHEFTScheduler,
+    OnlineMCTScheduler,
+    OnlineSufferageScheduler,
+    run_online_heft,
+    run_online_mct,
+    run_online_sufferage,
+)
 
 from repro.schedulers.registry import (
     SchedulerEntry,
@@ -77,6 +86,7 @@ def make_runner(name: str) -> Callable:
 
 __all__ = [
     "DynamicScheduler",
+    "EnvBoundSchedulerPolicy",
     "QueueScheduler",
     "CompletionEstimator",
     "run_dynamic",
@@ -107,6 +117,12 @@ __all__ = [
     "optimistic_cost_table",
     "peft_schedule",
     "run_peft",
+    "OnlineHEFTScheduler",
+    "OnlineMCTScheduler",
+    "OnlineSufferageScheduler",
+    "run_online_heft",
+    "run_online_mct",
+    "run_online_sufferage",
     "RUNNERS",
     "make_runner",
     "SchedulerEntry",

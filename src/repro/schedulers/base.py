@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Any, Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -139,6 +139,38 @@ class SchedulerPolicy:
         else:
             task = self.scheduler.decide_observation(observation)
         return action_for_task(observation, task)
+
+    def decide_many(self, obs_list: Sequence[Observation]) -> List[int]:
+        return [self.decide(observation) for observation in obs_list]
+
+
+class EnvBoundSchedulerPolicy:
+    """A sim-bound :class:`SchedulerPolicy` that follows an environment.
+
+    Environments without a shared kernel build a **fresh** ``Simulation`` on
+    every ``reset()``, so a policy bound once to ``env.sim`` goes stale after
+    the first episode.  This adapter re-binds at each episode boundary: the
+    evaluation loop's argument-less ``policy.reset()`` re-reads ``env.sim``,
+    which the loop has just reset.  This is how non-servable schedulers
+    (the online re-invocation baselines) ride the generic evaluation loops.
+    """
+
+    def __init__(self, scheduler: DynamicScheduler, env: Any) -> None:
+        self.scheduler = scheduler
+        self.env = env
+        self._policy: Optional[SchedulerPolicy] = None
+
+    def reset(self) -> None:
+        sim = self.env.sim
+        if sim is None:
+            raise RuntimeError("env has no live simulation — reset the env first")
+        self._policy = self.scheduler.as_policy(sim=sim)
+        self._policy.reset(sim)
+
+    def decide(self, observation: Observation) -> int:
+        if self._policy is None:
+            self.reset()
+        return self._policy.decide(observation)
 
     def decide_many(self, obs_list: Sequence[Observation]) -> List[int]:
         return [self.decide(observation) for observation in obs_list]

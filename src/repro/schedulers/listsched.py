@@ -70,7 +70,8 @@ class GreedyScheduler(DynamicScheduler):
         # scale, and ready rows appear in the same ascending task order as
         # sim.ready_tasks() — so argmin (first-minimum tie-break included)
         # picks the identical task.
-        raw_width = observation.features.shape[1] - NUM_DYNAMIC_FEATURES
+        base_width = observation.features.shape[1] - observation.extra_node_features
+        raw_width = base_width - NUM_DYNAMIC_FEATURES
         col_exp_current = raw_width + NUM_RESOURCE_TYPES + 1
         exp = observation.features[observation.ready_positions, col_exp_current]
         return int(observation.ready_tasks[int(np.argmin(exp))])

@@ -1,0 +1,220 @@
+"""Online re-invocation adapters: static/batch heuristics for streaming jobs.
+
+The classical baselines plan (or batch-assign) assuming the whole DAG is
+known up front; in the streaming setting (``repro.sim.streaming``) jobs keep
+arriving, so each heuristic needs an *online* form.  The standard adaptation
+in the dynamic-scheduling literature is **re-invocation**: re-run the
+heuristic over the currently known unfinished work whenever the job set
+changes, and serve decisions from the latest plan in between.
+
+All three adapters are processor-driven :class:`DynamicScheduler` subclasses,
+so they drive a :class:`~repro.sim.streaming.StreamingSchedulingEnv` through
+the ordinary ``scheduler.as_policy(sim=...)`` Policy adapter (same surface
+as the trained agent).  They equally accept a static single-job simulation —
+the "job set" then never changes after reset, so ``online-heft`` degrades to
+dynamically-executed HEFT (the NoNoise parity tests pin this).
+
+Deadlock safety follows the :class:`RankPriorityScheduler` argument: an
+adapter declines only tasks it reserves for a *different* processor, and the
+reservation depends solely on simulator state (unchanged along a pass
+chain), so the reserved processor — idle whenever the platform has gone
+fully idle — always accepts its task when asked.  At least one processor
+therefore starts a task at every all-idle decision instant and a unanimous
+pass cannot strand the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.schedulers.base import DynamicScheduler, run_dynamic
+from repro.schedulers.heft import heft_schedule
+from repro.schedulers.registry import register
+from repro.sim.engine import Simulation
+from repro.utils.seeding import SeedLike
+
+__all__ = [
+    "OnlineHEFTScheduler",
+    "OnlineMCTScheduler",
+    "OnlineSufferageScheduler",
+]
+
+
+def _num_released(sim: Simulation) -> int:
+    """Jobs currently admitted to the platform (streaming metadata), or 1.
+
+    The streaming environment stamps per-job metadata on the combined graph;
+    a plain single-job simulation has no stamp and counts as one always-
+    released job.
+    """
+    meta = sim.graph.__dict__.get("_streaming_jobs")
+    if meta is None:
+        return 1
+    return int(np.count_nonzero(meta["arrivals"] <= sim.time))
+
+
+def _completion_estimates(sim: Simulation, task: int) -> np.ndarray:
+    """Expected completion of ``task`` per processor, from the live state.
+
+    ``now + expected remaining work on the processor + expected duration`` —
+    the same quantities the queue-driven :class:`CompletionEstimator` uses,
+    but read directly off the simulation (processor-driven adapters hold no
+    queues: an assignment starts immediately or not at all).
+    """
+    p = sim.platform.num_processors
+    return np.array(
+        [
+            sim.time + sim.expected_remaining(q) + sim.expected_duration(task, q)
+            for q in range(p)
+        ]
+    )
+
+
+class OnlineHEFTScheduler(DynamicScheduler):
+    """HEFT re-invoked on every job arrival (plan-following in between).
+
+    On each change of the released-job count the scheduler re-plans: HEFT
+    over the subgraph induced by the *unstarted* tasks of released jobs
+    (started work is sunk; its successors only become ready after it
+    finishes, so dropping it from the plan loses nothing).  Between re-plans,
+    a processor asking for work receives the ready task the plan assigned to
+    it with the earliest planned start — or nothing, if the plan reserves
+    every ready task for other processors (waiting for the planned processor
+    is the point of an affinity-aware plan).
+    """
+
+    name = "online-heft"
+
+    def __init__(self) -> None:
+        self._planned_for: Dict[int, int] = {}  # task -> planned processor
+        self._planned_start: Dict[int, float] = {}
+        self._plan_released = -1
+
+    def reset(self, sim: Simulation) -> None:
+        self._planned_for = {}
+        self._planned_start = {}
+        self._plan_released = -1
+
+    def _replan(self, sim: Simulation) -> None:
+        unstarted = np.flatnonzero(
+            ~(sim.finished | sim.running) & self._released_mask(sim)
+        )
+        self._planned_for = {}
+        self._planned_start = {}
+        if unstarted.size == 0:
+            return
+        sub, original = sim.graph.induced_subgraph(unstarted)
+        plan = heft_schedule(sub, sim.platform, sim.durations)
+        for i, task in enumerate(original):
+            self._planned_for[int(task)] = int(plan.proc_of[i])
+            self._planned_start[int(task)] = float(plan.start[i])
+
+    @staticmethod
+    def _released_mask(sim: Simulation) -> np.ndarray:
+        meta = sim.graph.__dict__.get("_streaming_jobs")
+        if meta is None:
+            return np.ones(sim.graph.num_tasks, dtype=bool)
+        released_jobs = meta["arrivals"] <= sim.time
+        return released_jobs[meta["job_of"]]
+
+    def select(self, sim: Simulation, proc: int) -> Optional[int]:
+        ready = sim.ready_tasks()
+        if ready.size == 0:
+            return None
+        released = _num_released(sim)
+        if released != self._plan_released:
+            self._replan(sim)
+            self._plan_released = released
+        mine = [
+            int(t) for t in ready if self._planned_for.get(int(t)) == proc
+        ]
+        if mine:
+            return min(mine, key=lambda t: (self._planned_start[t], t))
+        return None
+
+
+class OnlineMCTScheduler(DynamicScheduler):
+    """Minimum completion time, adapted to processor-driven streaming.
+
+    When a processor asks for work, each ready task is priced on every
+    processor from the live queue state; the asking processor takes the
+    earliest-completing task *among those that complete soonest on it* —
+    tasks whose minimum lies elsewhere are left for their preferred
+    processor, which accepts them when its turn to ask comes.
+    """
+
+    name = "online-mct"
+
+    def select(self, sim: Simulation, proc: int) -> Optional[int]:
+        ready = sim.ready_tasks()
+        if ready.size == 0:
+            return None
+        prefers_here = []
+        for task in ready:
+            est = _completion_estimates(sim, int(task))
+            if int(np.argmin(est)) == proc:
+                prefers_here.append((float(est[proc]), int(task)))
+        if prefers_here:
+            return min(prefers_here)[1]
+        return None
+
+
+class OnlineSufferageScheduler(DynamicScheduler):
+    """Sufferage, adapted to processor-driven streaming.
+
+    The classic batch rule picks the task that would suffer most from losing
+    its best processor (second-best minus best completion estimate).  Here
+    the asking processor computes sufferage over the live ready set and takes
+    the maximal-sufferage task *if it is that task's best processor*; else
+    it declines so the preferred processor can claim it.
+    """
+
+    name = "online-sufferage"
+
+    def select(self, sim: Simulation, proc: int) -> Optional[int]:
+        ready = sim.ready_tasks()
+        if ready.size == 0:
+            return None
+        p = sim.platform.num_processors
+        best_proc = np.empty(ready.size, dtype=np.int64)
+        best_est = np.empty(ready.size, dtype=np.float64)
+        suffer = np.empty(ready.size, dtype=np.float64)
+        for i, task in enumerate(ready):
+            est = _completion_estimates(sim, int(task))
+            order = np.argsort(est, kind="stable")
+            best_proc[i] = order[0]
+            best_est[i] = est[order[0]]
+            suffer[i] = est[order[1]] - est[order[0]] if p > 1 else 0.0
+        # max sufferage; ties broken by earliest best estimate then task id
+        pick = int(
+            min(
+                range(ready.size),
+                key=lambda i: (-suffer[i], best_est[i], int(ready[i])),
+            )
+        )
+        if int(best_proc[pick]) == proc:
+            return int(ready[pick])
+        return None
+
+
+@register("online-heft", cls=OnlineHEFTScheduler,
+          description="HEFT re-planned on every job arrival (streaming)")
+def run_online_heft(sim: Simulation, rng: SeedLike = None) -> float:
+    """Online-HEFT baseline; returns the makespan."""
+    return run_dynamic(sim, OnlineHEFTScheduler(), rng=rng)
+
+
+@register("online-mct", cls=OnlineMCTScheduler,
+          description="minimum completion time, processor-driven (streaming)")
+def run_online_mct(sim: Simulation, rng: SeedLike = None) -> float:
+    """Online-MCT baseline; returns the makespan."""
+    return run_dynamic(sim, OnlineMCTScheduler(), rng=rng)
+
+
+@register("online-sufferage", cls=OnlineSufferageScheduler,
+          description="sufferage, processor-driven (streaming)")
+def run_online_sufferage(sim: Simulation, rng: SeedLike = None) -> float:
+    """Online-sufferage baseline; returns the makespan."""
+    return run_dynamic(sim, OnlineSufferageScheduler(), rng=rng)

@@ -150,20 +150,41 @@ class RemoteClient:
 
     # -- Policy interface ------------------------------------------------ #
 
-    def decide(self, obs: Observation) -> int:
-        return self.decide_many([obs])[0]
+    def decide(
+        self,
+        obs: Observation,
+        job_id: Optional[int] = None,
+        arrived_at: Optional[float] = None,
+    ) -> int:
+        """One decision; ``job_id``/``arrived_at`` (optional) attribute the
+        decision to a streaming job — forwarded as the request's ``job``
+        block, which pre-streaming servers never receive (the block is
+        omitted when unset) and current ones treat as annotation only."""
+        jobs = None if job_id is None else [(job_id, arrived_at)]
+        return self.decide_many([obs], jobs=jobs)[0]
 
-    def decide_many(self, obs_list: Sequence[Observation]) -> List[int]:
+    def decide_many(
+        self,
+        obs_list: Sequence[Observation],
+        jobs: Optional[Sequence[Optional[tuple]]] = None,
+    ) -> List[int]:
         """Pipelined decisions: send every request, then collect every reply.
 
         In-flight requests from this client may share server batches with
         other clients' — replies are matched by sequence number, so reply
         order is irrelevant.  ``retry_after`` replies are resent after an
-        exponential backoff.
+        exponential backoff.  ``jobs`` (optional) carries one
+        ``(job_id, arrived_at)`` pair — or ``None`` — per observation for
+        streaming job attribution.
         """
         self._check_open()
         if not obs_list:
             return []
+        if jobs is not None and len(jobs) != len(obs_list):
+            raise ValueError(
+                f"jobs must match obs_list length ({len(obs_list)}), "
+                f"got {len(jobs)}"
+            )
         actions: List[Optional[int]] = [None] * len(obs_list)
         pending = list(range(len(obs_list)))
         backoff = 0.002
@@ -172,12 +193,19 @@ class RemoteClient:
             for index in pending:
                 seq = next(self._seq)
                 seq_to_index[seq] = index
+                job = jobs[index] if jobs is not None else None
                 payload = encode_request(
                     DecisionRequest(
                         session=self._session,
                         seq=seq,
                         obs=obs_list[index],
                         deadline_ms=self._deadline_ms,
+                        job_id=None if job is None else int(job[0]),
+                        arrived_at=(
+                            None
+                            if job is None or job[1] is None
+                            else float(job[1])
+                        ),
                     )
                 )
                 payload["op"] = protocol.OP_DECIDE

@@ -5,6 +5,15 @@ from repro.sim.engine import Simulation, ScheduledTask, VecSimulation
 from repro.sim.state import Observation, StateBuilder
 from repro.sim.env import ResetResult, SchedulingEnv, StepResult, run_policy
 from repro.sim.vec_env import VecResetResult, VecSchedulingEnv, VecStepResult
+from repro.sim.streaming import (
+    ArrivalProcess,
+    JobStateBuilder,
+    PoissonArrivals,
+    StreamingSchedulingEnv,
+    TraceArrivals,
+    VecStreamingEnv,
+    make_arrival,
+)
 from repro.sim.trace_io import (
     trace_to_dict,
     save_trace_json,
@@ -25,6 +34,13 @@ __all__ = [
     "VecSchedulingEnv",
     "VecResetResult",
     "VecStepResult",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "make_arrival",
+    "JobStateBuilder",
+    "StreamingSchedulingEnv",
+    "VecStreamingEnv",
     "run_policy",
     "trace_to_dict",
     "save_trace_json",

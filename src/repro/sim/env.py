@@ -99,6 +99,16 @@ class SchedulingEnv:
         pathology and trains far faster, which is why it is the default.
     """
 
+    #: reward modes this environment class understands (subclasses override —
+    #: the streaming environment swaps in its multi-job objectives)
+    REWARD_MODES = ("terminal", "dense")
+
+    #: whether the vectorised wrapper may drive this member through the fused
+    #: kernel wave loop; subclasses whose ``_next_decision`` does more than
+    #: advance-to-completion (e.g. job-arrival time jumps) set this False so
+    #: ``VecSchedulingEnv.step`` falls back to full per-member ``step()``
+    fusable_steps = True
+
     def __init__(
         self,
         graph: GraphSource,
@@ -110,9 +120,10 @@ class SchedulingEnv:
         reward_mode: str = "dense",
         sparse_state: bool = False,
     ) -> None:
-        if reward_mode not in ("terminal", "dense"):
+        if reward_mode not in self.REWARD_MODES:
             raise ValueError(
-                f"reward_mode must be 'terminal' or 'dense', got {reward_mode!r}"
+                f"reward_mode must be one of {self.REWARD_MODES}, "
+                f"got {reward_mode!r}"
             )
         self.reward_mode = reward_mode
         self._graph_source = graph
@@ -268,6 +279,19 @@ class SchedulingEnv:
         self._passed[:] = False  # a new instant: everyone may be asked again
         self._memo_epoch += 1  # time moved: window/features may differ
 
+    def _build_decision(self, proc: int, allow_pass: bool) -> Observation:
+        """Build (and trace) the observation for a drawn decision."""
+        sim = self.sim
+        assert sim is not None
+        tracer = obs.TRACER
+        if tracer.enabled:
+            handle = tracer.begin("state_build", proc=proc)
+            built = self.state_builder.build(sim, proc, allow_pass=allow_pass)
+            tracer.end(handle, nodes=built.num_nodes)
+        else:
+            built = self.state_builder.build(sim, proc, allow_pass=allow_pass)
+        return self._attach_embed_key(built, proc)
+
     def _next_decision(self) -> Optional[Observation]:
         """Advance the simulator to the next decision point (or the end)."""
         sim = self.sim
@@ -278,18 +302,7 @@ class SchedulingEnv:
             candidates = self._decision_candidates()
             if candidates is not None:
                 proc, allow_pass = self._draw_proc(candidates)
-                tracer = obs.TRACER
-                if tracer.enabled:
-                    handle = tracer.begin("state_build", proc=proc)
-                    built = self.state_builder.build(
-                        sim, proc, allow_pass=allow_pass
-                    )
-                    tracer.end(handle, nodes=built.num_nodes)
-                else:
-                    built = self.state_builder.build(
-                        sim, proc, allow_pass=allow_pass
-                    )
-                return self._attach_embed_key(built, proc)
+                return self._build_decision(proc, allow_pass)
             if not sim.running.any():
                 raise RuntimeError(
                     "environment deadlock: nothing running and no decision "

@@ -84,6 +84,11 @@ class Observation:
     """within-instant memo key set by the environment: observations with the
     same key are guaranteed to produce the same GCN embedding, letting a
     compiled agent reuse it (see :mod:`repro.nn.compile`); None disables"""
+    extra_node_features: int = 0
+    """count of builder-appended trailing feature columns beyond the base
+    layout (the streaming environment appends job-id/arrival-age columns);
+    consumers that index columns from the *end* of the base layout must
+    subtract it (see ``GreedyScheduler.decide_observation``)"""
 
     @property
     def num_actions(self) -> int:
@@ -132,6 +137,11 @@ class StateBuilder:
     #: bound of the per-graph window-adjacency memo; class-level so tests can
     #: shrink it to exercise eviction
     _ADJ_CACHE_MAX = 4096
+
+    #: trailing feature columns this builder appends beyond the base layout;
+    #: agents size their input dimension as
+    #: ``observation_feature_dim(num_types) + extra_node_features``
+    extra_node_features = 0
 
     def __init__(
         self, durations: DurationTable, window: int, sparse: bool = False

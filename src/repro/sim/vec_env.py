@@ -197,6 +197,7 @@ class VecSchedulingEnv:
         if (
             kernel is not None
             and not obs.TRACER.enabled
+            and all(e.fusable_steps for e in self.envs)
             and all(
                 e.sim is not None and e.sim._kernel is kernel for e in self.envs
             )

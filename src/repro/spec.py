@@ -12,18 +12,205 @@ from __future__ import annotations
 
 import difflib
 import json
+import warnings
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Optional, Tuple
 
-from repro.graphs import duration_table_for, make_dag
+from repro.graphs import make_dag
+from repro.graphs import workloads as graph_workloads
 from repro.graphs.durations import DurationTable
 from repro.graphs.taskgraph import TaskGraph
+from repro.graphs.workloads import MIXABLE_FAMILIES
 from repro.platforms import Platform, make_noise
 from repro.platforms.noise import NoiseModel
 
 #: kernels make_dag understands (mirrors the CLI choices)
 KERNELS = ("cholesky", "lu", "qr")
 NOISE_MODELS = ("gaussian", "lognormal", "uniform", "gamma", "none")
+#: job-arrival models of the streaming environment
+ARRIVALS = ("none", "poisson", "trace")
+#: reward modes only the streaming (multi-job) environment understands
+STREAMING_REWARD_MODES = ("jct", "slowdown", "makespan")
+
+#: ExperimentSpec fields mirrored into the nested WorkloadSpec (the
+#: deprecated loose spelling; the nested spec is authoritative)
+_WORKLOAD_MIRRORS = ("kernel", "tiles", "noise", "sigma")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of the job distribution of one experiment.
+
+    Bundles what the old loose ``kernel``/``tiles``/``noise`` fields spread
+    over :class:`ExperimentSpec`: the graph-family mixture (resolved through
+    the :mod:`repro.graphs.workloads` registry), the duration-noise model,
+    and — new with the streaming environment — the job arrival process and
+    the episode horizon.  Like :class:`ServeSpec`, :meth:`from_dict`
+    **rejects** unknown keys with a did-you-mean hint: a typo'd arrival knob
+    silently falling back to its default would change the whole workload.
+    """
+
+    name: str = "single"
+    """registry name (:func:`repro.graphs.workloads.available` lists them)"""
+    kernel: str = "cholesky"
+    """DAG family for the ``single``/``size-mixture`` workloads"""
+    tiles: int = 4
+    """tile count of the ``single`` workload"""
+    tile_choices: Tuple[int, ...] = ()
+    """tile counts sampled by ``size-mixture``/``mixed-families``
+    (empty = the workload factory's default)"""
+    families: Tuple[str, ...] = ()
+    """families mixed by ``mixed-families`` (empty = cholesky/lu/qr)"""
+    noise: str = "gaussian"
+    sigma: float = 0.0
+    arrival: str = "none"
+    """job arrival model: ``none`` (one job at t=0, the static setting),
+    ``poisson`` (exponential inter-arrivals at :attr:`rate`), or ``trace``
+    (explicit arrival instants from :attr:`trace`/:attr:`trace_file`)"""
+    rate: float = 0.002
+    """Poisson arrival rate in jobs per millisecond"""
+    trace: Tuple[float, ...] = ()
+    """explicit arrival instants (ms, non-decreasing); defines the job count"""
+    trace_file: Optional[str] = None
+    """path of a text file with one arrival instant per line (alternative to
+    an inline :attr:`trace`)"""
+    num_jobs: int = 4
+    """episode horizon for ``poisson`` arrivals: jobs per episode (a trace's
+    length defines its own horizon)"""
+    horizon_time: Optional[float] = None
+    """optional time horizon: arrivals sampled after it are dropped, so an
+    episode ends once every job admitted before the horizon completes"""
+
+    def __post_init__(self) -> None:
+        # tolerate list-valued sequence fields (the JSON spelling)
+        for key in ("tile_choices", "families", "trace"):
+            value = getattr(self, key)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, key, tuple(value))
+        object.__setattr__(
+            self, "trace", tuple(float(t) for t in self.trace)
+        )
+        graph_workloads.get_entry(self.name)  # unknown names raise with list
+        if self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.noise not in NOISE_MODELS:
+            raise ValueError(f"noise must be one of {NOISE_MODELS}, got {self.noise!r}")
+        if self.tiles < 1:
+            raise ValueError(f"tiles must be >= 1, got {self.tiles}")
+        if any(t < 1 for t in self.tile_choices):
+            raise ValueError(f"tile_choices must all be >= 1, got {self.tile_choices}")
+        for family in self.families:
+            if family not in MIXABLE_FAMILIES:
+                raise ValueError(
+                    f"families must be among {MIXABLE_FAMILIES}, got {family!r}"
+                )
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}"
+            )
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.trace and self.trace_file:
+            raise ValueError("give either trace or trace_file, not both")
+        if self.arrival == "trace" and not self.trace and not self.trace_file:
+            raise ValueError("arrival='trace' needs a trace or a trace_file")
+        if self.trace:
+            if any(t < 0 for t in self.trace):
+                raise ValueError(f"trace instants must be >= 0, got {self.trace}")
+            if any(b < a for a, b in zip(self.trace, self.trace[1:])):
+                raise ValueError(f"trace must be non-decreasing, got {self.trace}")
+        if self.num_jobs < 1:
+            raise ValueError(f"num_jobs must be >= 1, got {self.num_jobs}")
+        if self.horizon_time is not None and self.horizon_time <= 0:
+            raise ValueError(
+                f"horizon_time must be > 0, got {self.horizon_time}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_streaming(self) -> bool:
+        """Whether this workload describes a multi-job (streaming) episode."""
+        return self.arrival != "none"
+
+    def make_workload(self) -> graph_workloads.Workload:
+        """Resolve the registry entry into a runtime :class:`Workload`."""
+        if self.name == "single":
+            return graph_workloads.get("single", kernel=self.kernel, tiles=self.tiles)
+        if self.name == "size-mixture":
+            kwargs: Dict[str, Any] = {"kernel": self.kernel}
+            if self.tile_choices:
+                kwargs["tile_choices"] = self.tile_choices
+            return graph_workloads.get("size-mixture", **kwargs)
+        if self.name == "mixed-families":
+            kwargs = {}
+            if self.families:
+                kwargs["families"] = self.families
+            if self.tile_choices:
+                kwargs["tile_choices"] = self.tile_choices
+            return graph_workloads.get("mixed-families", **kwargs)
+        # remaining built-ins and future registrations: default parameters
+        return graph_workloads.get(self.name)
+
+    def make_noise_model(self) -> NoiseModel:
+        """The duration-noise model of this workload."""
+        return make_noise(self.noise if self.sigma > 0 else "none", self.sigma)
+
+    def make_arrival(self):
+        """The :class:`~repro.sim.streaming.ArrivalProcess`, or ``None``."""
+        from repro.sim.streaming import PoissonArrivals, TraceArrivals
+
+        if self.arrival == "none":
+            return None
+        if self.arrival == "poisson":
+            return PoissonArrivals(self.rate)
+        if self.trace_file is not None:
+            return TraceArrivals.from_file(self.trace_file)
+        return TraceArrivals(self.trace)
+
+    # ------------------------------------------------------------------ #
+    # conversions (strict unknown keys, mirroring ServeSpec)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        """Inverse of :meth:`to_dict`; **unknown keys are an error**::
+
+            WorkloadSpec.from_dict({"arival": "poisson"})
+            ValueError: unknown WorkloadSpec key 'arival' — did you mean 'arrival'?
+        """
+        names = [f.name for f in fields(cls)]
+        for key in data:
+            if key not in names:
+                close = difflib.get_close_matches(key, names, n=1)
+                hint = f" — did you mean {close[0]!r}?" if close else (
+                    f"; valid keys: {', '.join(names)}"
+                )
+                raise ValueError(f"unknown WorkloadSpec key {key!r}{hint}")
+        return cls(**data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "WorkloadSpec":
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"spec JSON must decode to an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def replace(self, **changes: Any) -> "WorkloadSpec":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        merged = {f.name: getattr(self, f.name) for f in fields(self)}
+        merged.update(changes)
+        return WorkloadSpec(**merged)
 
 
 @dataclass(frozen=True)
@@ -55,8 +242,20 @@ class ExperimentSpec:
     compiled_dtype: str = "float64"
     """replay arithmetic dtype: ``float64`` (bit-identical) or ``float32``
     (faster, small documented tolerance; training updates stay float64)"""
+    workload: Optional[WorkloadSpec] = None
+    """nested workload description (graph mixture + noise + arrivals).  The
+    authoritative spelling: when set, the loose ``kernel``/``tiles``/
+    ``noise``/``sigma`` fields are backfilled from it (they remain as
+    read-only mirrors for one release); when ``None``, a ``single`` workload
+    is synthesised from those legacy fields."""
 
     def __post_init__(self) -> None:
+        if isinstance(self.workload, dict):
+            object.__setattr__(self, "workload", WorkloadSpec.from_dict(self.workload))
+        if self.workload is not None:
+            # the nested spec wins: keep the deprecated loose fields as mirrors
+            for key in _WORKLOAD_MIRRORS:
+                object.__setattr__(self, key, getattr(self.workload, key))
         if self.kernel not in KERNELS:
             raise ValueError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
         if self.noise not in NOISE_MODELS:
@@ -73,9 +272,10 @@ class ExperimentSpec:
             raise ValueError(f"window must be >= 0, got {self.window}")
         if self.num_envs < 1:
             raise ValueError(f"num_envs must be >= 1, got {self.num_envs}")
-        if self.reward_mode not in ("dense", "terminal"):
+        valid_rewards = ("dense", "terminal") + STREAMING_REWARD_MODES
+        if self.reward_mode not in valid_rewards:
             raise ValueError(
-                f"reward_mode must be 'dense' or 'terminal', got {self.reward_mode!r}"
+                f"reward_mode must be one of {valid_rewards}, got {self.reward_mode!r}"
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
@@ -91,6 +291,29 @@ class ExperimentSpec:
             raise ValueError(
                 "compiled_dtype must be 'float64' or 'float32', "
                 f"got {self.compiled_dtype!r}"
+            )
+        if self.workload is None:
+            object.__setattr__(
+                self,
+                "workload",
+                WorkloadSpec(
+                    name="single", kernel=self.kernel, tiles=self.tiles,
+                    noise=self.noise, sigma=self.sigma,
+                ),
+            )
+        streaming = self.workload.is_streaming
+        if self.reward_mode in STREAMING_REWARD_MODES and not streaming:
+            raise ValueError(
+                f"reward_mode {self.reward_mode!r} needs a streaming workload "
+                f"(arrival != 'none'); this workload is static"
+            )
+        if streaming and self.reward_mode in ("dense", "terminal"):
+            # streaming episodes have no single-DAG makespan objective; the
+            # dense/terminal defaults map onto their multi-job analogues
+            object.__setattr__(
+                self,
+                "reward_mode",
+                {"dense": "jct", "terminal": "makespan"}[self.reward_mode],
             )
 
     # ------------------------------------------------------------------ #
@@ -114,9 +337,26 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
-        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        """Inverse of :meth:`to_dict`; unknown keys are ignored.
+
+        Dicts carrying loose graph fields (``kernel``/``tiles``/``noise``/
+        ``sigma``) without a nested ``workload`` block — pre-streaming trace
+        headers and checkpoints — still load: they are auto-wrapped into a
+        ``single`` workload, with a :class:`DeprecationWarning` (the shim is
+        scheduled to last one release).
+        """
         names = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in names})
+        known = {k: v for k, v in data.items() if k in names}
+        if "workload" not in known and any(k in known for k in _WORKLOAD_MIRRORS):
+            warnings.warn(
+                "loose 'kernel'/'tiles'/'noise'/'sigma' keys on an "
+                "ExperimentSpec dict are deprecated — nest them in a "
+                "'workload' block (auto-wrapped into a 'single' workload "
+                "for now)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return cls(**known)
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form — the run-metadata header of trace files."""
@@ -137,8 +377,20 @@ class ExperimentSpec:
         return json.dumps(self.to_dict(), sort_keys=True)
 
     def replace(self, **changes: Any) -> "ExperimentSpec":
-        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
-        merged = {**self.to_dict(), **changes}
+        """A copy with ``changes`` applied (dataclasses.replace sugar).
+
+        Changing a deprecated mirror field (``kernel``/``tiles``/``noise``/
+        ``sigma``) without also passing ``workload`` updates the nested
+        workload accordingly — the legacy spelling keeps working for one
+        release.
+        """
+        mirror_changes = {
+            k: changes[k] for k in _WORKLOAD_MIRRORS if k in changes
+        }
+        if mirror_changes and "workload" not in changes and self.workload is not None:
+            changes["workload"] = self.workload.replace(**mirror_changes)
+        merged = {f.name: getattr(self, f.name) for f in fields(self)}
+        merged.update(changes)
         return ExperimentSpec(**merged)
 
     # ------------------------------------------------------------------ #
@@ -148,24 +400,66 @@ class ExperimentSpec:
     def make_instance(
         self,
     ) -> Tuple[TaskGraph, Platform, DurationTable, NoiseModel]:
-        """Build ``(graph, platform, durations, noise)`` for this cell."""
-        graph = make_dag(self.kernel, self.tiles)
+        """Build ``(graph, platform, durations, noise)`` for this cell.
+
+        For the ``single`` workload the graph is the fixed instance (the
+        historical behaviour); for sampling workloads one instance is drawn
+        with a generator seeded from :attr:`seed`.  Streaming workloads have
+        no single-graph materialisation — use :meth:`make_env`.
+        """
+        assert self.workload is not None
         platform = Platform(self.cpus, self.gpus)
-        durations = duration_table_for(self.kernel)
-        noise = make_noise(self.noise if self.sigma > 0 else "none", self.sigma)
-        return graph, platform, durations, noise
+        noise = self.workload.make_noise_model()
+        if self.workload.name == "single":
+            return (
+                make_dag(self.kernel, self.tiles),
+                platform,
+                self.workload.make_workload().durations,
+                noise,
+            )
+        from repro.utils.seeding import as_generator
+
+        wl = self.workload.make_workload()
+        return wl.sample(as_generator(self.seed)), platform, wl.durations, noise
 
     def make_env(self, rng: Optional[Any] = None):
-        """A single :class:`~repro.sim.env.SchedulingEnv` for this cell.
+        """A single environment for this cell.
 
-        ``rng`` defaults to :attr:`seed`; pass a generator for members of a
-        vectorised environment.
+        A :class:`~repro.sim.env.SchedulingEnv` for static workloads, a
+        :class:`~repro.sim.streaming.StreamingSchedulingEnv` when the
+        workload declares a job-arrival process.  ``rng`` defaults to
+        :attr:`seed`; pass a generator for members of a vectorised
+        environment.
         """
         from repro.sim.env import SchedulingEnv  # local: avoid import cycle
 
-        graph, platform, durations, noise = self.make_instance()
+        assert self.workload is not None
+        wl_spec = self.workload
+        platform = Platform(self.cpus, self.gpus)
+        if wl_spec.is_streaming:
+            from repro.sim.streaming import StreamingSchedulingEnv
+
+            return StreamingSchedulingEnv(
+                wl_spec.make_workload(),
+                platform,
+                arrival=wl_spec.make_arrival(),
+                num_jobs=None if wl_spec.arrival == "trace" else wl_spec.num_jobs,
+                noise=wl_spec.make_noise_model(),
+                window=self.window,
+                rng=self.seed if rng is None else rng,
+                reward_mode=self.reward_mode,
+                sparse_state=self.sparse_state,
+                horizon_time=wl_spec.horizon_time,
+            )
+        if wl_spec.name == "single":
+            graph, platform, durations, noise = self.make_instance()
+            source: Any = graph
+        else:
+            wl = wl_spec.make_workload()
+            source, durations = wl.sample, wl.durations
+            noise = wl_spec.make_noise_model()
         return SchedulingEnv(
-            graph,
+            source,
             platform,
             durations,
             noise,
@@ -178,19 +472,26 @@ class ExperimentSpec:
     def make_train_env(self):
         """The training environment: single env, or K lockstep members.
 
-        Returns a :class:`~repro.sim.env.SchedulingEnv` when
-        ``num_envs == 1`` (the bit-exact historical path) and a
-        :class:`~repro.sim.vec_env.VecSchedulingEnv` otherwise, with member
-        seeds spawned from :attr:`seed`.
+        Returns a single environment when ``num_envs == 1`` (the bit-exact
+        historical path) and a :class:`~repro.sim.vec_env.VecSchedulingEnv`
+        (or its streaming variant) otherwise, with member seeds spawned from
+        :attr:`seed`.
         """
         from repro.sim.vec_env import VecSchedulingEnv
         from repro.utils.seeding import spawn_generators
 
         if self.num_envs == 1:
             return self.make_env()
-        return VecSchedulingEnv(
-            [self.make_env(rng=rng) for rng in spawn_generators(self.seed, self.num_envs)]
-        )
+        members = [
+            self.make_env(rng=rng)
+            for rng in spawn_generators(self.seed, self.num_envs)
+        ]
+        assert self.workload is not None
+        if self.workload.is_streaming:
+            from repro.sim.streaming import VecStreamingEnv
+
+            return VecStreamingEnv(members)
+        return VecSchedulingEnv(members)
 
 
 @dataclass(frozen=True)

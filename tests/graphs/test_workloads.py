@@ -1,0 +1,137 @@
+"""Workload registry: named job distributions behind one surface."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import workloads
+from repro.graphs.durations import GENERIC_DURATIONS, duration_table_for
+from repro.graphs.workloads import (
+    MIXABLE_FAMILIES,
+    Workload,
+    combined_duration_table,
+    register_workload,
+)
+
+
+class TestRegistrySurface:
+    """The same get/get_entry/available/entries surface as the schedulers."""
+
+    def test_builtins_registered(self):
+        names = workloads.available()
+        assert {"single", "size-mixture", "random-structure",
+                "mixed-families"} <= set(names)
+        assert names == sorted(names)
+
+    def test_entries_align_with_available(self):
+        assert [e.name for e in workloads.entries()] == workloads.available()
+        for entry in workloads.entries():
+            assert entry.description
+            assert isinstance(entry.params, tuple)
+
+    def test_unknown_name_raises_with_list(self):
+        with pytest.raises(KeyError, match="available"):
+            workloads.get("no-such-workload")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(
+                "single", lambda: Workload("x", GENERIC_DURATIONS, lambda r: None)
+            )
+
+    def test_get_builds_a_workload(self):
+        wl = workloads.get("single", kernel="lu", tiles=3)
+        assert isinstance(wl, Workload)
+        assert wl.durations is duration_table_for("lu")
+
+    def test_factory_rejects_unknown_params(self):
+        with pytest.raises(TypeError):
+            workloads.get("single", tile="oops")
+
+
+class TestSingleWorkload:
+    def test_sample_is_fixed_and_consumes_no_rng(self):
+        wl = workloads.get("single", kernel="cholesky", tiles=4)
+        rng = np.random.default_rng(0)
+        state_before = rng.bit_generator.state
+        a = wl.sample(rng)
+        b = wl.sample(rng)
+        assert a is b
+        assert rng.bit_generator.state == state_before
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="options"):
+            workloads.get("single", kernel="fft")
+
+
+class TestSizeMixture:
+    def test_samples_only_requested_tile_counts(self):
+        wl = workloads.get("size-mixture", kernel="cholesky",
+                           tile_choices=(2, 3))
+        rng = np.random.default_rng(1)
+        sizes = {wl.sample(rng).num_tasks for _ in range(20)}
+        chol = {2: 4, 3: 10}  # cholesky task counts at T=2,3
+        assert sizes <= set(chol.values())
+        assert len(sizes) == 2  # both choices appear within 20 draws
+
+    def test_types_valid_under_table(self):
+        wl = workloads.get("size-mixture", kernel="qr", tile_choices=(2,))
+        g = wl.sample(np.random.default_rng(0))
+        assert g.task_types.max() < wl.durations.num_kernels
+
+
+class TestMixedFamilies:
+    def test_combined_vocabulary_is_prefixed_and_concatenated(self):
+        table = combined_duration_table(("cholesky", "lu"))
+        chol = duration_table_for("cholesky")
+        lu = duration_table_for("lu")
+        assert table.num_kernels == chol.num_kernels + lu.num_kernels
+        assert table.kernel_names[0].startswith("cholesky:")
+        assert table.kernel_names[-1].startswith("lu:")
+        np.testing.assert_array_equal(
+            table.table[: chol.num_kernels], chol.table
+        )
+        np.testing.assert_array_equal(
+            table.table[chol.num_kernels:], lu.table
+        )
+
+    def test_samples_cover_families_with_offset_types(self):
+        wl = workloads.get(
+            "mixed-families", families=("cholesky", "lu"), tile_choices=(2, 3)
+        )
+        chol_kernels = duration_table_for("cholesky").num_kernels
+        rng = np.random.default_rng(3)
+        seen = set()
+        for _ in range(30):
+            g = wl.sample(rng)
+            assert g.type_names == wl.durations.kernel_names
+            assert g.task_types.max() < wl.durations.num_kernels
+            seen.add("cholesky" if g.task_types.min() < chol_kernels else "lu")
+        assert seen == {"cholesky", "lu"}
+
+    def test_random_family_jobs_use_generic_band(self):
+        wl = workloads.get(
+            "mixed-families", families=("cholesky", "random"),
+            tile_choices=(2,), min_nodes=5, max_nodes=8,
+        )
+        chol_kernels = duration_table_for("cholesky").num_kernels
+        rng = np.random.default_rng(0)
+        randoms = [
+            g for g in (wl.sample(rng) for _ in range(20))
+            if g.name.startswith("random")
+        ]
+        assert randoms  # the family does get drawn
+        for g in randoms:
+            assert g.task_types.min() >= chol_kernels
+
+    def test_validation(self):
+        with pytest.raises(KeyError, match="unknown family"):
+            workloads.get("mixed-families", families=("cholesky", "fft"))
+        with pytest.raises(ValueError, match="non-empty"):
+            workloads.get("mixed-families", families=())
+        with pytest.raises(ValueError, match="duplicate"):
+            workloads.get("mixed-families", families=("lu", "lu"))
+        with pytest.raises(ValueError, match="non-empty"):
+            workloads.get("mixed-families", tile_choices=())
+
+    def test_mixable_families_constant(self):
+        assert MIXABLE_FAMILIES == ("cholesky", "lu", "qr", "random")

@@ -194,3 +194,69 @@ class TestRequestReply:
         with pytest.raises(ValueError, match="status"):
             DecisionReply(session="s1", seq=1, status="maybe")
         assert len(REPLY_STATUSES) == 4
+
+
+class TestStreamingExtensions:
+    """PR 9 wire additions: job attribution + extra node features.
+
+    Both are strictly additive — payloads from pre-streaming clients decode
+    unchanged, and single-job payloads stay byte-identical."""
+
+    def test_extra_node_features_round_trip(self):
+        obs = make_obs()
+        obs.extra_node_features = 2
+        back = decode_observation(encode_observation(obs))
+        assert back.extra_node_features == 2
+        assert np.array_equal(back.features, obs.features)
+
+    def test_zero_extra_features_omitted_from_wire(self):
+        payload = encode_observation(make_obs())
+        assert "extra_node_features" not in payload
+        assert decode_observation(payload).extra_node_features == 0
+
+    def test_job_block_round_trip(self):
+        req = DecisionRequest(
+            session="s1", seq=2, obs=make_obs(), job_id=3, arrived_at=17.25
+        )
+        payload = encode_request(req)
+        assert payload["job"] == {"id": 3, "arrived_at": 17.25}
+        back = decode_request(payload)
+        assert back.job_id == 3
+        # codec round-trips are bitwise by contract, not approximate
+        assert back.arrived_at == 17.25  # repro-lint: disable=RPR007 -- bitwise codec contract
+
+    def test_job_block_omitted_when_unset(self):
+        payload = encode_request(
+            DecisionRequest(session="s1", seq=1, obs=make_obs())
+        )
+        assert "job" not in payload
+        back = decode_request(payload)
+        assert back.job_id is None
+        assert back.arrived_at is None
+
+    def test_old_payloads_decode_unchanged(self):
+        """A payload with neither block — what a pre-streaming client sends —
+        decodes exactly as before."""
+        payload = json.loads(json.dumps(encode_request(
+            DecisionRequest(session="legacy", seq=9, obs=make_obs())
+        )))
+        back = decode_request(payload)
+        assert back.session == "legacy"
+        assert back.job_id is None
+        assert back.obs.extra_node_features == 0
+
+    def test_job_block_without_id_rejected(self):
+        payload = encode_request(
+            DecisionRequest(session="s1", seq=1, obs=make_obs(), job_id=0)
+        )
+        del payload["job"]["id"]
+        with pytest.raises(CodecError, match="'id'"):
+            decode_request(payload)
+
+    def test_malformed_job_block_rejected(self):
+        payload = encode_request(
+            DecisionRequest(session="s1", seq=1, obs=make_obs(), job_id=0)
+        )
+        payload["job"] = {"id": "not-a-number"}
+        with pytest.raises(CodecError, match="job block"):
+            decode_request(payload)

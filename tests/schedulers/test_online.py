@@ -1,0 +1,159 @@
+"""Online re-invocation baselines: static sanity, streaming drive, registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cholesky_dag, duration_table_for, workloads
+from repro.platforms import NoNoise, Platform
+from repro.schedulers import (
+    OnlineHEFTScheduler,
+    OnlineMCTScheduler,
+    OnlineSufferageScheduler,
+    available,
+    get_entry,
+    heft_makespan,
+    run_dynamic,
+    run_online_heft,
+    run_online_mct,
+    run_online_sufferage,
+)
+from repro.schedulers.base import EnvBoundSchedulerPolicy
+from repro.sim import Simulation
+from repro.sim.streaming import StreamingSchedulingEnv, TraceArrivals
+
+PLATFORM = Platform(2, 2)
+DURATIONS = duration_table_for("cholesky")
+
+
+def _sim(tiles=4, seed=0):
+    return Simulation(
+        cholesky_dag(tiles), PLATFORM, DURATIONS, NoNoise(), rng=seed
+    )
+
+
+class TestStaticBehaviour:
+    """On a single static DAG the adapters are sane schedulers."""
+
+    def test_online_heft_close_to_static_heft(self):
+        graph = cholesky_dag(4)
+        heft = heft_makespan(graph, PLATFORM, DURATIONS)
+        mk = run_online_heft(_sim(4), rng=0)
+        # dynamically-executed plan: same assignment, eager starts
+        assert mk <= 1.1 * heft
+
+    def test_online_heft_is_draw_order_independent(self):
+        """Reservations are disjoint per processor, so the processor offer
+        order cannot change the executed schedule (the property the 2-job
+        streaming parity test leans on)."""
+        mks = {run_online_heft(_sim(4, seed=s), rng=s) for s in range(5)}
+        assert len(mks) == 1
+
+    def test_online_mct_and_sufferage_complete(self):
+        heft = heft_makespan(cholesky_dag(4), PLATFORM, DURATIONS)
+        for runner in (run_online_mct, run_online_sufferage):
+            mk = runner(_sim(4), rng=0)
+            assert np.isfinite(mk)
+            assert mk <= 1.5 * heft
+
+    def test_no_deadlock_on_single_processor(self):
+        single = Platform(1, 0)
+        graph = cholesky_dag(3)
+        for scheduler in (
+            OnlineHEFTScheduler(),
+            OnlineMCTScheduler(),
+            OnlineSufferageScheduler(),
+        ):
+            sim = Simulation(graph, single, DURATIONS, NoNoise(), rng=0)
+            assert np.isfinite(run_dynamic(sim, scheduler, rng=0))
+
+
+class TestStreamingDrive:
+    """The adapters drive streaming episodes through the Policy surface."""
+
+    @pytest.mark.parametrize(
+        "scheduler_cls",
+        [OnlineHEFTScheduler, OnlineMCTScheduler, OnlineSufferageScheduler],
+    )
+    def test_completes_multi_job_episode(self, scheduler_cls):
+        env = StreamingSchedulingEnv(
+            workloads.get("mixed-families", families=("cholesky", "lu"),
+                          tile_choices=(2, 3)),
+            PLATFORM, arrival=TraceArrivals([0.0, 6.0, 18.0]),
+            noise=NoNoise(), rng=0, reward_mode="slowdown",
+        )
+        policy = EnvBoundSchedulerPolicy(scheduler_cls(), env)
+        obs = env.reset(seed=5).obs
+        policy.reset()
+        for _ in range(100_000):
+            result = env.step(policy.decide(obs))
+            if result.done:
+                assert result.info["completed_jobs"] == 3
+                assert all(np.isfinite(result.info["jcts"]))
+                return
+            obs = result.obs
+        raise AssertionError("episode did not terminate")
+
+    def test_replan_happens_per_arrival(self):
+        """The HEFT adapter replans exactly once per released-job count."""
+        replans = []
+        class Counting(OnlineHEFTScheduler):
+            def _replan(self, sim):
+                replans.append(self._plan_released)
+                super()._replan(sim)
+
+        env = StreamingSchedulingEnv(
+            workloads.get("single", kernel="cholesky", tiles=3),
+            PLATFORM, arrival=TraceArrivals([0.0, 7.0, 13.0]),
+            noise=NoNoise(), rng=0,
+        )
+        policy = EnvBoundSchedulerPolicy(Counting(), env)
+        obs = env.reset(seed=1).obs
+        policy.reset()
+        while True:
+            result = env.step(policy.decide(obs))
+            if result.done:
+                break
+            obs = result.obs
+        assert len(replans) == 3  # one per arrival, none in between
+
+    def test_env_bound_policy_rebinds_across_episodes(self):
+        env = StreamingSchedulingEnv(
+            workloads.get("single", kernel="cholesky", tiles=2),
+            PLATFORM, arrival=TraceArrivals([0.0, 4.0]),
+            noise=NoNoise(), rng=0,
+        )
+        policy = EnvBoundSchedulerPolicy(OnlineMCTScheduler(), env)
+        sims = []
+        for episode in range(2):
+            obs = env.reset(seed=episode).obs
+            policy.reset()
+            sims.append(policy._policy.sim)
+            while True:
+                result = env.step(policy.decide(obs))
+                if result.done:
+                    break
+                obs = result.obs
+        assert sims[0] is not sims[1]  # fresh Simulation each reset
+
+    def test_env_bound_policy_requires_live_sim(self):
+        env = StreamingSchedulingEnv(
+            workloads.get("single", kernel="cholesky", tiles=2),
+            PLATFORM, arrival=TraceArrivals([0.0]), noise=NoNoise(), rng=0,
+        )
+        policy = EnvBoundSchedulerPolicy(OnlineMCTScheduler(), env)
+        with pytest.raises(RuntimeError, match="reset the env first"):
+            policy.reset()
+
+
+class TestRegistry:
+    def test_online_names_registered_with_classes(self):
+        names = available()
+        for name, cls in (
+            ("online-heft", OnlineHEFTScheduler),
+            ("online-mct", OnlineMCTScheduler),
+            ("online-sufferage", OnlineSufferageScheduler),
+        ):
+            assert name in names
+            entry = get_entry(name)
+            assert entry.cls is cls
+            assert "streaming" in entry.description

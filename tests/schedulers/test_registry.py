@@ -19,6 +19,7 @@ from repro.schedulers.mct import MCTScheduler
 EXPECTED = {
     "heft", "mct", "random", "greedy-eft", "rank-priority",
     "min-min", "max-min", "sufferage", "fifo", "peft",
+    "online-heft", "online-mct", "online-sufferage",
 }
 
 

@@ -101,4 +101,5 @@ def test_registry_lists_all_expected():
     assert {
         "heft", "mct", "random", "greedy-eft", "rank-priority",
         "min-min", "max-min", "sufferage", "fifo", "peft",
+        "online-heft", "online-mct", "online-sufferage",
     } == set(RUNNERS)

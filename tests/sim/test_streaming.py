@@ -1,0 +1,336 @@
+"""Streaming multi-job environment: arrivals, rewards, determinism, parity."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cholesky_dag, workloads
+from repro.platforms import NoNoise, Platform
+from repro.schedulers import OnlineHEFTScheduler, run_dynamic
+from repro.schedulers.base import EnvBoundSchedulerPolicy
+from repro.sim import Simulation
+from repro.sim.env import SchedulingEnv
+from repro.sim.streaming import (
+    JobStateBuilder,
+    PoissonArrivals,
+    StreamingSchedulingEnv,
+    TraceArrivals,
+    VecStreamingEnv,
+    disjoint_union,
+    make_arrival,
+)
+from repro.utils.seeding import spawn_seed_sequences
+
+
+PLATFORM = Platform(2, 2)
+
+
+def _single(tiles=3):
+    return workloads.get("single", kernel="cholesky", tiles=tiles)
+
+
+def _run_first_ready(env, seed=0):
+    """Drive one episode always starting the first ready task."""
+    reset = env.reset(seed=seed)
+    rewards, infos = [], reset.info
+    obs = reset.obs
+    for _ in range(100_000):
+        result = env.step(0)
+        rewards.append(result.reward)
+        if result.done:
+            return reset.info, rewards, result.info
+        obs = result.obs
+    raise AssertionError("episode did not terminate")
+
+
+class TestArrivalProcesses:
+    def test_poisson_first_job_at_zero_and_sorted(self):
+        times = PoissonArrivals(rate=0.01).times(np.random.default_rng(0), 6)
+        # job 0 is pinned to t=0 by construction, not by float arithmetic
+        assert times[0] == 0.0  # repro-lint: disable=RPR007 -- exact by construction
+        assert np.all(np.diff(times) >= 0)
+        assert times.shape == (6,)
+
+    def test_poisson_rate_validated(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(0.0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TraceArrivals([])
+        with pytest.raises(ValueError, match=">= 0"):
+            TraceArrivals([-1.0])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceArrivals([3.0, 1.0])
+
+    def test_trace_consumes_no_rng(self):
+        rng = np.random.default_rng(5)
+        state = rng.bit_generator.state
+        TraceArrivals([0.0, 2.0]).times(rng, 2)
+        assert rng.bit_generator.state == state
+
+    def test_trace_over_request_raises(self):
+        with pytest.raises(ValueError, match="2 arrivals, 3 requested"):
+            TraceArrivals([0.0, 1.0]).times(np.random.default_rng(0), 3)
+
+    def test_trace_from_file(self, tmp_path):
+        path = tmp_path / "arrivals.txt"
+        path.write_text("# a comment\n0.0\n\n1.5  # inline\n3.0\n")
+        trace = TraceArrivals.from_file(str(path))
+        assert trace.instants == (0.0, 1.5, 3.0)
+
+    def test_trace_from_file_bad_line_names_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.0\nnope\n")
+        with pytest.raises(ValueError, match=r"bad\.txt:2"):
+            TraceArrivals.from_file(str(path))
+
+    def test_make_arrival_dispatch(self):
+        assert make_arrival("none") is None
+        assert isinstance(make_arrival("poisson", rate=0.5), PoissonArrivals)
+        assert isinstance(make_arrival("trace", trace=[0.0]), TraceArrivals)
+        with pytest.raises(KeyError, match="options"):
+            make_arrival("weibull")
+
+
+class TestDisjointUnion:
+    def test_offsets_and_job_of(self):
+        a, b = cholesky_dag(2), cholesky_dag(3)
+        graph, job_of, offsets = disjoint_union([a, b])
+        assert graph.num_tasks == a.num_tasks + b.num_tasks
+        np.testing.assert_array_equal(offsets, [0, a.num_tasks])
+        assert list(job_of[: a.num_tasks]) == [0] * a.num_tasks
+        assert list(job_of[a.num_tasks:]) == [1] * b.num_tasks
+        # edges of job 1 live entirely in job 1's id range
+        late = graph.edges[graph.edges[:, 0] >= a.num_tasks]
+        assert np.all(late >= a.num_tasks)
+
+    def test_vocabulary_mismatch_raises(self):
+        wl = workloads.get("mixed-families", families=("cholesky", "lu"))
+        mixed = wl.sample(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="kernel vocabulary"):
+            disjoint_union([cholesky_dag(2), mixed])
+
+
+class TestJobStateBuilder:
+    def test_appends_two_job_columns(self):
+        wl = _single(3)
+        env = StreamingSchedulingEnv(
+            wl, PLATFORM, arrival=TraceArrivals([0.0, 4.0]),
+            noise=NoNoise(), rng=0,
+        )
+        base = SchedulingEnv(
+            wl.sample(np.random.default_rng(0)), PLATFORM, wl.durations,
+            NoNoise(), rng=0,
+        )
+        assert isinstance(env.state_builder, JobStateBuilder)
+        obs = env.reset(seed=1).obs
+        ref = base.reset(seed=1).obs
+        assert obs.extra_node_features == 2
+        assert obs.features.shape[1] == ref.features.shape[1] + 2
+        job_col = obs.features[:, -2]
+        age_col = obs.features[:, -1]
+        # only job 0 has arrived at t=0: ids in {1/J}, ages all zero
+        assert set(np.round(job_col, 12)) <= {0.5, 1.0}
+        np.testing.assert_allclose(age_col[job_col == 0.5], 0.0)
+
+    def test_terminal_observation_widened(self):
+        env = StreamingSchedulingEnv(
+            _single(2), PLATFORM, arrival=TraceArrivals([0.0]),
+            noise=NoNoise(), rng=0,
+        )
+        env.reset(seed=0)
+        terminal = env.state_builder.build_terminal(env.sim)
+        assert terminal.features.shape[0] == 0
+        assert terminal.extra_node_features == 2
+
+
+class TestStreamingEpisodes:
+    def test_trace_episode_completes_with_terminal_stats(self):
+        env = StreamingSchedulingEnv(
+            _single(3), PLATFORM, arrival=TraceArrivals([0.0, 10.0, 30.0]),
+            noise=NoNoise(), rng=0, reward_mode="jct",
+        )
+        reset_info, rewards, info = _run_first_ready(env, seed=3)
+        assert reset_info["num_jobs"] == 3
+        assert reset_info["arrivals"] == [0.0, 10.0, 30.0]
+        assert info["completed_jobs"] == 3
+        assert len(info["jcts"]) == 3
+        assert all(np.isfinite(info["jcts"]))
+        assert all(s > 0 for s in info["slowdowns"])
+        assert info["makespan"] >= max(info["jcts"])
+        # the dense jct return is exactly -Σ JCT / Σ ideal
+        np.testing.assert_allclose(
+            sum(rewards), -sum(info["jcts"]) / info["heft_makespan"], rtol=1e-12
+        )
+
+    def test_slowdown_return_is_minus_mean_slowdown(self):
+        env = StreamingSchedulingEnv(
+            _single(2), PLATFORM, arrival=TraceArrivals([0.0, 5.0]),
+            noise=NoNoise(), rng=0, reward_mode="slowdown",
+        )
+        _, rewards, info = _run_first_ready(env, seed=1)
+        np.testing.assert_allclose(
+            sum(rewards), -info["mean_slowdown"], rtol=1e-12
+        )
+
+    def test_makespan_mode_is_terminal_only(self):
+        env = StreamingSchedulingEnv(
+            _single(2), PLATFORM, arrival=TraceArrivals([0.0, 5.0]),
+            noise=NoNoise(), rng=0, reward_mode="makespan",
+        )
+        _, rewards, info = _run_first_ready(env, seed=1)
+        assert all(r == 0.0 for r in rewards[:-1])
+        ideal_sum = info["heft_makespan"]
+        np.testing.assert_allclose(
+            rewards[-1], (ideal_sum - info["makespan"]) / ideal_sum, rtol=1e-12
+        )
+
+    def test_poisson_episode_completes(self):
+        env = StreamingSchedulingEnv(
+            workloads.get("mixed-families", families=("cholesky", "lu"),
+                          tile_choices=(2, 3)),
+            PLATFORM, arrival=PoissonArrivals(rate=0.05), num_jobs=3,
+            noise=NoNoise(), rng=0,
+        )
+        _, _, info = _run_first_ready(env, seed=7)
+        assert info["completed_jobs"] == 3
+
+    def test_num_jobs_required_for_poisson(self):
+        with pytest.raises(ValueError, match="num_jobs is required"):
+            StreamingSchedulingEnv(
+                _single(2), PLATFORM, arrival=PoissonArrivals()
+            )
+
+    def test_horizon_drops_late_jobs(self):
+        env = StreamingSchedulingEnv(
+            _single(2), PLATFORM,
+            arrival=TraceArrivals([0.0, 5.0, 1e9]),
+            noise=NoNoise(), rng=0, horizon_time=100.0,
+        )
+        reset_info, _, info = _run_first_ready(env, seed=0)
+        assert reset_info["num_jobs"] == 2
+        assert info["num_jobs"] == 2
+
+    def test_horizon_admitting_no_job_raises(self):
+        env = StreamingSchedulingEnv(
+            _single(2), PLATFORM, arrival=TraceArrivals([50.0]),
+            noise=NoNoise(), rng=0, horizon_time=1.0,
+        )
+        with pytest.raises(RuntimeError, match="horizon_time"):
+            env.reset(seed=0)
+
+    def test_invalid_reward_mode(self):
+        with pytest.raises(ValueError, match="reward_mode"):
+            StreamingSchedulingEnv(
+                _single(2), PLATFORM, arrival=TraceArrivals([0.0]),
+                reward_mode="dense",
+            )
+
+
+class TestDeterminism:
+    """Fixed (seed, arrival trace) pins the whole episode bit-for-bit."""
+
+    def _mixed_env(self, arrival):
+        return StreamingSchedulingEnv(
+            workloads.get("mixed-families", families=("cholesky", "lu"),
+                          tile_choices=(2, 3)),
+            PLATFORM, arrival=arrival, num_jobs=3, noise=NoNoise(), rng=0,
+        )
+
+    def test_two_envs_same_seed_bit_identical(self):
+        runs = []
+        for _ in range(2):
+            env = self._mixed_env(PoissonArrivals(rate=0.05))
+            runs.append(_run_first_ready(env, seed=11))
+        (ri_a, rew_a, info_a), (ri_b, rew_b, info_b) = runs
+        assert ri_a["arrivals"] == ri_b["arrivals"]
+        assert rew_a == rew_b  # bitwise: same floats, same order
+        assert info_a["jcts"] == info_b["jcts"]
+        assert info_a["makespan"] == info_b["makespan"]
+
+    def test_vec_member_matches_standalone(self):
+        """A 1-member vec episode is bit-identical to a standalone env
+        reset with the member seed the vec spawns."""
+        vec = VecStreamingEnv([self._mixed_env(TraceArrivals([0.0, 8.0, 20.0]))])
+        assert vec.kernel is not None  # members share the SoA kernel
+        reset = vec.reset(seed=4)
+        vec_rewards = []
+        done_info = None
+        for _ in range(100_000):
+            result = vec.step([0])
+            vec_rewards.append(float(result.rewards[0]))
+            if result.dones[0]:
+                done_info = result.infos[0]
+                break
+        assert done_info is not None
+
+        child = spawn_seed_sequences(4, 1)[0]
+        solo = self._mixed_env(TraceArrivals([0.0, 8.0, 20.0]))
+        _, solo_rewards, solo_info = _run_first_ready(solo, seed=child)
+        assert vec_rewards == solo_rewards
+        assert done_info["jcts"] == solo_info["jcts"]
+        assert done_info["makespan"] == solo_info["makespan"]
+
+    def test_vec_rejects_static_members(self):
+        graph = cholesky_dag(2)
+        static = SchedulingEnv(
+            graph, PLATFORM, _single(2).durations, NoNoise(), rng=0
+        )
+        with pytest.raises(TypeError, match="StreamingSchedulingEnv"):
+            VecStreamingEnv([static])
+
+
+class TestStaticParity:
+    """NoNoise parity between streaming and the static single-DAG setting."""
+
+    def test_one_job_trace_matches_static_env(self):
+        """A 1-job [0.0] trace with the 'single' workload consumes the same
+        RNG stream as the static env, so the whole episode aligns: same
+        decision count, JCT == static makespan, and the jct return equals
+        the static dense return (both normalise by the same HEFT plan)."""
+        wl = _single(3)
+        stream = StreamingSchedulingEnv(
+            wl, PLATFORM, arrival=TraceArrivals([0.0]),
+            noise=NoNoise(), rng=0, reward_mode="jct",
+        )
+        static = SchedulingEnv(
+            wl.sample(np.random.default_rng(0)), PLATFORM, wl.durations,
+            NoNoise(), rng=0, reward_mode="dense",
+        )
+        _, stream_rewards, stream_info = _run_first_ready(stream, seed=9)
+        _, static_rewards, static_info = _run_first_ready(static, seed=9)
+        assert len(stream_rewards) == len(static_rewards)
+        assert stream_info["jcts"][0] == static_info["makespan"]
+        assert stream_info["makespan"] == static_info["makespan"]
+        np.testing.assert_allclose(stream_rewards, static_rewards, rtol=1e-12)
+
+    def test_two_separated_jobs_each_match_static_baseline(self):
+        """With NoNoise and the second arrival after the first job drains,
+        online-HEFT runs each job on an empty platform — so both JCTs equal
+        the static online-HEFT makespan exactly (its execution is
+        independent of the processor draw order)."""
+        wl = _single(3)
+        graph = wl.sample(np.random.default_rng(0))
+        sim = Simulation(graph, PLATFORM, wl.durations, NoNoise(), rng=0)
+        static_mk = run_dynamic(sim, OnlineHEFTScheduler(), rng=0)
+
+        gap = static_mk + 25.0
+        env = StreamingSchedulingEnv(
+            wl, PLATFORM, arrival=TraceArrivals([0.0, gap]),
+            noise=NoNoise(), rng=0, reward_mode="slowdown",
+        )
+        policy = EnvBoundSchedulerPolicy(OnlineHEFTScheduler(), env)
+        obs = env.reset(seed=2).obs
+        policy.reset()
+        info = None
+        for _ in range(100_000):
+            result = env.step(policy.decide(obs))
+            if result.done:
+                info = result.info
+                break
+            obs = result.obs
+        assert info is not None
+        np.testing.assert_allclose(info["jcts"], [static_mk, static_mk],
+                                   rtol=1e-12)
+        np.testing.assert_allclose(info["makespan"], gap + static_mk,
+                                   rtol=1e-12)

@@ -155,3 +155,131 @@ class TestNewSpecFields:
             ExperimentSpec(checkpoint_every=-1)
         with pytest.raises(ValueError):
             ExperimentSpec(resume=123)
+
+
+class TestWorkloadSpec:
+    def test_defaults_describe_the_static_setting(self):
+        from repro.spec import WorkloadSpec
+
+        wl = WorkloadSpec()
+        assert wl.name == "single"
+        assert wl.arrival == "none"
+        assert not wl.is_streaming
+
+    def test_unknown_registry_name_raises(self):
+        from repro.spec import WorkloadSpec
+
+        with pytest.raises(KeyError, match="available"):
+            WorkloadSpec(name="no-such-workload")
+
+    def test_strict_from_dict_with_did_you_mean(self):
+        from repro.spec import WorkloadSpec
+
+        with pytest.raises(ValueError, match="did you mean 'arrival'"):
+            WorkloadSpec.from_dict({"arival": "poisson"})
+        with pytest.raises(ValueError, match="valid keys"):
+            WorkloadSpec.from_dict({"zzzz": 1})
+
+    def test_validation(self):
+        from repro.spec import WorkloadSpec
+
+        with pytest.raises(ValueError, match="arrival"):
+            WorkloadSpec(arrival="weibull")
+        with pytest.raises(ValueError, match="rate"):
+            WorkloadSpec(rate=0.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            WorkloadSpec(arrival="trace", trace=(3.0, 1.0))
+        with pytest.raises(ValueError, match="needs a trace"):
+            WorkloadSpec(arrival="trace")
+        with pytest.raises(ValueError, match="not both"):
+            WorkloadSpec(arrival="trace", trace=(0.0,), trace_file="t.txt")
+        with pytest.raises(ValueError, match="horizon_time"):
+            WorkloadSpec(arrival="poisson", horizon_time=-1.0)
+
+    def test_json_round_trip(self):
+        from repro.spec import WorkloadSpec
+
+        wl = WorkloadSpec(
+            name="mixed-families", families=("cholesky", "lu"),
+            tile_choices=(2, 3), arrival="trace", trace=(0.0, 4.5),
+        )
+        assert WorkloadSpec.from_json(wl.to_json()) == wl
+
+    def test_streaming_spec_builds_streaming_env(self):
+        from repro.sim.streaming import StreamingSchedulingEnv, VecStreamingEnv
+
+        spec = ExperimentSpec(workload={
+            "name": "mixed-families", "arrival": "poisson",
+            "rate": 0.01, "num_jobs": 3,
+        })
+        assert spec.workload.is_streaming
+        assert spec.reward_mode == "jct"  # dense default maps to jct
+        assert isinstance(spec.make_env(), StreamingSchedulingEnv)
+        assert isinstance(
+            spec.replace(num_envs=2).make_train_env(), VecStreamingEnv
+        )
+
+    def test_streaming_reward_mode_needs_streaming_workload(self):
+        with pytest.raises(ValueError, match="streaming workload"):
+            ExperimentSpec(reward_mode="slowdown")
+
+    def test_terminal_maps_to_makespan_on_streaming(self):
+        spec = ExperimentSpec(
+            reward_mode="terminal",
+            workload={"name": "single", "arrival": "trace", "trace": [0.0]},
+        )
+        assert spec.reward_mode == "makespan"
+
+
+class TestWorkloadDeprecationShim:
+    def test_loose_keys_warn_and_auto_wrap(self):
+        with pytest.warns(DeprecationWarning, match="workload"):
+            spec = ExperimentSpec.from_dict({"kernel": "lu", "tiles": 5})
+        assert spec.workload.name == "single"
+        assert spec.workload.kernel == "lu"
+        assert spec.workload.tiles == 5
+
+    def test_nested_workload_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ExperimentSpec.from_dict(
+                {"workload": {"name": "single", "kernel": "lu", "tiles": 5}}
+            )
+
+    def test_mirror_fields_follow_the_nested_workload(self):
+        spec = ExperimentSpec(workload={"name": "single", "kernel": "qr",
+                                        "tiles": 6, "sigma": 0.3})
+        assert (spec.kernel, spec.tiles, spec.sigma) == ("qr", 6, 0.3)
+
+    def test_replace_on_a_mirror_updates_the_workload(self):
+        spec = ExperimentSpec(tiles=4).replace(tiles=7)
+        assert spec.tiles == 7
+        assert spec.workload.tiles == 7
+
+    def test_every_fixture_spec_round_trips_through_the_shim(self):
+        """Every pre-streaming spec JSON in tests/fixtures loads (with the
+        deprecation warning), preserves its loose fields as mirrors, and
+        round-trips cleanly in the new nested format."""
+        import os
+
+        fixtures = os.path.join(os.path.dirname(__file__), "fixtures")
+        paths = sorted(
+            os.path.join(fixtures, f)
+            for f in os.listdir(fixtures)
+            if f.startswith("spec_") and f.endswith(".json")
+        )
+        assert paths  # the fixture set must not silently vanish
+        for path in paths:
+            with open(path) as fh:
+                old = json.load(fh)
+            with pytest.warns(DeprecationWarning):
+                spec = ExperimentSpec.from_json(json.dumps(old))
+            for key in ("kernel", "tiles", "noise", "sigma"):
+                if key in old:
+                    assert getattr(spec, key) == old[key], path
+            assert spec.workload is not None
+            assert not spec.workload.is_streaming
+            # the re-serialised (nested) form round-trips without warning
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert ExperimentSpec.from_json(spec.to_json()) == spec
