@@ -66,7 +66,13 @@ def _sim_unroll_rates(graph, platform, schedule, seconds=1.0):
 
 
 def _rl_unroll_rates(platform, tiles=6, cycles=4, rounds=3):
-    """transitions/s of the A2C unroll+update cycle per member count."""
+    """transitions/s of the A2C cycle per member count, phase-split.
+
+    The unroll (rollout collection) and update (gradient step) phases are
+    timed separately inside each cycle so the two costs can be tracked
+    independently — the SoA simulator work moves the unroll phase, the
+    compiled training step (``test_bench_train.py``) moves the update phase.
+    """
     graph = cholesky_dag(tiles)
     rates = {}
     for k in MEMBER_COUNTS:
@@ -83,14 +89,25 @@ def _rl_unroll_rates(platform, tiles=6, cycles=4, rounds=3):
         for _ in range(2):  # warm-up
             unrolls, boots = trainer._collect_unrolls()
             trainer.updater.update_batch(unrolls, boots)
-        best = float("inf")
+        best_cycle = best_unroll = best_update = float("inf")
         for _ in range(rounds):
-            t0 = time.perf_counter()
+            unroll_s = update_s = 0.0
             for _ in range(cycles):
+                t0 = time.perf_counter()
                 unrolls, boots = trainer._collect_unrolls()
+                t1 = time.perf_counter()
                 trainer.updater.update_batch(unrolls, boots)
-            best = min(best, (time.perf_counter() - t0) / cycles)
-        rates[k] = {"transitions_per_s": 20 * k / best, "cycle_s": best}
+                unroll_s += t1 - t0
+                update_s += time.perf_counter() - t1
+            best_unroll = min(best_unroll, unroll_s / cycles)
+            best_update = min(best_update, update_s / cycles)
+            best_cycle = min(best_cycle, (unroll_s + update_s) / cycles)
+        rates[k] = {
+            "transitions_per_s": 20 * k / best_cycle,
+            "cycle_s": best_cycle,
+            "unroll_s": best_unroll,
+            "update_s": best_update,
+        }
     base = rates[MEMBER_COUNTS[0]]["transitions_per_s"]
     for k in MEMBER_COUNTS:
         rates[k]["speedup_vs_k1"] = rates[k]["transitions_per_s"] / base
@@ -138,6 +155,8 @@ def test_bench_sim_unroll(benchmark, report):
             sim_rates[k]["fused"],
             sim_rates[k]["speedup"],
             rl_rates[k]["transitions_per_s"],
+            rl_rates[k]["unroll_s"] * 1e3,
+            rl_rates[k]["update_s"] * 1e3,
             rl_rates[k]["speedup_vs_k1"],
         ]
         for k in MEMBER_COUNTS
@@ -146,7 +165,7 @@ def test_bench_sim_unroll(benchmark, report):
         "bench_sim_unroll",
         format_table(
             ["K", "sim member t/s", "sim fused t/s", "sim speedup",
-             "rl tr/s", "rl vs K=1"],
+             "rl tr/s", "rl unroll ms", "rl update ms", "rl vs K=1"],
             rows,
             floatfmt=".2f",
         ),

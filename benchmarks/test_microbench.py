@@ -131,22 +131,40 @@ def test_perf_batched_forward(benchmark, num_envs):
 
 
 @pytest.mark.parametrize("num_envs", [1, 4, 8])
-def test_perf_vec_unroll_update(benchmark, num_envs):
-    """One full A2C cycle — collect ``unroll_length`` transitions per member,
-    then one batched update.  Per-transition throughput is
-    ``num_envs * unroll_length / time``; compare across the K parametrisation
-    for the batching speed-up.
+def test_perf_vec_unroll(benchmark, num_envs):
+    """The rollout phase alone — collect ``unroll_length`` transitions per
+    member under the sampling policy (no gradient work).  Per-transition
+    throughput is ``num_envs * unroll_length / time``; compare across the K
+    parametrisation for the batched-forward speed-up.
     """
     trainer = ReadysTrainer.from_components(
         _vec_env(num_envs), config=A2CConfig(unroll_length=20), rng=0
     )
     trainer.train_updates(2)  # warm caches, JIT-free steady state
 
-    def cycle():
-        unrolls, bootstraps = trainer._collect_unrolls()
+    unrolls, _ = benchmark.pedantic(
+        trainer._collect_unrolls, rounds=5, iterations=1
+    )
+    assert len(unrolls) == num_envs
+
+
+@pytest.mark.parametrize("num_envs", [1, 4, 8])
+def test_perf_vec_update(benchmark, num_envs):
+    """The update phase alone — one batched A2C gradient step on a fixed
+    batch of pre-collected unrolls (forward + backward + clip + Adam).
+    ``benchmarks/test_bench_train.py`` measures the same phase with the
+    compiled training step for the speed-up ratio.
+    """
+    trainer = ReadysTrainer.from_components(
+        _vec_env(num_envs), config=A2CConfig(unroll_length=20), rng=0
+    )
+    trainer.train_updates(2)  # warm caches, JIT-free steady state
+    unrolls, bootstraps = trainer._collect_unrolls()
+
+    def update():
         return trainer.updater.update_batch(unrolls, bootstraps)
 
-    stats = benchmark.pedantic(cycle, rounds=5, iterations=1)
+    stats = benchmark.pedantic(update, rounds=5, iterations=1)
     assert np.isfinite(stats.policy_loss)
 
 

@@ -39,7 +39,18 @@ from repro.analysis.rules_project import (
 from repro.analysis.suppress import Suppressions, parse_suppressions
 
 #: names of repro.nn.compile that are re-exported from repro.nn (public API)
-_COMPILE_PUBLIC = {"InferenceCompiler", "CompileStats", "BufferArena"}
+_COMPILE_PUBLIC = {
+    "InferenceCompiler",
+    "CompileStats",
+    "BufferArena",
+    "TrainingCompiler",
+    "TrainStats",
+}
+
+#: engine-internal nn submodules fenced by RPR008 alongside repro.nn.compile;
+#: the C fusion core has no public surface at all — its kernels are only
+#: sound behind the training compiler's capture-time validation
+_ENGINE_INTERNAL_MODULES = ("repro.nn.fusion",)
 
 #: path fragments allowed to reach into repro.nn.compile directly
 _COMPILE_ALLOWED_DIRS = ("repro/nn/", "tests/", "benchmarks/")
@@ -143,14 +154,20 @@ class _Checker(ast.NodeVisitor):
             if not self.compile_allowed and (
                 alias.name == "repro.nn.compile"
                 or alias.name.startswith("repro.nn.compile.")
+                or any(
+                    alias.name == mod or alias.name.startswith(mod + ".")
+                    for mod in _ENGINE_INTERNAL_MODULES
+                )
             ):
                 self.report(
                     node,
                     "RPR008",
                     f"import of '{alias.name}' outside nn/, tests or "
                     f"benchmarks; use the repro.nn re-exports "
-                    f"(InferenceCompiler, CompileStats, BufferArena) or "
-                    f"ReadysAgent.enable_compiled",
+                    f"(InferenceCompiler, TrainingCompiler, CompileStats, "
+                    f"TrainStats, BufferArena), "
+                    f"ReadysAgent.enable_compiled or "
+                    f"A2CUpdater.enable_compiled_train",
                 )
         self.generic_visit(node)
 
@@ -176,15 +193,28 @@ class _Checker(ast.NodeVisitor):
                     f"benchmarks; the capture/replay plan/arena types are "
                     f"private — use the repro.nn public API",
                 )
+        elif any(
+            module == mod or module.startswith(mod + ".")
+            for mod in _ENGINE_INTERNAL_MODULES
+        ):
+            for alias in node.names:
+                self.report(
+                    node,
+                    "RPR008",
+                    f"import of engine internal '{module}.{alias.name}' "
+                    f"outside nn/, tests or benchmarks; the C fusion core "
+                    f"is only sound behind the training compiler's "
+                    f"capture-time validation — use the repro.nn public API",
+                )
         elif module == "repro.nn":
             for alias in node.names:
-                if alias.name == "compile":
+                if alias.name in ("compile", "fusion"):
                     self.report(
                         node,
                         "RPR008",
-                        "importing the repro.nn.compile module outside nn/, "
-                        "tests or benchmarks; import the public names from "
-                        "repro.nn instead",
+                        f"importing the repro.nn.{alias.name} module outside "
+                        "nn/, tests or benchmarks; import the public names "
+                        "from repro.nn instead",
                     )
 
     def _resolve(self, node: ast.AST) -> Optional[str]:

@@ -114,11 +114,14 @@ RULES: Dict[str, Rule] = dict(
         _rule(
             "RPR008",
             "compile-internals",
-            "repro.nn.compile internals may only be imported from nn/, tests "
-            "or benchmarks — use the repro.nn re-exports",
+            "repro.nn.compile / repro.nn.fusion internals may only be "
+            "imported from nn/, tests or benchmarks — use the repro.nn "
+            "re-exports",
             rationale="The capture/replay engine's plan/arena/step types are "
-            "private; consumers use the public re-exports or the agent's "
-            "`enable_compiled` API so the engine can evolve freely. "
+            "private, and the C fusion core's kernels are only sound behind "
+            "the training compiler's capture-time validation; consumers use "
+            "the public re-exports or the `enable_compiled` / "
+            "`enable_compiled_train` APIs so the engine can evolve freely. "
             "Generalized by RPR100's whole-project layer contract.",
         ),
         _rule(

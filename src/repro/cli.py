@@ -147,6 +147,34 @@ def _add_compiled_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_compiled_train_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compiled-train", action=argparse.BooleanOptionalAction, default=False,
+        help="capture/replay compiled gradient updates: fused forward + "
+             "backward + Adam kernels, validated bit-identical against the "
+             "autograd tape at capture time (learning curves are unchanged)",
+    )
+
+
+def _print_train_compile_stats(trainer) -> None:
+    """One status line of training-compiler counters (plans, validation)."""
+    stats_fn = getattr(getattr(trainer, "updater", None), "train_compile_stats", None)
+    stats = stats_fn() if stats_fn is not None else None
+    if stats is None:
+        return
+    print(
+        "compiled-train: {captures} captures / {replays} replays "
+        "(hit rate {rate:.3f}), fallbacks {fallbacks}, "
+        "validation failures {validation_failures}, "
+        "arena {arena_kib:.1f} KiB".format(
+            rate=stats["hit_rate"],
+            arena_kib=stats["arena_bytes"] / 1024.0,
+            **{k: stats[k] for k in
+               ("captures", "replays", "fallbacks", "validation_failures")},
+        )
+    )
+
+
 def _print_compile_stats(agent) -> None:
     """One status line of engine counters (plan cache, memo, arena)."""
     stats = agent.compile_stats()
@@ -285,6 +313,9 @@ def cmd_train(args) -> int:
                 checkpoint_every=spec.checkpoint_every,
                 checkpoint_path=args.checkpoint,
             )
+            train_comp = getattr(trainer.updater, "_train_compiler", None)
+            if train_comp is not None:
+                train_comp.publish_metrics(obs.METRICS)
     finally:
         close = getattr(trainer, "close", None)  # worker pools need teardown
         if close is not None:
@@ -292,6 +323,7 @@ def cmd_train(args) -> int:
     ms = trainer.result.episode_makespans
     if getattr(trainer.agent, "compiled", False):
         _print_compile_stats(trainer.agent)
+    _print_train_compile_stats(trainer)
     if spec.workload.is_streaming:
         tail = f"{np.mean(ms[-10:]):.2f}" if len(ms) else "n/a (none finished)"
         print(
@@ -546,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--out", default=None,
                          help="weight-only agent checkpoint (.npz) output path")
     _add_compiled_args(p_train)
+    _add_compiled_train_arg(p_train)
     _add_obs_args(p_train)
     _add_workload_args(p_train)
     p_train.set_defaults(func=cmd_train)

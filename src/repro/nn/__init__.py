@@ -43,7 +43,13 @@ from repro.nn.sparse import (
     edges_to_sparse_adjacency,
     block_diag_adjacency_sparse,
 )
-from repro.nn.compile import BufferArena, CompileStats, InferenceCompiler
+from repro.nn.compile import (
+    BufferArena,
+    CompileStats,
+    InferenceCompiler,
+    TrainingCompiler,
+    TrainStats,
+)
 from repro.nn import init
 
 __all__ = [
@@ -81,5 +87,7 @@ __all__ = [
     "InferenceCompiler",
     "CompileStats",
     "BufferArena",
+    "TrainingCompiler",
+    "TrainStats",
     "init",
 ]

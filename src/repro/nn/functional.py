@@ -230,6 +230,53 @@ def segment_log_softmax(x: Tensor, segment_ids: np.ndarray, num_segments: int) -
     return x - lse[ids]
 
 
+def clipped_surrogate(
+    log_probs: Tensor,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    clip_epsilon: float,
+) -> Tensor:
+    """Per-transition PPO clipped-surrogate objective terms (negated).
+
+    ``log_probs`` are the current policy's log-probabilities of the taken
+    actions; ``old_log_probs``/``advantages`` are rollout-time constants.
+    Each term is ``ratio * (-advantage)`` when the probability ratio is
+    inside the trust region and a zero-valued, zero-gradient term when the
+    clip binds (PPO's pessimistic min, expressed as a constant keep-mask so
+    the whole batch stays one fused elementwise expression).  Minimising the
+    sum of these terms maximises the clipped surrogate.
+    """
+    if not 0.0 < clip_epsilon < 1.0:
+        raise ValueError(f"clip_epsilon must be in (0, 1), got {clip_epsilon}")
+    _taint_capture("clipped_surrogate")
+    old = np.asarray(old_log_probs, dtype=np.float64)
+    adv = np.asarray(advantages, dtype=np.float64)
+    if old.shape != log_probs.shape or adv.shape != log_probs.shape:
+        raise ValueError(
+            f"shape mismatch: log_probs {log_probs.shape}, "
+            f"old_log_probs {old.shape}, advantages {adv.shape}"
+        )
+    ratio = (log_probs - Tensor(old)).exp()
+    r = ratio.data
+    lo, hi = 1.0 - clip_epsilon, 1.0 + clip_epsilon
+    # clip binds when moving further in the advantage direction would leave
+    # the trust region; the surrogate is then flat (constant) in the policy
+    clipped = ((adv >= 0.0) & (r > hi)) | ((adv < 0.0) & (r < lo))
+    return ratio * Tensor(np.where(clipped, 0.0, -adv))
+
+
+def entropy_bonus(log_probs: Tensor) -> Tensor:
+    """Total Shannon entropy of already-normalised log-probabilities.
+
+    ``-(Σ exp(lp)·lp)`` over every entry: for a flat vector of per-decision
+    :func:`segment_log_softmax` outputs this sums the per-decision entropies,
+    giving the exploration bonus term β·H(π) of the A2C/PPO losses without a
+    second normalisation pass.
+    """
+    p = log_probs.exp()
+    return -(p * log_probs).sum()
+
+
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean squared error; the critic's Bellman-error loss."""
     diff = prediction - target

@@ -1,0 +1,245 @@
+"""ctypes loader for the C fusion core (``_fusion.c``).
+
+The compiled training step (:class:`repro.nn.compile.TrainingCompiler`) is
+memory-bound in pure NumPy: the forward/backward replay walks the same
+``(m, hidden)`` float64 arrays a dozen times because NumPy cannot fuse
+elementwise chains or stream ``reduceat`` segments.  The C core fuses those
+passes while reproducing each NumPy op sequence *bitwise* (see the header
+comment of ``_fusion.c`` for the per-kernel argument) — and capture-time
+validation in the training compiler re-checks the whole program against the
+reference tape anyway, so a deviation demotes the plan to the reference
+fallback instead of corrupting training.
+
+The shared object is built on first use with the C compiler already in the
+image (``cc -O3 -ffp-contract=off``) and cached under
+``~/.cache/repro-fusion/`` keyed by source hash.  Anything missing — no
+compiler, sandboxed cache dir, dlopen failure — degrades to ``load()``
+returning ``None`` and callers staying on their pure-NumPy kernels.  Set
+``REPRO_NO_FUSION=1`` to force that path (the bench harness uses it to
+measure the NumPy fallback).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("_fusion.c")
+
+# resolved once per process: None = not attempted, False = unavailable
+_LIB: object = None
+
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_I32 = ctypes.POINTER(ctypes.c_int32)
+_F64 = ctypes.POINTER(ctypes.c_double)
+_U8 = ctypes.POINTER(ctypes.c_uint8)
+
+# fixed column capacity of the stack accumulators in pairwise_rows()
+MAX_WIDTH = 64
+
+
+class FusionLib:
+    """Typed handle over the compiled fusion core.
+
+    Thin wrappers that translate NumPy arrays to pointers; every array must
+    be C-contiguous float64 / int64 / int32 / uint8 as noted.  No shape
+    checking beyond what keeps the C code memory-safe — these are internal
+    kernels behind the training compiler's validation gate.
+    """
+
+    def __init__(self, cdll: ctypes.CDLL) -> None:
+        self._lib = cdll
+        for name, argtypes in {
+            "seg_sum": (ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64, _F64, _F64),
+            "seg_max": (ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64, _F64, _F64),
+            "spmm_i32": (ctypes.c_int64, ctypes.c_int64, _I32, _I32, _F64, _F64, _F64),
+            "spmm_i64": (ctypes.c_int64, ctypes.c_int64, _I64, _I64, _F64, _F64, _F64),
+            "spmm_bias_relu_i32": (ctypes.c_int64, ctypes.c_int64, _I32, _I32, _F64, _F64, _F64, _F64, _U8),
+            "spmm_bias_relu_i64": (ctypes.c_int64, ctypes.c_int64, _I64, _I64, _F64, _F64, _F64, _F64, _U8),
+            "pool_fwd": (ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64, _F64, _F64, _F64, _U8, _F64),
+            "bias_relu": (ctypes.c_int64, ctypes.c_int64, _F64, _F64, _U8),
+            "relu_bwd": (ctypes.c_int64, ctypes.c_int64, _F64, _U8, _F64, _F64),
+            "maxpool_tail": (ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64, _F64, _F64, _U8, _F64),
+            "gh_accum": (ctypes.c_int64, ctypes.c_int64, _I64, _I64, _F64, _F64, _U8, _F64, _F64),
+        }.items():
+            fn = getattr(cdll, name)
+            fn.argtypes = list(argtypes)
+            fn.restype = None
+
+    @staticmethod
+    def _p(arr: np.ndarray, ptype):
+        return arr.ctypes.data_as(ptype)
+
+    def seg_sum(self, starts: np.ndarray, x: np.ndarray, out: np.ndarray) -> None:
+        self._lib.seg_sum(
+            starts.shape[0], x.shape[0], x.shape[1],
+            self._p(starts, _I64), self._p(x, _F64), self._p(out, _F64),
+        )
+
+    def seg_max(self, starts: np.ndarray, x: np.ndarray, out: np.ndarray) -> None:
+        self._lib.seg_max(
+            starts.shape[0], x.shape[0], x.shape[1],
+            self._p(starts, _I64), self._p(x, _F64), self._p(out, _F64),
+        )
+
+    def spmm(self, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray,
+             x: np.ndarray, out: np.ndarray) -> None:
+        if indptr.dtype == np.int32:
+            self._lib.spmm_i32(
+                out.shape[0], x.shape[1], self._p(indptr, _I32),
+                self._p(indices, _I32), self._p(data, _F64),
+                self._p(x, _F64), self._p(out, _F64),
+            )
+        else:
+            self._lib.spmm_i64(
+                out.shape[0], x.shape[1], self._p(indptr, _I64),
+                self._p(indices, _I64), self._p(data, _F64),
+                self._p(x, _F64), self._p(out, _F64),
+            )
+
+    def spmm_bias_relu(self, indptr: np.ndarray, indices: np.ndarray,
+                       data: np.ndarray, bias: np.ndarray, x: np.ndarray,
+                       h: np.ndarray, mask: np.ndarray) -> None:
+        if indptr.dtype == np.int32:
+            self._lib.spmm_bias_relu_i32(
+                h.shape[0], x.shape[1], self._p(indptr, _I32),
+                self._p(indices, _I32), self._p(data, _F64),
+                self._p(bias, _F64), self._p(x, _F64),
+                self._p(h, _F64), self._p(mask, _U8),
+            )
+        else:
+            self._lib.spmm_bias_relu_i64(
+                h.shape[0], x.shape[1], self._p(indptr, _I64),
+                self._p(indices, _I64), self._p(data, _F64),
+                self._p(bias, _F64), self._p(x, _F64),
+                self._p(h, _F64), self._p(mask, _U8),
+            )
+
+    def pool_fwd(self, starts: np.ndarray, h: np.ndarray, mp: np.ndarray,
+                 pooled: np.ndarray, pmask: np.ndarray,
+                 counts: np.ndarray) -> None:
+        self._lib.pool_fwd(
+            mp.shape[0], h.shape[0], h.shape[1], self._p(starts, _I64),
+            self._p(h, _F64), self._p(mp, _F64), self._p(pooled, _F64),
+            self._p(pmask, _U8), self._p(counts, _F64),
+        )
+
+    def bias_relu(self, bias: np.ndarray, h: np.ndarray, mask: np.ndarray) -> None:
+        self._lib.bias_relu(
+            h.shape[0], h.shape[1],
+            self._p(bias, _F64), self._p(h, _F64), self._p(mask, _U8),
+        )
+
+    def relu_bwd(self, g: np.ndarray, mask: np.ndarray, ga: np.ndarray,
+                 bias_grad: np.ndarray) -> None:
+        self._lib.relu_bwd(
+            g.shape[0], g.shape[1],
+            self._p(g, _F64), self._p(mask, _U8),
+            self._p(ga, _F64), self._p(bias_grad, _F64),
+        )
+
+    def maxpool_tail(self, gids: np.ndarray, h: np.ndarray, pooled: np.ndarray,
+                     pmask: np.ndarray, counts: np.ndarray) -> None:
+        self._lib.maxpool_tail(
+            h.shape[0], h.shape[1], pooled.shape[0],
+            self._p(gids, _I64), self._p(h, _F64), self._p(pooled, _F64),
+            self._p(pmask, _U8), self._p(counts, _F64),
+        )
+
+    def gh_accum(self, gids: np.ndarray, ready_inv: np.ndarray,
+                 gmp_div: np.ndarray, gpool_div: np.ndarray, pmask: np.ndarray,
+                 gready: np.ndarray, gh: np.ndarray) -> None:
+        self._lib.gh_accum(
+            gh.shape[0], gh.shape[1],
+            self._p(gids, _I64), self._p(ready_inv, _I64),
+            self._p(gmp_div, _F64), self._p(gpool_div, _F64),
+            self._p(pmask, _U8), self._p(gready, _F64), self._p(gh, _F64),
+        )
+
+
+def _find_compiler() -> Optional[str]:
+    for cand in ("cc", "gcc", "clang"):
+        path = _which(cand)
+        if path:
+            return path
+    return None
+
+
+def _which(name: str) -> Optional[str]:
+    for d in os.environ.get("PATH", "").split(os.pathsep):
+        cand = os.path.join(d, name)
+        if os.path.isfile(cand) and os.access(cand, os.X_OK):
+            return cand
+    return None
+
+
+def _build(source: Path) -> Optional[Path]:
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    text = source.read_bytes()
+    digest = hashlib.sha256(text).hexdigest()[:16]
+    cache_dir = Path(
+        os.environ.get("REPRO_FUSION_CACHE")
+        or Path.home() / ".cache" / "repro-fusion"
+    )
+    so_path = cache_dir / f"fusion-{digest}.so"
+    if so_path.exists():
+        return so_path
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(
+            dir=cache_dir, suffix=".so", delete=False
+        ) as tmp:
+            tmp_path = Path(tmp.name)
+        # -ffp-contract=off is load-bearing: contracted FMAs change bits
+        result = subprocess.run(
+            [
+                compiler, "-O3", "-shared", "-fPIC", "-ffp-contract=off",
+                str(source), "-o", str(tmp_path), "-lm",
+            ],
+            capture_output=True,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            tmp_path.unlink(missing_ok=True)
+            return None
+        tmp_path.replace(so_path)  # atomic under concurrent builders
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def load() -> Optional[FusionLib]:
+    """The process-wide fusion core, or ``None`` when unavailable.
+
+    Compiles and caches the shared object on first call; later calls reuse
+    the resolved handle.  Returns ``None`` (permanently for the process) if
+    ``REPRO_NO_FUSION`` is set, no C compiler exists, the build fails, or
+    the object cannot be loaded.
+    """
+    global _LIB
+    if _LIB is False:
+        return None
+    if _LIB is not None:
+        return _LIB  # type: ignore[return-value]
+    if os.environ.get("REPRO_NO_FUSION"):
+        _LIB = False
+        return None
+    try:
+        so_path = _build(_SOURCE)
+        if so_path is None:
+            _LIB = False
+            return None
+        _LIB = FusionLib(ctypes.CDLL(str(so_path)))
+        return _LIB  # type: ignore[return-value]
+    except (OSError, AttributeError):
+        _LIB = False
+        return None

@@ -117,7 +117,19 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) with bias correction — the paper's optimiser."""
+    """Adam (Kingma & Ba) with bias correction — the paper's optimiser.
+
+    Slot layout: the first and second moments live in two *flat* backing
+    vectors (``_flat_m``/``_flat_v``); the per-parameter entries of ``_m`` and
+    ``_v`` are reshaped views into them.  When every parameter carries a
+    gradient (the training-loop case) :meth:`step` runs one fused elementwise
+    update over the flat vectors instead of a per-parameter Python loop —
+    bitwise identical, since every Adam op is elementwise and the flat vector
+    is the parameter-order concatenation the loop would have walked.  The
+    compiled training engine feeds its gradient arena straight into
+    :meth:`step_flat`.  ``state_dict`` still copies per-parameter arrays, so
+    checkpoints are format-compatible both ways.
+    """
 
     def __init__(
         self,
@@ -137,8 +149,21 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = b1, b2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        sizes = [p.size for p in self.params]
+        self._offsets = [0]
+        for s in sizes:
+            self._offsets.append(self._offsets[-1] + s)
+        total = self._offsets[-1]
+        self._flat_m = np.zeros(total)
+        self._flat_v = np.zeros(total)
+        self._m = [
+            self._flat_m[a:b].reshape(p.data.shape)
+            for p, a, b in zip(self.params, self._offsets[:-1], self._offsets[1:])
+        ]
+        self._v = [
+            self._flat_v[a:b].reshape(p.data.shape)
+            for p, a, b in zip(self.params, self._offsets[:-1], self._offsets[1:])
+        ]
         self._t = 0
 
     def state_dict(self) -> Dict[str, Any]:
@@ -149,11 +174,27 @@ class Adam(Optimizer):
         }
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
+        # _load_slots writes through the views, landing in the flat backings
         self._load_slots(self._m, state["m"])
         self._load_slots(self._v, state["v"])
         self._t = int(state["t"])
 
+    def flat_grad(self) -> np.ndarray:
+        """Parameter-order concatenation of all gradients (every one present)."""
+        grads = []
+        for p in self.params:
+            if p.grad is None:
+                raise ValueError("flat_grad requires a gradient on every parameter")
+            grads.append(np.ravel(p.grad))
+        return np.concatenate(grads)
+
     def step(self) -> None:
+        if self.weight_decay == 0.0 and all(
+            p.grad is not None for p in self.params
+        ):
+            self.step_flat(self.flat_grad())
+            return
+        # general path: weight decay or missing gradients — per-parameter loop
         self._t += 1
         b1, b2, t = self.beta1, self.beta2, self._t
         bias1 = 1.0 - b1**t
@@ -171,6 +212,33 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step_flat(self, flat_grad: np.ndarray) -> None:
+        """One fused Adam step from a flat parameter-order gradient vector.
+
+        Elementwise op-for-op mirror of the per-parameter loop (same scalar
+        factors, same expression order), so the resulting weights and moment
+        slots are bitwise identical to it.  ``flat_grad`` is read-only here.
+        """
+        if flat_grad.shape != self._flat_m.shape:
+            raise ValueError(
+                f"flat gradient has {flat_grad.shape[0] if flat_grad.ndim else 0} "
+                f"entries, optimiser manages {self._flat_m.shape[0]}"
+            )
+        self._t += 1
+        b1, b2, t = self.beta1, self.beta2, self._t
+        bias1 = 1.0 - b1**t
+        bias2 = 1.0 - b2**t
+        m, v = self._flat_m, self._flat_v
+        m *= b1
+        m += (1.0 - b1) * flat_grad
+        v *= b2
+        v += (1.0 - b2) * (flat_grad * flat_grad)
+        m_hat = m / bias1
+        v_hat = v / bias2
+        upd = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        for p, a, b in zip(self.params, self._offsets[:-1], self._offsets[1:]):
+            p.data -= upd[a:b].reshape(p.data.shape)
 
 
 class RMSprop(Optimizer):
@@ -208,19 +276,42 @@ class RMSprop(Optimizer):
             p.data -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
 
 
+def clip_flat_grads(flat: np.ndarray, max_norm: float) -> float:
+    """Clip a flat gradient vector to global L2 norm ``max_norm`` in place.
+
+    Returns the pre-clip norm.  Shared between :func:`clip_grad_norm` (which
+    flattens per-parameter gradients first) and the compiled training engine
+    (whose gradient arena is already one flat vector), so both paths run the
+    identical norm reduction and scaling ops.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be > 0, got {max_norm}")
+    total = float(np.sqrt(np.dot(flat, flat)))
+    if total > max_norm and total > 0:
+        np.multiply(flat, max_norm / total, out=flat)
+    return total
+
+
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm.  Standard A2C stabilisation.
+    Returns the pre-clip norm.  Standard A2C stabilisation.  One fused pass:
+    gradients are concatenated into a single flat vector, the norm reduction
+    and the scaling both run over that vector, and (only when clipping fires)
+    each ``p.grad`` is rebound to its reshaped slice of it — a fresh array,
+    never mutating arrays the autograd engine handed out elsewhere (see
+    ``Tensor._accumulate``).
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be > 0, got {max_norm}")
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if not params:
+        return 0.0
+    flat = np.concatenate([np.ravel(p.grad) for p in params])
+    total = clip_flat_grads(flat, max_norm)
     if total > max_norm and total > 0:
-        scale = max_norm / total
+        offset = 0
         for p in params:
-            # out-of-place: stored gradients may alias arrays the autograd
-            # engine handed out elsewhere (see Tensor._accumulate)
-            p.grad = p.grad * scale
+            p.grad = flat[offset : offset + p.size].reshape(p.data.shape)
+            offset += p.size
     return total

@@ -13,6 +13,7 @@ dense feature operand carries gradients, with ``∂(A·H)/∂H = Aᵀ·g``.
 
 from __future__ import annotations
 
+import weakref
 from typing import Sequence, Union
 
 import numpy as np
@@ -22,6 +23,66 @@ from repro.nn import tensor as _tensor_state
 from repro.nn.tensor import Tensor
 
 AdjacencyLike = Union[np.ndarray, sp.spmatrix]
+
+#: per-object CSR decompositions of adjacency blocks, keyed by ``id``; each
+#: entry holds a weakref whose finalizer evicts the key, so a recycled id
+#: can never alias a dead block's parts
+_DECOMP_CACHE: dict = {}
+
+
+def _evict_decomp(ref: "weakref.ref", key: int) -> None:
+    entry = _DECOMP_CACHE.get(key)
+    if entry is not None and entry[0] is ref:
+        del _DECOMP_CACHE[key]
+
+
+def _decompose_block(b: AdjacencyLike) -> tuple:
+    """(data, int32 cols, int32 per-row counts, size) of one square block.
+
+    Adjacency blocks are episode constants that recur heavily across batches
+    (the state builder memoises window adjacencies, and windows repeat across
+    decisions), so each distinct object is decomposed once per lifetime —
+    the cache is weakref-evicted, never by value.
+    """
+    key = id(b)
+    entry = _DECOMP_CACHE.get(key)
+    if entry is not None and entry[0]() is b:
+        return entry[1]
+    if sp.issparse(b):
+        csr = b.tocsr()
+        if csr.shape[0] != csr.shape[1]:
+            raise ValueError(
+                f"adjacency blocks must be square, got shape {csr.shape}"
+            )
+        parts = (
+            np.asarray(csr.data, dtype=np.float64),
+            np.asarray(csr.indices, dtype=np.int32),
+            np.asarray(np.diff(csr.indptr), dtype=np.int32),
+            csr.shape[0],
+        )
+    else:
+        arr = np.asarray(b, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(
+                f"adjacency blocks must be 2-D, got shape {arr.shape}"
+            )
+        if arr.shape[0] != arr.shape[1]:
+            raise ValueError(
+                f"adjacency blocks must be square, got shape {arr.shape}"
+            )
+        rows, cols = np.nonzero(arr)
+        parts = (
+            arr[rows, cols],
+            cols.astype(np.int32),
+            np.bincount(rows, minlength=arr.shape[0]).astype(np.int32),
+            arr.shape[0],
+        )
+    try:
+        ref = weakref.ref(b, lambda r, key=key: _evict_decomp(r, key))
+    except TypeError:  # pragma: no cover - all supported blocks weakref fine
+        return parts
+    _DECOMP_CACHE[key] = (ref, parts)
+    return parts
 
 
 def block_diag_adjacency_sparse(blocks: Sequence[AdjacencyLike]) -> sp.csr_matrix:
@@ -41,47 +102,9 @@ def block_diag_adjacency_sparse(blocks: Sequence[AdjacencyLike]) -> sp.csr_matri
     # scipy's generic block_diag routes every block through COO conversion,
     # which dominates batched-forward time for many small blocks.
     data_parts, col_parts, count_parts = [], [], []
-    # Identical block objects recur heavily inside one batch (the state
-    # builder memoises window adjacencies, and windows repeat across the
-    # decisions of an instant) — decompose each distinct object once.  The
-    # ``blocks`` sequence keeps every object alive for the duration of the
-    # call, so ``id`` keys cannot be stale.
-    decomposed = {}
     offset = 0
     for b in blocks:
-        parts = decomposed.get(id(b))
-        if parts is None:
-            if sp.issparse(b):
-                csr = b.tocsr()
-                if csr.shape[0] != csr.shape[1]:
-                    raise ValueError(
-                        f"adjacency blocks must be square, got shape {csr.shape}"
-                    )
-                parts = (
-                    np.asarray(csr.data, dtype=np.float64),
-                    np.asarray(csr.indices, dtype=np.int32),
-                    np.asarray(np.diff(csr.indptr), dtype=np.int32),
-                    csr.shape[0],
-                )
-            else:
-                arr = np.asarray(b, dtype=np.float64)
-                if arr.ndim != 2:
-                    raise ValueError(
-                        f"adjacency blocks must be 2-D, got shape {arr.shape}"
-                    )
-                if arr.shape[0] != arr.shape[1]:
-                    raise ValueError(
-                        f"adjacency blocks must be square, got shape {arr.shape}"
-                    )
-                rows, cols = np.nonzero(arr)
-                parts = (
-                    arr[rows, cols],
-                    cols.astype(np.int32),
-                    np.bincount(rows, minlength=arr.shape[0]).astype(np.int32),
-                    arr.shape[0],
-                )
-            decomposed[id(b)] = parts
-        data, cols32, counts, size = parts
+        data, cols32, counts, size = _decompose_block(b)
         data_parts.append(data)
         col_parts.append(cols32 + np.int32(offset))
         count_parts.append(counts)

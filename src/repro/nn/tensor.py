@@ -48,6 +48,32 @@ _GRAD_ENABLED = True
 #: recorder can detect ops that slipped past the hooks.
 _CAPTURE = None
 
+#: Backward-trace sink installed by the training compiler while capturing a
+#: reference update: a plain list that :meth:`Tensor.backward` appends one
+#: ``(op_name, shape)`` entry to per executed closure, in execution order.
+#: ``None`` otherwise — the hot-path cost when off is one module-global read
+#: per backward() call plus one ``is not None`` test per node.
+_BACKWARD_TRACE = None
+
+
+@contextlib.contextmanager
+def trace_backward():
+    """Record the closure schedule of every backward() run in this scope.
+
+    Yields a list that receives ``(op_name, shape)`` tuples in the exact
+    order closures execute (reverse topological).  The training compiler uses
+    this to validate that the tape's backward schedule matches the fused
+    kernel program it is about to substitute for it.
+    """
+    global _BACKWARD_TRACE
+    prev = _BACKWARD_TRACE
+    trace: List[Tuple[str, Tuple[int, ...]]] = []
+    _BACKWARD_TRACE = trace
+    try:
+        yield trace
+    finally:
+        _BACKWARD_TRACE = prev
+
 
 def is_grad_enabled() -> bool:
     """Whether autograd graph recording is currently active."""
@@ -739,8 +765,11 @@ class Tensor:
                 f"backward() of the {self._describe()}"
             )
         self._accumulate(grad)
+        trace = _BACKWARD_TRACE
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if trace is not None:
+                    trace.append((node.op_name(), node.shape))
                 if anomaly and not np.all(np.isfinite(node.grad)):
                     raise AnomalyError(
                         f"detect_anomaly: non-finite gradient flowing into "

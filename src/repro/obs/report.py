@@ -4,9 +4,12 @@
 one readable document per run: the run metadata header, per-span-name
 latency statistics (count / total / mean / p50 / p90 / p99 — the paper's
 Fig. 7 per-decision numbers fall out of the ``decision``/``forward`` rows),
-the learning curve (bucketed episode makespans, from the metrics series when
-available, else from ``episode_end`` trace events), training diagnostics and
-simulator utilization.
+the gradient-update phase breakdown (forward / backward / optimizer shares,
+emitted by both the reference tape and the ``--compiled-train`` replay, so
+the two engines' per-phase costs are directly comparable), the learning
+curve (bucketed episode makespans, from the metrics series when available,
+else from ``episode_end`` trace events), training diagnostics and simulator
+utilization.
 """
 
 from __future__ import annotations
@@ -18,8 +21,14 @@ import numpy as np
 
 from repro.obs.metrics import iter_series, load_metrics_rows, scalar_value
 
+#: gradient-update phases timed inside every ``update`` span (reference tape
+#: and compiled replay alike): graph forward, backward closures, clip + Adam
+UPDATE_PHASES = ("update/forward", "update/backward", "update/optimizer")
+
 #: span names whose latency distribution gets a percentile row
-LATENCY_SPANS = ("decision", "state_build", "forward", "unroll", "update")
+LATENCY_SPANS = (
+    "decision", "state_build", "forward", "unroll", "update", *UPDATE_PHASES
+)
 
 
 class TraceData:
@@ -149,6 +158,30 @@ def _latency_rows(trace: TraceData) -> List[List[str]]:
     return rows
 
 
+def _phase_rows(trace: TraceData) -> List[List[str]]:
+    """Per-phase share of gradient-update time (forward/backward/optimizer)."""
+    totals = {name: trace.durations(name) for name in UPDATE_PHASES}
+    denom = float(sum(d.sum() for d in totals.values()))
+    if denom <= 0.0:
+        return []
+    rows: List[List[str]] = []
+    for name, durs in totals.items():
+        if durs.size == 0:
+            continue
+        p50, p90 = np.percentile(durs, [50, 90])
+        rows.append(
+            [
+                name.split("/", 1)[1],
+                str(durs.size),
+                _ms(float(durs.sum())),
+                _ms(float(p50)),
+                _ms(float(p90)),
+                f"{float(durs.sum()) / denom:.1%}",
+            ]
+        )
+    return rows
+
+
 def _learning_curve(
     points: List[Tuple[Optional[float], float]], max_rows: int = 12
 ) -> List[List[str]]:
@@ -239,6 +272,18 @@ def render_report(
         lines.append("")
         lines.append(f"*Other spans:* {', '.join(other)}")
     lines.append("")
+
+    phase_rows = _phase_rows(trace)
+    if phase_rows:
+        lines.append("## Update phase breakdown")
+        lines.append("")
+        lines.extend(
+            _md_table(
+                ["phase", "count", "total ms", "p50 ms", "p90 ms", "share"],
+                phase_rows,
+            )
+        )
+        lines.append("")
 
     episodes = _episode_points(trace, metrics_rows)
     if episodes:

@@ -18,15 +18,16 @@ The paper grid-searches ``unroll_length ∈ {20, 40, 60, 80}`` and uses
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.nn import functional as F
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor
-from repro.rl.agent import ReadysAgent
+from repro.rl.agent import BatchedForward, ReadysAgent
 from repro.sim.state import Observation
 
 
@@ -78,6 +79,43 @@ class UpdateStats:
     mean_return: float
 
 
+def a2c_loss_terms(
+    bf: BatchedForward,
+    actions: np.ndarray,
+    returns: np.ndarray,
+    *,
+    value_coef: float,
+    entropy_coef: float,
+    normalize_advantage: bool,
+) -> Tuple[Tensor, Tensor, Tensor, Tensor]:
+    """Build the A2C loss graph from one batched forward.
+
+    Shared between the reference tape path and the training compiler's
+    capture callback so both construct the *identical* op sequence — the
+    capture-time bitwise validation in :class:`~repro.nn.compile.\
+TrainingCompiler` depends on there being exactly one loss construction.
+
+    Returns ``(loss, policy_loss, value_loss, entropy)`` tensors.
+    """
+    n = returns.shape[0]
+    values = bf.values  # (n,), graph-connected
+    logp = F.segment_log_softmax(bf.logits, bf.action_segments, n)
+    action_rows = bf.action_offsets[:-1] + actions
+    logp_actions = logp[action_rows]  # (n,)
+
+    advantages = returns - values.data  # detached from the actor gradient
+    if normalize_advantage:
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+    policy_loss = (logp_actions * Tensor(-advantages)).sum() / float(n)
+    diff = values - Tensor(returns)
+    value_loss = (diff * diff).sum() / float(n)
+    # mean per-decision entropy: total -Σ p·log p over the flat logits / n
+    entropy = F.entropy_bonus(logp) / float(n)
+    loss = policy_loss + value_coef * value_loss - entropy_coef * entropy
+    return loss, policy_loss, value_loss, entropy
+
+
 class A2CUpdater:
     """Applies A2C updates to a :class:`ReadysAgent` from collected unrolls."""
 
@@ -85,6 +123,40 @@ class A2CUpdater:
         self.agent = agent
         self.config = config if config is not None else A2CConfig()
         self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
+        self._train_compiler = None
+
+    # ------------------------------------------------------------------ #
+    # compiled-training control (mirrors ReadysAgent.enable_compiled)
+    # ------------------------------------------------------------------ #
+
+    def enable_compiled_train(self, max_plans: int = 8) -> None:
+        """Route updates through the grad-mode capture/replay engine.
+
+        Transparent: shapes or constructions the engine cannot prove
+        bitwise-identical fall back to the reference tape automatically.
+        """
+        if self._train_compiler is None:
+            from repro.nn.compile import TrainingCompiler
+
+            compiler = TrainingCompiler(
+                self.agent, self.optimizer, max_plans=max_plans
+            )
+            compiler.tracer = obs.TRACER
+            self._train_compiler = compiler
+
+    def disable_compiled_train(self) -> None:
+        """Drop the training compiler; updates run the reference tape."""
+        self._train_compiler = None
+
+    @property
+    def compiled_train(self) -> bool:
+        """Whether updates currently route through the training compiler."""
+        return self._train_compiler is not None
+
+    def train_compile_stats(self) -> Optional[Dict[str, float]]:
+        """Plan/fallback counters of the training compiler (None if off)."""
+        comp = self._train_compiler
+        return None if comp is None else comp.stats_dict()
 
     def compute_returns(
         self, transitions: List[Transition], bootstrap_value: float
@@ -136,43 +208,102 @@ class A2CUpdater:
                 for unroll, bootstrap in zip(unrolls, bootstrap_values)
             ]
         )
+        n = len(flat)
+        actions = np.array([t.action for t in flat], dtype=np.int64)
+        normalize = cfg.normalize_advantage and n > 1
+        mean_return = float(returns.mean())
 
+        comp = self._train_compiler
+        if comp is not None and n > 1:
+            glue = self.agent._batch_glue([t.obs for t in flat])
+            out = comp.update(
+                "a2c",
+                glue,
+                actions,
+                {
+                    "returns": returns,
+                    "value_coef": cfg.value_coef,
+                    "entropy_coef": cfg.entropy_coef,
+                    "normalize_advantage": normalize,
+                    "max_grad_norm": cfg.max_grad_norm,
+                },
+                reference=lambda: self._reference_terms(
+                    glue, actions, returns, normalize
+                ),
+            )
+            if out is not None:
+                return UpdateStats(
+                    policy_loss=out["policy_loss"],
+                    value_loss=out["value_loss"],
+                    entropy=out["entropy"],
+                    grad_norm=out["grad_norm"],
+                    mean_return=mean_return,
+                )
+
+        tracer = obs.TRACER
+        traced = tracer.enabled
+        handle = tracer.begin("update/forward") if traced else None
         # one batched forward over every state of every unroll
         bf = self.agent.forward_batch_flat([t.obs for t in flat])
-        n = len(flat)
-        values = bf.values  # (n,), graph-connected
-        logp = F.segment_log_softmax(bf.logits, bf.action_segments, n)
-        action_rows = bf.action_offsets[:-1] + np.array(
-            [t.action for t in flat], dtype=np.int64
+        loss, policy_loss, value_loss, entropy = a2c_loss_terms(
+            bf,
+            actions,
+            returns,
+            value_coef=cfg.value_coef,
+            entropy_coef=cfg.entropy_coef,
+            normalize_advantage=normalize,
         )
-        logp_actions = logp[action_rows]  # (n,)
-
-        advantages = returns - values.data  # detached from the actor gradient
-        if cfg.normalize_advantage and n > 1:
-            advantages = (advantages - advantages.mean()) / (
-                advantages.std() + 1e-8
-            )
-
-        policy_loss = (logp_actions * Tensor(-advantages)).sum() / float(n)
-        diff = values - Tensor(returns)
-        value_loss = (diff * diff).sum() / float(n)
-        # mean per-decision entropy: total -Σ p·log p over the flat logits / n
-        entropy = -(logp.exp() * logp).sum() / float(n)
-        loss = (
-            policy_loss
-            + cfg.value_coef * value_loss
-            - cfg.entropy_coef * entropy
-        )
-
+        if traced:
+            tracer.end(handle)
+            handle = tracer.begin("update/backward")
         self.optimizer.zero_grad()
         loss.backward()
+        if traced:
+            tracer.end(handle)
+            handle = tracer.begin("update/optimizer")
         grad_norm = clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
         self.optimizer.step()
+        if traced:
+            tracer.end(handle)
 
         return UpdateStats(
             policy_loss=float(policy_loss.data),
             value_loss=float(value_loss.data),
             entropy=float(entropy.data),
             grad_norm=grad_norm,
-            mean_return=float(returns.mean()),
+            mean_return=mean_return,
         )
+
+    def _reference_terms(
+        self,
+        glue,
+        actions: np.ndarray,
+        returns: np.ndarray,
+        normalize: bool,
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        """Reference loss construction for the training compiler's capture.
+
+        Runs the batched forward over the *same* glue the fused kernel will
+        use, so the bitwise validation compares like with like.
+        """
+        cfg = self.config
+        logits, values = self.agent._forward_batch_tensors(glue)
+        bf = BatchedForward(
+            logits=logits,
+            values=values,
+            action_segments=np.repeat(np.arange(glue.batch), glue.num_actions),
+            action_offsets=glue.action_offsets,
+        )
+        loss, policy_loss, value_loss, entropy = a2c_loss_terms(
+            bf,
+            actions,
+            returns,
+            value_coef=cfg.value_coef,
+            entropy_coef=cfg.entropy_coef,
+            normalize_advantage=normalize,
+        )
+        return loss, {
+            "policy_loss": float(policy_loss.data),
+            "value_loss": float(value_loss.data),
+            "entropy": float(entropy.data),
+        }

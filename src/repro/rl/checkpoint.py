@@ -157,6 +157,13 @@ def _restore_single(checkpoint: TrainingCheckpoint) -> "ReadysTrainer":
     trainer.result = _result_from_state(checkpoint.result_state)
     if checkpoint.spec is not None:
         trainer.spec = ExperimentSpec.from_dict(checkpoint.spec)
+        if trainer.spec.compiled:
+            trainer.agent.enable_compiled(dtype=trainer.spec.compiled_dtype)
+        if trainer.spec.compiled_train:
+            # both engines replay bit-identically, so re-enabling them keeps
+            # the resumed learning curve equal to the uninterrupted run while
+            # restoring the speed the original spec asked for
+            trainer.updater.enable_compiled_train()
     return trainer
 
 

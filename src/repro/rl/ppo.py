@@ -15,14 +15,15 @@ exercised by ``tests/rl/test_ppo.py`` and available for extension studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs as obs_mod
 from repro.nn import functional as F
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor, no_grad
-from repro.rl.agent import ReadysAgent
+from repro.rl.agent import BatchedForward, ReadysAgent
 from repro.sim.env import SchedulingEnv
 from repro.sim.state import Observation
 from repro.utils.seeding import SeedLike, as_generator
@@ -101,6 +102,45 @@ class PPOUpdateStats:
     approx_kl: float
 
 
+def ppo_loss_terms(
+    bf: BatchedForward,
+    actions: np.ndarray,
+    returns: np.ndarray,
+    *,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    clip_epsilon: float,
+    value_coef: float,
+    entropy_coef: float,
+) -> Tuple[Tensor, Tensor, Tensor, Tensor, Tensor]:
+    """Build the PPO clipped-surrogate loss graph from one batched forward.
+
+    Shared between the reference tape path and the training compiler's
+    capture callback (see :func:`repro.rl.a2c.a2c_loss_terms` for why there
+    must be exactly one construction).  ``advantages`` arrive already
+    normalised; both they and ``old_log_probs`` are rollout-time constants.
+
+    Returns ``(loss, policy_loss, value_loss, entropy, logp_actions)``
+    tensors — the last one so callers can derive the clip-fraction and
+    approximate-KL diagnostics without a second softmax pass.
+    """
+    n = returns.shape[0]
+    values = bf.values  # (n,), graph-connected
+    logp = F.segment_log_softmax(bf.logits, bf.action_segments, n)
+    action_rows = bf.action_offsets[:-1] + actions
+    logp_actions = logp[action_rows]  # (n,)
+
+    surrogate = F.clipped_surrogate(
+        logp_actions, old_log_probs, advantages, clip_epsilon
+    )
+    policy_loss = surrogate.sum() / float(n)
+    diff = values - Tensor(returns)
+    value_loss = (diff * diff).sum() / float(n)
+    entropy = F.entropy_bonus(logp) / float(n)
+    loss = policy_loss + value_coef * value_loss - entropy_coef * entropy
+    return loss, policy_loss, value_loss, entropy, logp_actions
+
+
 class PPOTrainer:
     """Rollout collection + clipped-surrogate updates for one environment."""
 
@@ -119,6 +159,42 @@ class PPOTrainer:
         self._obs: Optional[Observation] = None
         self.episode_makespans: List[float] = []
         self.episode_rewards: List[float] = []
+        self._train_compiler = None
+
+    # ------------------------------------------------------------------ #
+    # compiled-training control (mirrors A2CUpdater)
+    # ------------------------------------------------------------------ #
+
+    def enable_compiled_train(self, max_plans: int = 8) -> None:
+        """Route epoch updates through the grad-mode capture/replay engine.
+
+        The rollout's glue is built once per update and every epoch replays
+        the same plan, so PPO amortises a single capture across
+        ``num_epochs × updates`` fused steps.  Constructions the engine
+        cannot prove bitwise-identical fall back to the reference tape.
+        """
+        if self._train_compiler is None:
+            from repro.nn.compile import TrainingCompiler
+
+            compiler = TrainingCompiler(
+                self.agent, self.optimizer, max_plans=max_plans
+            )
+            compiler.tracer = obs_mod.TRACER
+            self._train_compiler = compiler
+
+    def disable_compiled_train(self) -> None:
+        """Drop the training compiler; epochs run the reference tape."""
+        self._train_compiler = None
+
+    @property
+    def compiled_train(self) -> bool:
+        """Whether epochs currently route through the training compiler."""
+        return self._train_compiler is not None
+
+    def train_compile_stats(self) -> Optional[Dict[str, float]]:
+        """Plan/fallback counters of the training compiler (None if off)."""
+        comp = self._train_compiler
+        return None if comp is None else comp.stats_dict()
 
     # ------------------------------------------------------------------ #
 
@@ -160,7 +236,13 @@ class PPOTrainer:
     def update(
         self, transitions: List[PPOTransition], bootstrap_value: float
     ) -> PPOUpdateStats:
-        """``num_epochs`` clipped-surrogate passes over one rollout."""
+        """``num_epochs`` clipped-surrogate passes over one rollout.
+
+        Every epoch runs *one* batched forward over the whole rollout
+        (block-diagonal GCN, segment log-softmax) — the glue is built once
+        and shared by all epochs, so with compiled training enabled epochs
+        after the first replay a captured plan as raw kernels.
+        """
         if not transitions:
             raise ValueError("cannot update from an empty rollout")
         cfg = self.config
@@ -171,52 +253,121 @@ class PPOTrainer:
         if len(transitions) > 1:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
 
-        stats = dict(policy_loss=0.0, value_loss=0.0, entropy=0.0,
-                     clip_fraction=0.0, approx_kl=0.0)
-        n = float(len(transitions))
+        n = len(transitions)
+        actions = np.array([t.action for t in transitions], dtype=np.int64)
+        old_log_probs = np.array(
+            [t.log_prob for t in transitions], dtype=np.float64
+        )
+        glue = self.agent._batch_glue([t.obs for t in transitions])
+
+        keys = ("policy_loss", "value_loss", "entropy", "clip_fraction", "approx_kl")
+        totals = dict.fromkeys(keys, 0.0)
+        comp = self._train_compiler
         for _ in range(cfg.num_epochs):
-            policy_terms: List[Tensor] = []
-            value_terms: List[Tensor] = []
-            entropy_terms: List[Tensor] = []
-            clipped = 0
-            kl_accum = 0.0
-            for t, adv, ret in zip(transitions, advantages, returns):
-                logits, value = self.agent.forward(t.obs)
-                logp_all = F.log_softmax(logits)
-                logp = logp_all[np.array([t.action])]
-                ratio = (logp - t.log_prob).exp()
-                r = float(ratio.data[0])
-                kl_accum += t.log_prob - float(logp.data[0])
-                lo, hi = 1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon
-                if (adv >= 0 and r > hi) or (adv < 0 and r < lo):
-                    # ratio clipped: surrogate is constant, no policy gradient
-                    clipped += 1
-                    policy_terms.append(logp * 0.0)
-                else:
-                    policy_terms.append(ratio * float(-adv))
-                diff = value - float(ret)
-                value_terms.append(diff * diff)
-                entropy_terms.append(F.entropy(logits).reshape(1))
+            out = None
+            if comp is not None and n > 1:
+                out = comp.update(
+                    "ppo",
+                    glue,
+                    actions,
+                    {
+                        "returns": returns,
+                        "value_coef": cfg.value_coef,
+                        "entropy_coef": cfg.entropy_coef,
+                        "normalize_advantage": False,
+                        "old_log_probs": old_log_probs,
+                        "advantages": advantages,
+                        "clip_epsilon": cfg.clip_epsilon,
+                        "max_grad_norm": cfg.max_grad_norm,
+                    },
+                    reference=lambda: self._reference_terms(
+                        glue, actions, returns, advantages, old_log_probs
+                    ),
+                )
+            if out is None:
+                out = self._reference_epoch(
+                    glue, actions, returns, advantages, old_log_probs
+                )
+            for key in keys:
+                totals[key] += out[key] / cfg.num_epochs
+        return PPOUpdateStats(**totals)
 
-            policy_loss = Tensor.concatenate(policy_terms).sum() / n
-            value_loss = Tensor.concatenate(value_terms).sum() / n
-            entropy = Tensor.concatenate(entropy_terms).sum() / n
-            loss = (
-                policy_loss
-                + cfg.value_coef * value_loss
-                - cfg.entropy_coef * entropy
-            )
-            self.optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
-            self.optimizer.step()
+    def _reference_epoch(
+        self,
+        glue,
+        actions: np.ndarray,
+        returns: np.ndarray,
+        advantages: np.ndarray,
+        old_log_probs: np.ndarray,
+    ) -> Dict[str, float]:
+        """One tape-built epoch: forward, loss, backward, clip, Adam."""
+        cfg = self.config
+        tracer = obs_mod.TRACER
+        traced = tracer.enabled
+        handle = tracer.begin("update/forward") if traced else None
+        loss, aux = self._reference_terms(
+            glue, actions, returns, advantages, old_log_probs
+        )
+        if traced:
+            tracer.end(handle)
+            handle = tracer.begin("update/backward")
+        self.optimizer.zero_grad()
+        loss.backward()
+        if traced:
+            tracer.end(handle)
+            handle = tracer.begin("update/optimizer")
+        clip_grad_norm(self.agent.parameters(), cfg.max_grad_norm)
+        self.optimizer.step()
+        if traced:
+            tracer.end(handle)
+        return aux
 
-            stats["policy_loss"] += float(policy_loss.data) / cfg.num_epochs
-            stats["value_loss"] += float(value_loss.data) / cfg.num_epochs
-            stats["entropy"] += float(entropy.data) / cfg.num_epochs
-            stats["clip_fraction"] += clipped / n / cfg.num_epochs
-            stats["approx_kl"] += kl_accum / n / cfg.num_epochs
-        return PPOUpdateStats(**stats)
+    def _reference_terms(
+        self,
+        glue,
+        actions: np.ndarray,
+        returns: np.ndarray,
+        advantages: np.ndarray,
+        old_log_probs: np.ndarray,
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        """Reference loss construction (also the compiler's capture callback).
+
+        Runs the batched forward over the *same* glue the fused kernel will
+        use, so the capture-time bitwise validation compares like with like.
+        """
+        cfg = self.config
+        logits, values = self.agent._forward_batch_tensors(glue)
+        bf = BatchedForward(
+            logits=logits,
+            values=values,
+            action_segments=np.repeat(np.arange(glue.batch), glue.num_actions),
+            action_offsets=glue.action_offsets,
+        )
+        loss, policy_loss, value_loss, entropy, logp_actions = ppo_loss_terms(
+            bf,
+            actions,
+            returns,
+            old_log_probs=old_log_probs,
+            advantages=advantages,
+            clip_epsilon=cfg.clip_epsilon,
+            value_coef=cfg.value_coef,
+            entropy_coef=cfg.entropy_coef,
+        )
+        # diagnostics, with the same expressions the fused kernel uses
+        n_f = float(returns.shape[0])
+        logp_a = logp_actions.data
+        ratio = np.exp(logp_a - old_log_probs)
+        lo, hi = 1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon
+        clipped = ((advantages >= 0.0) & (ratio > hi)) | (
+            (advantages < 0.0) & (ratio < lo)
+        )
+        return loss, {
+            "policy_loss": float(policy_loss.data),
+            "value_loss": float(value_loss.data),
+            "entropy": float(entropy.data),
+            "clip_fraction": float(np.count_nonzero(clipped)) / n_f,
+            "approx_kl": float(np.mean(old_log_probs - logp_a)),
+        }
 
     def train_updates(self, num_updates: int) -> List[PPOUpdateStats]:
         """Run ``num_updates`` rollout+update cycles."""

@@ -184,6 +184,10 @@ class ReadysTrainer:
             # rollouts replay through the engine; updates keep the autograd
             # path, so float64 training is bit-identical to uncompiled runs
             trainer.agent.enable_compiled(dtype=spec.compiled_dtype)
+        if spec.compiled_train:
+            # gradient updates replay as fused kernels, validated bitwise
+            # against the autograd tape at capture time
+            trainer.updater.enable_compiled_train()
         return trainer
 
     @classmethod

@@ -272,6 +272,10 @@ class ParallelRolloutTrainer:
         self.rng = as_generator(spec.seed)
         self.agent = ReadysAgent(agent_config_for_spec(spec), rng=self.rng)
         self.updater = A2CUpdater(self.agent, config)
+        if spec.compiled_train:
+            # the update runs in this parent process (workers only roll out),
+            # so the training compiler attaches to the parent-side updater
+            self.updater.enable_compiled_train()
         self.result = TrainResult()
         self.respawn_count = 0
         self.fault_injector: Optional[Callable[[int, "ParallelRolloutTrainer"], None]] = None

@@ -242,6 +242,13 @@ class ExperimentSpec:
     compiled_dtype: str = "float64"
     """replay arithmetic dtype: ``float64`` (bit-identical) or ``float32``
     (faster, small documented tolerance; training updates stay float64)"""
+    compiled_train: bool = False
+    """run gradient updates through the capture/replay training compiler
+    (:class:`repro.nn.compile.TrainingCompiler`): forward, backward, grad
+    clipping and the Adam step replay as fused float64 kernels that are
+    validated bit-identical against the autograd tape at capture time, so
+    learning curves and final weights are unchanged — only faster.
+    Orthogonal to ``compiled`` (no-grad rollout forwards)."""
     workload: Optional[WorkloadSpec] = None
     """nested workload description (graph mixture + noise + arrivals).  The
     authoritative spelling: when set, the loose ``kernel``/``tiles``/

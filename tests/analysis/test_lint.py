@@ -347,6 +347,41 @@ class TestCompileInternals:
         src = "import repro.nn.compile  # repro-lint: disable=RPR008\n"
         assert lint_snippet(src, path=self.PROD) == []
 
+    # -- training-compiler surface / C fusion core ---------------------- #
+
+    def test_training_compiler_public_names_allowed(self):
+        src = "from repro.nn.compile import TrainingCompiler, TrainStats\n"
+        assert lint_snippet(src, path=self.PROD) == []
+
+    def test_training_compiler_reexport_allowed(self):
+        src = "from repro.nn import TrainingCompiler\n"
+        assert lint_snippet(src, path=self.PROD) == []
+
+    def test_fusion_module_import_flagged(self):
+        src = "import repro.nn.fusion\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    def test_fusion_from_import_flagged(self):
+        # the fusion core has *no* public names — even load() is fenced
+        src = "from repro.nn.fusion import load\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    def test_from_nn_import_fusion_module_flagged(self):
+        src = "from repro.nn import fusion\n"
+        assert rule_ids(lint_snippet(src, path=self.PROD)) == ["RPR008"]
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/nn/compile.py",
+            "tests/nn/test_fusion.py",
+            "benchmarks/test_bench_train.py",
+        ],
+    )
+    def test_fusion_exempt_paths(self, path):
+        src = "from repro.nn.fusion import load\nimport repro.nn.fusion\n"
+        assert lint_snippet(src, path=path) == []
+
 
 class TestFixtureFiles:
     def test_violations_fixture_counts(self):

@@ -51,6 +51,11 @@ SQ = _mat(4, 4)
 SEG_IDS = np.array([0, 0, 1, 1, 1, 2], dtype=np.int64)  # contiguous -> reduceat
 SEG_IDS_SCATTERED = np.array([2, 0, 1, 0, 2, 1], dtype=np.int64)  # -> np.add.at
 MASK = np.array([True, False, True, True, False, True])
+# PPO surrogate constants: ratios exp(W - OLD_LP) sit well away from the
+# 1 ± ε trust-region boundary so the keep-mask is stable under the
+# central-difference perturbations; entries 2 and 3 are clipped (zero grad)
+OLD_LP = W - np.array([0.1, -0.1, 0.5, -0.5, 0.0, 0.2])
+ADV_SIGNED = np.array([1.0, -1.3, 0.8, -0.7, 1.1, -0.4])
 CSR = sp.csr_matrix(
     np.array(
         [
@@ -143,6 +148,23 @@ FUNCTIONAL_CASES = [
         [W],
     ),
     ("masked_log_softmax-nomask", lambda v: F.masked_log_softmax(v, None), [W]),
+    (
+        "clipped_surrogate",
+        lambda lp: F.clipped_surrogate(lp, OLD_LP, ADV_SIGNED, 0.2),
+        [W],
+    ),
+    (
+        # the trust region covers every ratio: the surrogate must reduce to
+        # plain importance sampling with a full gradient
+        "clipped_surrogate-unclipped",
+        lambda lp: F.clipped_surrogate(lp, OLD_LP, ADV_SIGNED, 0.9),
+        [W],
+    ),
+    (
+        "entropy_bonus",
+        lambda v: F.entropy_bonus(F.log_softmax(v, axis=0)),
+        [W],
+    ),
 ]
 
 SPARSE_CASES = [

@@ -146,6 +146,52 @@ class TestClipGradNorm:
         with pytest.raises(ValueError):
             clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)
 
+    def test_fused_pass_matches_per_parameter_reference(self):
+        """Regression for the single-flat-vector rewrite: the fused pass must
+        be bitwise equal to the naive two-pass (norm, then per-param scale)
+        formulation it replaced, clipping and non-clipping alike."""
+        rng = np.random.default_rng(7)
+        shapes = [(3, 4), (4,), (2, 2, 2), (1,)]
+        for max_norm in (0.5, 1e9):  # clipping fires / does not fire
+            params, ref_grads = [], []
+            for shape in shapes:
+                p = Parameter(np.zeros(shape))
+                p.grad = rng.normal(size=shape)
+                params.append(p)
+                ref_grads.append(p.grad.copy())
+            ref_norm = float(np.sqrt(np.dot(
+                np.concatenate([g.ravel() for g in ref_grads]),
+                np.concatenate([g.ravel() for g in ref_grads]),
+            )))
+            if ref_norm > max_norm:
+                scale = max_norm / ref_norm
+                ref_grads = [
+                    np.multiply(g.ravel(), scale).reshape(g.shape)
+                    for g in ref_grads
+                ]
+            norm = clip_grad_norm(params, max_norm=max_norm)
+            assert norm == ref_norm  # the reduction itself is one np.dot
+            for p, ref in zip(params, ref_grads):
+                np.testing.assert_array_equal(p.grad, ref)
+
+    def test_clipping_rebinds_fresh_arrays(self):
+        """When clipping fires, grads are *rebound* to slices of the fused
+        vector — arrays previously handed out must not be mutated."""
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        before = p.grad
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_array_equal(before, [3.0, 4.0])
+        assert p.grad is not before
+
+    def test_no_clip_keeps_grad_arrays(self):
+        """Below the threshold the grads are untouched — same objects."""
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        before = p.grad
+        clip_grad_norm([p], max_norm=1.0)
+        assert p.grad is before
+
 
 class TestTrainingIntegration:
     def test_linear_regression_recovers_weights(self):

@@ -28,6 +28,10 @@ def _record_small_run(trace_path: str, metrics_path: str) -> None:
             obs.TRACER.end(d)
         obs.TRACER.event("episode_end", episode=update, makespan=100.0 - update)
         obs.TRACER.end(r)
+        # the gradient-update phase spans both engines emit
+        for phase in ("update/forward", "update/backward", "update/optimizer"):
+            p = obs.TRACER.begin(phase)
+            obs.TRACER.end(p)
         obs.TRACER.end(u)
     obs.stop_trace()
 
@@ -53,6 +57,7 @@ class TestRenderReport:
             "# Run report",
             "## Run",
             "## Span latencies",
+            "## Update phase breakdown",
             "## Learning curve",
             "## Training diagnostics",
             "## Simulator utilization",
@@ -63,7 +68,19 @@ class TestRenderReport:
         for name in LATENCY_SPANS:
             assert f"| {name} |" in report
         assert "p99 ms" in report
+        # the phase table rows drop the "update/" prefix
+        for phase in ("forward", "backward", "optimizer"):
+            assert f"| {phase} |" in report
         assert "75.0%" in report  # busy 30 / (30 + 10)
+
+    def test_phase_breakdown_absent_without_phase_spans(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        obs.start_trace(trace)
+        d = obs.TRACER.begin("decision")
+        obs.TRACER.end(d)
+        obs.stop_trace()
+        report = render_report(trace)
+        assert "## Update phase breakdown" not in report
 
     def test_trace_only_report(self, tmp_path):
         trace, metrics = str(tmp_path / "t.jsonl"), str(tmp_path / "m.csv")

@@ -1,0 +1,179 @@
+"""Compiled-training parity: the grad-mode engine must never change training.
+
+The :class:`repro.nn.compile.TrainingCompiler` replays captured forward +
+backward programs as fused kernels and applies one flat clip + Adam pass.
+Float64 replays are required to be **bit-identical** to the reference
+autograd tape — same losses, same gradients, same weights after arbitrarily
+many rounds — so every learning curve, checkpoint and evaluation result is
+unchanged by ``--compiled-train``.  The suite pins that claim over >= 50
+training rounds for A2C and PPO, across the in-process / vectorised /
+worker-pool trainers, and through a save→kill→resume cycle.
+"""
+
+import numpy as np
+import pytest
+
+# counter assertions assume captures are not refused, so keep the ambient
+# anomaly wrapper (REPRO_DETECT_ANOMALY=1 runs) off this module; the anomaly
+# interaction is pinned explicitly in TestRefusalTransparency
+pytestmark = pytest.mark.no_auto_anomaly
+
+from repro.nn import detect_anomaly
+from repro.rl.a2c import A2CConfig
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.trainer import ReadysTrainer, default_agent
+from repro.spec import ExperimentSpec
+
+SPEC = ExperimentSpec(kernel="cholesky", tiles=4, seed=3, num_envs=2)
+CONFIG = A2CConfig(unroll_length=10)
+
+
+def assert_same_weights(agent_a, agent_b):
+    for (name, a), (_, b) in zip(
+        sorted(agent_a.state_dict().items()),
+        sorted(agent_b.state_dict().items()),
+    ):
+        np.testing.assert_array_equal(a, b, err_msg=name)
+
+
+def a2c_rows(result):
+    return [
+        (s.policy_loss, s.value_loss, s.entropy, s.grad_norm, s.mean_return)
+        for s in result.update_stats
+    ]
+
+
+class TestFiftyRoundParity:
+    def test_a2c_50_rounds_bit_identical(self):
+        ref = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        ref.train_updates(50)
+
+        cmp_ = ReadysTrainer.from_spec(
+            SPEC.replace(compiled_train=True), config=CONFIG
+        )
+        assert cmp_.updater.compiled_train
+        cmp_.train_updates(50)
+
+        assert_same_weights(ref.agent, cmp_.agent)
+        assert a2c_rows(cmp_.result) == a2c_rows(ref.result)
+        assert cmp_.result.episode_makespans == ref.result.episode_makespans
+        stats = cmp_.updater.train_compile_stats()
+        assert stats["fallbacks"] == 0 and stats["validation_failures"] == 0
+        assert stats["replays"] + stats["captures"] == 50
+
+    def test_ppo_50_rounds_bit_identical(self):
+        spec = SPEC.replace(num_envs=1)
+        config = PPOConfig(rollout_length=24, num_epochs=2)
+
+        def run(compiled):
+            env = spec.make_env()
+            trainer = PPOTrainer(env, default_agent(env, rng=0), config, rng=0)
+            if compiled:
+                trainer.enable_compiled_train()
+            stats = trainer.train_updates(50)
+            return trainer, stats
+
+        ref, ref_stats = run(compiled=False)
+        cmp_, cmp_stats = run(compiled=True)
+
+        assert_same_weights(ref.agent, cmp_.agent)
+        assert cmp_stats == ref_stats
+        assert cmp_.episode_makespans == ref.episode_makespans
+        counters = cmp_.train_compile_stats()
+        assert counters["fallbacks"] == 0
+        assert counters["validation_failures"] == 0
+        # every epoch of every update replays the single captured plan
+        assert counters["replays"] + counters["captures"] == 50 * 2
+
+
+class TestTrainerSurfaces:
+    def test_vectorised_training_identical_curves(self):
+        spec = SPEC.replace(num_envs=3)
+        ref = ReadysTrainer.from_spec(spec, config=CONFIG)
+        ref.train_updates(6)
+        cmp_ = ReadysTrainer.from_spec(
+            spec.replace(compiled_train=True), config=CONFIG
+        )
+        cmp_.train_updates(6)
+        assert_same_weights(ref.agent, cmp_.agent)
+        assert cmp_.result.episode_makespans == ref.result.episode_makespans
+
+    def test_worker_training_identical_curves(self):
+        spec = SPEC.replace(workers=2, num_envs=2, tiles=3)
+        ref = ReadysTrainer.from_spec(spec, config=CONFIG)
+        try:
+            ref.train_updates(3)
+            ms_ref = list(ref.result.episode_makespans)
+            rows_ref = a2c_rows(ref.result)
+            weights_ref = {k: v.copy() for k, v in ref.agent.state_dict().items()}
+        finally:
+            ref.close()
+        cmp_ = ReadysTrainer.from_spec(
+            spec.replace(compiled_train=True), config=CONFIG
+        )
+        try:
+            assert cmp_.updater.compiled_train
+            cmp_.train_updates(3)
+            ms_cmp = list(cmp_.result.episode_makespans)
+            rows_cmp = a2c_rows(cmp_.result)
+            weights_cmp = cmp_.agent.state_dict()
+        finally:
+            cmp_.close()
+        assert ms_cmp == ms_ref
+        assert rows_cmp == rows_ref
+        for name in sorted(weights_ref):
+            np.testing.assert_array_equal(
+                weights_cmp[name], weights_ref[name], err_msg=name
+            )
+
+    def test_both_engines_compose(self):
+        """``--compiled --compiled-train`` together still match reference."""
+        spec = SPEC.replace(compiled=True, compiled_train=True)
+        ref = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        ref.train_updates(4)
+        cmp_ = ReadysTrainer.from_spec(spec, config=CONFIG)
+        assert cmp_.agent.compiled and cmp_.updater.compiled_train
+        cmp_.train_updates(4)
+        assert_same_weights(ref.agent, cmp_.agent)
+        assert cmp_.result.episode_makespans == ref.result.episode_makespans
+
+
+class TestSaveKillResume:
+    def test_save_kill_resume_row_equality(self, tmp_path):
+        """3 updates + checkpoint + 3 resumed == 6 uninterrupted == 6
+        reference-tape updates, row by row."""
+        path = str(tmp_path / "ckpt.pkl")
+        spec = SPEC.replace(compiled_train=True)
+
+        reference = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        uninterrupted = reference.train_updates(6)
+
+        first = ReadysTrainer.from_spec(spec, config=CONFIG)
+        first.train_updates(3, checkpoint_every=3, checkpoint_path=path)
+        del first  # the "kill": only the checkpoint survives
+
+        resumed = ReadysTrainer.from_checkpoint(path)
+        assert resumed.completed_updates == 3
+        # the restored spec re-enables the training compiler
+        assert resumed.updater.compiled_train
+        continued = resumed.train_updates(3)
+
+        assert a2c_rows(continued) == a2c_rows(uninterrupted)
+        assert continued.episode_makespans == uninterrupted.episode_makespans
+        assert_same_weights(resumed.agent, reference.agent)
+
+
+class TestRefusalTransparency:
+    def test_anomaly_mode_falls_back_to_reference(self):
+        """Anomaly tracking needs the live tape, so updates transparently run
+        the reference path — counted, never wrong."""
+        ref = ReadysTrainer.from_spec(SPEC, config=CONFIG)
+        cmp_ = ReadysTrainer.from_spec(
+            SPEC.replace(compiled_train=True), config=CONFIG
+        )
+        with detect_anomaly():
+            ref.train_updates(2)
+            cmp_.train_updates(2)
+        assert_same_weights(ref.agent, cmp_.agent)
+        stats = cmp_.updater.train_compile_stats()
+        assert stats["fallbacks"] == 2 and stats["captures"] == 0
